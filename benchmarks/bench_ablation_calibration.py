@@ -1,0 +1,58 @@
+"""Ablation (§5.2, last paragraph): ML calibration of the query replay.
+
+The paper: "Calibrating the parameters used during the query replay with
+learning-based models makes our warehouse cost estimator resilient to
+simulation errors, yielding more accurate estimates."
+
+This bench fits the cost model twice on identical telemetry — once with the
+learned calibration enabled (cluster-count coefficient, chain-flag usage)
+and once with the raw analytical models — and compares relative errors
+against actual billing.
+"""
+
+import numpy as np
+
+from repro.common.simtime import DAY, HOUR, Window
+from repro.costmodel.model import WarehouseCostModel
+from repro.experiments.scenarios import fig5_scenarios
+from repro.warehouse.api import CloudWarehouseClient
+
+from benchmarks.conftest import record_result, run_once
+
+
+def _accuracy_with(calibrate: bool):
+    errors = {}
+    for scenario in fig5_scenarios(seed=550):
+        scenario.schedule()
+        account = scenario.account
+        account.run_until(scenario.horizon + HOUR)
+        client = CloudWarehouseClient(account, actor="keebo")
+        train = Window(0.0, 2 * DAY)
+        evaluate = Window(2 * DAY, scenario.horizon)
+        model = WarehouseCostModel(
+            client, scenario.warehouse, calibrate=calibrate, use_chain_flags=calibrate
+        ).fit(train)
+        estimate = model.estimate_cost(evaluate, client.current_config(scenario.warehouse))
+        actual = client.credits_in_window(scenario.warehouse, evaluate)
+        errors[scenario.name] = abs(estimate.credits - actual) / max(actual, 1e-9)
+    return errors
+
+
+def test_calibration_ablation(benchmark):
+    def both():
+        return _accuracy_with(calibrate=True), _accuracy_with(calibrate=False)
+
+    calibrated, raw = run_once(benchmark, both)
+    lines = [f"{'warehouse':>12} {'calibrated':>11} {'uncalibrated':>13}"]
+    for name in calibrated:
+        lines.append(f"{name:>12} {calibrated[name]:>11.2%} {raw[name]:>13.2%}")
+    mean_cal = float(np.mean(list(calibrated.values())))
+    mean_raw = float(np.mean(list(raw.values())))
+    lines.append("")
+    lines.append(f"mean relative error: calibrated {mean_cal:.2%} vs raw {mean_raw:.2%}")
+    record_result("ablation_calibration", "\n".join(lines))
+
+    # Calibration must not hurt overall accuracy, and calibrated estimates
+    # must stay in the paper's accuracy regime.
+    assert mean_cal <= mean_raw * 1.10
+    assert mean_cal < 0.12

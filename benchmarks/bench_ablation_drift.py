@@ -1,0 +1,153 @@
+"""Ablation (§2 C3/C5): static tuning vs continuous adaptation under drift.
+
+The paper's case for full automation: "no static value will be optimal due
+to the unpredictable and time-varying nature of modern workloads", and the
+crude industry practice — "experiment with different warehouse sizes to
+find one that offers reasonable performance for their peak load ... even
+these crude experiments are only done occasionally".
+
+Protocol: an ad-hoc workload that triples in intensity after week one.
+
+* The **static-tuned** customer grid-searches size × suspend on week-one
+  traffic and keeps the winner (as provisioning-time tuning does).  Because
+  the tuning must keep peak-load latency acceptable, the grid search lands
+  on the big, long-suspend configuration — and then overpays for it in
+  every regime.
+* **KWO** onboards on week-one telemetry and keeps adapting: it banks the
+  quiet-period savings, and when the surge arrives the monitor's backoffs
+  and the daily retrain absorb the new regime with bounded latency impact.
+
+Measured shape: KWO's bill during the surge stays far below the statically
+tuned one, its backoff path demonstrably fires on the regime change, and
+the latency cost of its savings stays within the slider's envelope.
+"""
+
+import numpy as np
+
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, Window
+from repro.common.stats import percentile
+from repro.core.optimizer import KeeboService, OptimizerConfig
+from repro.warehouse.account import Account
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+from repro.workloads.adhoc import AdhocWorkload
+
+from benchmarks.conftest import record_result, run_once
+
+WEEK1 = 4 * DAY
+TOTAL = 8 * DAY
+ORIGINAL = WarehouseConfig(size=WarehouseSize.L, auto_suspend_seconds=1800.0, max_clusters=2)
+
+
+def _requests():
+    quiet = AdhocWorkload.synthesize(
+        RngRegistry(71).stream("w"),
+        peak_rate_per_hour=8.0,
+        spike_probability_per_day=0.0,
+        month_end_boost=1.0,
+    ).generate(Window(0, WEEK1))
+    busy = AdhocWorkload.synthesize(
+        RngRegistry(71).stream("w2"),
+        peak_rate_per_hour=24.0,
+        spike_probability_per_day=0.0,
+        month_end_boost=1.0,
+    ).generate(Window(WEEK1, TOTAL))
+    return sorted(quiet + busy, key=lambda r: r.arrival_time)
+
+
+def _run_static(config: WarehouseConfig) -> dict:
+    account = Account(seed=72)
+    account.create_warehouse("WH", config)
+    account.schedule_workload("WH", _requests())
+    account.run_until(TOTAL)
+    return _measure(account, Window(WEEK1, TOTAL))
+
+
+def _measure(account, window) -> dict:
+    records = account.telemetry.query_history("WH", window)
+    latencies = [r.total_seconds for r in records]
+    return {
+        "credits": account.warehouse("WH").meter.credits_in_window(
+            window, as_of=account.sim.now
+        ),
+        "avg": float(np.mean(latencies)) if latencies else 0.0,
+        "p99": percentile(latencies, 99),
+        "queue": float(np.mean([r.queued_seconds for r in records])) if records else 0.0,
+    }
+
+
+def _oracle_static_for_week1() -> WarehouseConfig:
+    """The provisioning-time tuning ritual: grid-search week 1, keep result."""
+    candidates = []
+    reference_avg = None
+    for size in (WarehouseSize.S, WarehouseSize.M, WarehouseSize.L):
+        for suspend in (60.0, 300.0, 1800.0):
+            account = Account(seed=73)
+            config = ORIGINAL.with_changes(size=size, auto_suspend_seconds=suspend)
+            account.create_warehouse("WH", config)
+            account.schedule_workload(
+                "WH", [r for r in _requests() if r.arrival_time < WEEK1]
+            )
+            account.run_until(WEEK1)
+            m = _measure(account, Window(0, WEEK1))
+            if size == ORIGINAL.size and suspend == 1800.0:
+                reference_avg = m["avg"]
+            candidates.append((config, m))
+    affordable = [
+        (config, m) for config, m in candidates if m["avg"] <= 1.3 * reference_avg
+    ]
+    best_config, _ = min(affordable, key=lambda cm: cm[1]["credits"])
+    return best_config
+
+
+def _run_kwo() -> tuple[dict, dict]:
+    account = Account(seed=72)
+    account.create_warehouse("WH", ORIGINAL)
+    account.schedule_workload("WH", _requests())
+    account.run_until(WEEK1)
+    service = KeeboService(account)
+    optimizer = service.onboard_warehouse(
+        "WH",
+        config=OptimizerConfig(
+            training_window=WEEK1,
+            onboarding_episodes=5,
+            episode_length=1 * DAY,
+            retrain_interval=1 * DAY,
+            retrain_episodes=1,
+            confidence_tau=0.0,
+        ),
+    )
+    account.run_until(TOTAL)
+    return _measure(account, Window(WEEK1, TOTAL)), optimizer.decision_counts()
+
+
+def test_static_tuning_decays_under_drift(benchmark):
+    def run_all():
+        static_config = _oracle_static_for_week1()
+        kwo, decisions = _run_kwo()
+        return static_config, _run_static(static_config), kwo, decisions
+
+    static_config, static, kwo, decisions = run_once(benchmark, run_all)
+    lines = [
+        f"week-1-tuned static config: {static_config.describe()}",
+        "",
+        f"{'policy':>14} {'credits':>9} {'avg lat':>8} {'p99':>8} {'mean queue':>11}",
+        f"{'static (tuned)':>14} {static['credits']:>9.1f} {static['avg']:>7.2f}s "
+        f"{static['p99']:>7.1f}s {static['queue']:>10.2f}s",
+        f"{'kwo':>14} {kwo['credits']:>9.1f} {kwo['avg']:>7.2f}s "
+        f"{kwo['p99']:>7.1f}s {kwo['queue']:>10.2f}s",
+        "",
+        f"kwo decision mix over the run: {decisions}",
+    ]
+    record_result("ablation_drift", "\n".join(lines))
+
+    # Static week-1 tuning cannot reduce cost below its provisioned point;
+    # KWO keeps banking large savings straight through the regime change.
+    assert kwo["credits"] < 0.7 * static["credits"]
+    # The savings' latency price stays within the Balanced envelope rather
+    # than collapsing (no unbounded queueing, avg within ~1.5x).
+    assert kwo["avg"] < 1.5 * static["avg"]
+    assert kwo["queue"] < 2.0
+    # The adaptation machinery demonstrably engaged on the new regime.
+    assert decisions.get("backoff", 0) > 0

@@ -1,0 +1,37 @@
+"""Figure 7 (§7.4): the cost/performance slider sweep.
+
+Paper's result: running the same workload at all five slider positions
+produces monotonically increasing cost and decreasing average latency from
+"Lowest Cost" to "Best Performance" (Pareto-efficient trade-off; slider 3
+achieved 1.42 s average latency at minimized cost in the paper's workload).
+
+We reproduce the monotone cost curve and the decreasing latency trend
+(adjacent performance-leaning positions may tie within noise).
+"""
+
+from repro.experiments.runner import run_slider_sweep
+
+from benchmarks.conftest import record_result, run_once
+
+
+def test_fig7_slider_tradeoff(benchmark):
+    rows = run_once(benchmark, run_slider_sweep)
+    lines = [f"{'slider':>7} {'label':>17} {'credits':>9} {'avg lat':>8} {'p99':>7}"]
+    for row in rows:
+        lines.append(
+            f"{int(row.slider):>7} {row.slider.label:>17} {row.total_credits:>9.1f} "
+            f"{row.avg_latency:>7.2f}s {row.p99_latency:>6.1f}s"
+        )
+    record_result("fig7", "\n".join(lines))
+
+    credits = [row.total_credits for row in rows]
+    latencies = [row.avg_latency for row in rows]
+    # Cost rises from Lowest Cost to Best Performance.
+    assert credits == sorted(credits), "cost must be monotone in the slider"
+    # Latency falls overall: the cheapest setting is clearly the slowest and
+    # the performance-leaning settings are clearly the fastest.
+    assert latencies[0] == max(latencies)
+    assert min(latencies[3], latencies[4]) == min(latencies)
+    assert latencies[0] > 1.3 * min(latencies)
+    # Pareto span: the customer can at least halve cost by moving 5 -> 1.
+    assert credits[-1] > 1.4 * credits[0]

@@ -1,0 +1,42 @@
+"""Onboarding ramp (§1/§9): fraction of eventual savings vs hours enabled.
+
+Paper's claim: customers reach 50%, 70% and 95% of their eventual savings
+after 20, 43 and 83 hours respectively.  Our reproduction measures the
+trailing-24h savings rate after onboarding and reports the first sustained
+crossing of each milestone; magnitudes land in the same tens-of-hours range
+with the same saturating shape.
+"""
+
+from repro.experiments.runner import run_onboarding_curve
+from repro.experiments.scenarios import onboarding_scenario
+
+from benchmarks.conftest import record_result, run_once
+
+PAPER_MILESTONES = {0.5: 20.0, 0.7: 43.0, 0.95: 83.0}
+
+
+def test_onboarding_curve(benchmark):
+    curve = run_once(
+        benchmark, lambda: run_onboarding_curve(onboarding_scenario(total_days=12))
+    )
+    lines = ["hours  savings-rate (trailing 24h)"]
+    for h, s in zip(curve.hours, curve.savings_rate):
+        bar = "#" * max(0, int(40 * s / max(curve.eventual_rate, 1e-9)))
+        lines.append(f"{h:>5.0f}  {s:>6.1%}  {bar}")
+    lines.append("")
+    lines.append(f"eventual savings rate: {curve.eventual_rate:.1%}")
+    for fraction, paper_hours in PAPER_MILESTONES.items():
+        hours = curve.hours_to_reach(fraction)
+        lines.append(
+            f"hours to {fraction:.0%} of eventual savings: "
+            f"{hours if hours is not None else '>horizon'}  (paper: {paper_hours:.0f}h)"
+        )
+    record_result("onboarding", "\n".join(lines))
+
+    assert curve.eventual_rate > 0.2, "the ramp must converge to real savings"
+    h50 = curve.hours_to_reach(0.5)
+    h95 = curve.hours_to_reach(0.95)
+    assert h50 is not None and h95 is not None
+    # Saturating shape in the paper's tens-of-hours range.
+    assert 4.0 <= h50 <= 60.0
+    assert h50 <= h95 <= 140.0

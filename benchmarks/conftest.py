@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table/figure from the paper's §7: it runs the
+experiment protocol once (timed by pytest-benchmark), prints the same
+rows/series the paper reports, and archives the rendering under
+``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
+
+Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
+tables inline).
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def record_result(name: str, text: str) -> None:
+    """Print a figure's regenerated rows and archive them."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+
+
+def run_once(benchmark, fn):
+    """Execute ``fn`` exactly once under pytest-benchmark timing.
+
+    The protocols here simulate days of warehouse time; repeating them for
+    statistical timing would multiply bench wall-clock for no benefit.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,82 @@
+"""BI dashboards and the cost/performance slider (paper §4.1, §7.4).
+
+Runs the same dashboard-heavy workload at three slider positions and prints
+the trade-off a customer would see: the "Lowest Cost" position accepts
+slower dashboards for a smaller bill; "Best Performance" keeps the
+warehouse warm and sized for snappy refreshes.
+
+Run:  python examples/bi_dashboards_slider.py
+"""
+
+import numpy as np
+
+from repro import (
+    Account,
+    KeeboService,
+    OptimizerConfig,
+    SliderPosition,
+    WarehouseConfig,
+    WarehouseSize,
+)
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, Window
+from repro.common.stats import percentile
+from repro.warehouse.api import CloudWarehouseClient
+from repro.workloads import make_bi_workload
+
+
+def run_at(slider: SliderPosition) -> dict:
+    account = Account(name=f"bi-{int(slider)}", seed=55)
+    account.create_warehouse(
+        "BI_WH",
+        WarehouseConfig(size=WarehouseSize.L, auto_suspend_seconds=1800.0, max_clusters=3),
+    )
+    workload = make_bi_workload(RngRegistry(56), intensity=1.2)
+    account.schedule_workload("BI_WH", workload.generate(Window(0, 7 * DAY)))
+    account.run_until(3 * DAY)
+    service = KeeboService(account)
+    service.onboard_warehouse(
+        "BI_WH",
+        slider=slider,
+        config=OptimizerConfig(onboarding_episodes=5, retrain_episodes=0, confidence_tau=0.0),
+    )
+    account.run_until(7 * DAY)
+    window = Window(3 * DAY, 7 * DAY)
+    client = CloudWarehouseClient(account)
+    records = client.query_history("BI_WH", window)
+    latencies = [r.total_seconds for r in records]
+    return {
+        "credits": client.credits_in_window("BI_WH", window),
+        "avg": float(np.mean(latencies)),
+        "p99": percentile(latencies, 99),
+        "cold": float(np.mean([1 - r.cache_hit_ratio for r in records])),
+    }
+
+
+def main() -> None:
+    positions = [
+        SliderPosition.LOWEST_COST,
+        SliderPosition.BALANCED,
+        SliderPosition.BEST_PERFORMANCE,
+    ]
+    print(f"{'slider':>18} {'credits':>9} {'avg lat':>8} {'p99':>8} {'cold reads':>11}")
+    results = {}
+    for position in positions:
+        r = run_at(position)
+        results[position] = r
+        print(
+            f"{position.label:>18} {r['credits']:>9.1f} {r['avg']:>7.2f}s "
+            f"{r['p99']:>7.1f}s {r['cold']:>10.1%}"
+        )
+    print()
+    cheap = results[SliderPosition.LOWEST_COST]
+    fast = results[SliderPosition.BEST_PERFORMANCE]
+    print(
+        f"moving the slider from Best Performance to Lowest Cost cuts the bill by "
+        f"{1 - cheap['credits'] / fast['credits']:.1%} and slows average dashboards by "
+        f"{cheap['avg'] / fast['avg'] - 1:.1%}"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,83 @@
+"""Warehouse consolidation analysis (paper §1's optimization catalogue).
+
+Scenario: an organization where three teams each provisioned their own
+Medium warehouse.  Team A and Team B run light, interleaving traffic all
+day — individually each warehouse pays a full auto-suspend tail per query;
+together they would keep one warehouse continuously warm.  Team C runs a
+heavy nightly batch that genuinely needs its own capacity.
+
+The advisor fits the cost model on each warehouse's telemetry, what-ifs
+every pairwise merge, and recommends only the merges that save credits
+without exceeding the latency tolerance.
+
+Run:  python examples/consolidation_advisor.py
+"""
+
+from repro import Account, WarehouseConfig, WarehouseSize
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.consolidation import ConsolidationAdvisor
+from repro.warehouse.api import CloudWarehouseClient
+from repro.workloads import AdhocWorkload, EtlWorkload
+
+
+def main() -> None:
+    account = Account(name="multi-team", seed=91)
+    for team in ("TEAM_A_WH", "TEAM_B_WH", "TEAM_C_WH"):
+        account.create_warehouse(
+            team,
+            WarehouseConfig(size=WarehouseSize.M, auto_suspend_seconds=300.0, max_clusters=2),
+        )
+
+    registry = RngRegistry(92)
+    # Teams A and B: light all-day dashboards/queries that interleave.
+    for team, stream in (("TEAM_A_WH", "a"), ("TEAM_B_WH", "b")):
+        light = AdhocWorkload.synthesize(
+            registry.stream(f"workload.{stream}"),
+            n_templates=10,
+            peak_rate_per_hour=12.0,
+            base_rate_per_hour=4.0,
+            spike_probability_per_day=0.0,
+            month_end_boost=1.0,
+        )
+        account.schedule_workload(team, light.generate(Window(0, 3 * DAY)))
+    # Team C: heavy nightly ETL.
+    etl = EtlWorkload.synthesize(
+        registry.stream("workload.c"),
+        n_pipelines=3,
+        steps_per_pipeline=6,
+        launches_per_day=1,
+        base_work_range=(300.0, 900.0),
+    )
+    account.schedule_workload("TEAM_C_WH", etl.generate(Window(0, 3 * DAY)))
+    account.run_until(3 * DAY + HOUR)
+
+    client = CloudWarehouseClient(account, actor="keebo")
+    window = Window(0, 3 * DAY)
+    print("current spend per warehouse:")
+    for team in ("TEAM_A_WH", "TEAM_B_WH", "TEAM_C_WH"):
+        print(f"  {team}: {client.credits_in_window(team, window):8.1f} credits")
+    print()
+
+    advisor = ConsolidationAdvisor(client, max_latency_factor=1.15)
+    recommendations = advisor.analyze(
+        ["TEAM_A_WH", "TEAM_B_WH", "TEAM_C_WH"], window
+    )
+    if not recommendations:
+        print("no profitable, latency-safe merges found")
+        return
+    print("recommended consolidations (best first):")
+    for rec in recommendations:
+        print(f"  {rec.describe()}")
+        for team, factor in rec.latency_factors.items():
+            print(f"      {team}: predicted avg latency x{factor:.2f}")
+    best = recommendations[0]
+    print()
+    print(
+        f"top recommendation saves {best.savings_credits:.1f} credits "
+        f"({best.savings_fraction:.1%}) over this 3-day window"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+"""Quickstart: optimize one warehouse end to end.
+
+Builds a simulated account with an over-provisioned warehouse, drives three
+days of analyst traffic, onboards Keebo Warehouse Optimization, runs three
+more days, and prints the before/after dashboard plus the value-based
+invoice.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import Account, KeeboService, OptimizerConfig, WarehouseConfig, WarehouseSize
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, Window
+from repro.portal import render_savings, savings_dashboard
+from repro.warehouse.api import CloudWarehouseClient
+from repro.workloads import make_unpredictable_workload
+
+
+def main() -> None:
+    # 1. A customer account with one over-provisioned warehouse: X-Large,
+    #    a one-hour auto-suspend, up to 4 clusters.
+    account = Account(name="acme", seed=7, price_per_credit=3.0)
+    account.create_warehouse(
+        "ANALYTICS_WH",
+        WarehouseConfig(size=WarehouseSize.XL, auto_suspend_seconds=3600.0, max_clusters=4),
+    )
+
+    # 2. Six days of spiky analyst traffic (arrivals are scheduled up front;
+    #    the discrete-event simulator executes them as time advances).
+    workload = make_unpredictable_workload(RngRegistry(11))
+    account.schedule_workload("ANALYTICS_WH", workload.generate(Window(0, 6 * DAY)))
+
+    # 3. Run three days without Keebo -- this is the baseline period.
+    account.run_until(3 * DAY)
+
+    # 4. Onboard KWO: it reads telemetry, fits the cost model, trains the
+    #    smart model offline, and starts the real-time decision loop.
+    service = KeeboService(account, fee_fraction=0.3)
+    optimizer = service.onboard_warehouse(
+        "ANALYTICS_WH",
+        config=OptimizerConfig(onboarding_episodes=6, retrain_episodes=0, confidence_tau=0.0),
+    )
+
+    # 5. Run three optimized days.
+    account.run_until(6 * DAY)
+
+    # 6. Inspect the results the way a customer would: daily dashboard,
+    #    savings estimate, and the value-based invoice.
+    client = CloudWarehouseClient(account)
+    dashboard = savings_dashboard(client, "ANALYTICS_WH", Window(0, 6 * DAY), 3 * DAY)
+    print(render_savings(dashboard))
+    print()
+    invoice = service.invoice("ANALYTICS_WH", Window(3 * DAY, 6 * DAY))
+    print(f"estimated without-Keebo cost: {invoice.without_keebo_credits:8.1f} credits")
+    print(f"actual with-Keebo cost:       {invoice.with_keebo_credits:8.1f} credits")
+    print(f"savings:                      {invoice.savings_credits:8.1f} credits")
+    print(f"Keebo fee (30% of savings):   ${invoice.fee_dollars:8.2f}")
+    print(f"customer net benefit:         ${invoice.customer_net_benefit_dollars:8.2f}")
+    print()
+    print(f"decision mix: {optimizer.decision_counts()}")
+
+
+if __name__ == "__main__":
+    main()

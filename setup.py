@@ -1,0 +1,7 @@
+"""Setup shim: the offline environment lacks the `wheel` package, so PEP 660
+editable installs fail; this file enables pip's legacy `setup.py develop`
+path.  All real metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

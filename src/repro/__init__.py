@@ -1,0 +1,59 @@
+"""repro — a full reproduction of "Making Data Clouds Smarter at Keebo:
+Automated Warehouse Optimization using Data Learning" (SIGMOD-Companion '23).
+
+The package layers four subsystems (see DESIGN.md):
+
+* :mod:`repro.warehouse` — a discrete-event Snowflake-like CDW simulator
+  (the proprietary substrate, rebuilt);
+* :mod:`repro.workloads` — synthetic ETL / BI / ad-hoc workload generators
+  (the production traces, substituted);
+* :mod:`repro.costmodel` — the §5 warehouse cost model (query replay +
+  learned parameter estimation);
+* :mod:`repro.learning` + :mod:`repro.core` — the §6 data-learning stack
+  and the KWO product itself (smart models, constraints, sliders,
+  monitoring, actuator, value-based pricing, Algorithm 1).
+
+Quickstart::
+
+    from repro import Account, KeeboService, WarehouseConfig
+
+    account = Account(seed=7)
+    account.create_warehouse("ANALYTICS_WH", WarehouseConfig())
+    ...  # drive a workload, then:
+    service = KeeboService(account)
+    service.onboard_warehouse("ANALYTICS_WH")
+"""
+
+from repro.core import (
+    ConstraintRule,
+    ConstraintSet,
+    KeeboService,
+    OptimizerConfig,
+    SliderPosition,
+    WarehouseOptimizer,
+)
+from repro.costmodel import WarehouseCostModel
+from repro.warehouse import (
+    Account,
+    CloudWarehouseClient,
+    ScalingPolicy,
+    WarehouseConfig,
+    WarehouseSize,
+)
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "Account",
+    "CloudWarehouseClient",
+    "WarehouseConfig",
+    "WarehouseSize",
+    "ScalingPolicy",
+    "WarehouseCostModel",
+    "KeeboService",
+    "WarehouseOptimizer",
+    "OptimizerConfig",
+    "SliderPosition",
+    "ConstraintRule",
+    "ConstraintSet",
+]

@@ -1,0 +1,57 @@
+"""Shared infrastructure: errors, seeded RNG streams, sim-time helpers, stats.
+
+Everything in :mod:`repro` builds on these primitives.  They are deliberately
+small and dependency-free (numpy only) so that the simulator, the cost model
+and the learning stack agree on time conventions and randomness.
+"""
+
+from repro.common.errors import (
+    ConfigurationError,
+    ConstraintViolationError,
+    InvalidActionError,
+    ReproError,
+    TelemetryError,
+    UnknownWarehouseError,
+    WarehouseError,
+)
+from repro.common.rng import RngRegistry
+from repro.common.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    Window,
+    day_index,
+    day_of_week,
+    format_time,
+    hour_index,
+    hour_of_day,
+    minute_of_day,
+)
+from repro.common.stats import StreamingStats, ewma, percentile, summarize
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "WarehouseError",
+    "UnknownWarehouseError",
+    "InvalidActionError",
+    "ConstraintViolationError",
+    "TelemetryError",
+    "RngRegistry",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "Window",
+    "hour_of_day",
+    "minute_of_day",
+    "day_of_week",
+    "day_index",
+    "hour_index",
+    "format_time",
+    "percentile",
+    "ewma",
+    "StreamingStats",
+    "summarize",
+]

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the repro package.
+
+All library errors derive from :class:`ReproError` so callers can catch one
+base class.  The simulator raises :class:`WarehouseError` subclasses for
+vendor-API-style failures (mirroring how a real CDW client surfaces SQL
+errors); the optimizer raises :class:`ConstraintViolationError` /
+:class:`InvalidActionError` for programming errors in action handling.
+"""
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class WarehouseError(ReproError):
+    """Base class for vendor-API style failures from the CDW simulator."""
+
+
+class UnknownWarehouseError(WarehouseError):
+    """An operation referenced a warehouse name that does not exist."""
+
+    def __init__(self, name: str):
+        super().__init__(f"warehouse {name!r} does not exist")
+        self.name = name
+
+
+class InvalidActionError(ReproError):
+    """An action is malformed or not applicable to the target warehouse."""
+
+
+class ConstraintViolationError(ReproError):
+    """An action would violate a customer constraint that is in force."""
+
+
+class TelemetryError(ReproError):
+    """Telemetry was requested for an invalid window or missing warehouse."""

@@ -1,0 +1,93 @@
+"""Simulation time conventions.
+
+Time is a float number of seconds since the simulation epoch.  The epoch is
+anchored at **Monday 00:00** so calendar-aware logic (business hours,
+weekday constraints, month-end load) is trivially derivable without real
+datetimes.  A simulated "month" is exactly 4 weeks (28 days); workload
+generators that model month-end load use ``day_index(t) % 28``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+MINUTE = 60.0
+HOUR = 3600.0
+DAY = 24 * HOUR
+WEEK = 7 * DAY
+MONTH = 28 * DAY
+
+_WEEKDAYS = ("Mon", "Tue", "Wed", "Thu", "Fri", "Sat", "Sun")
+
+
+def hour_of_day(t: float) -> float:
+    """Fractional hour within the day, in [0, 24)."""
+    return (t % DAY) / HOUR
+
+
+def minute_of_day(t: float) -> float:
+    """Fractional minute within the day, in [0, 1440)."""
+    return (t % DAY) / MINUTE
+
+
+def day_of_week(t: float) -> int:
+    """Weekday index: 0 = Monday ... 6 = Sunday."""
+    return int(t // DAY) % 7
+
+
+def day_index(t: float) -> int:
+    """Whole days elapsed since the epoch (day 0 = first Monday)."""
+    return int(t // DAY)
+
+
+def hour_index(t: float) -> int:
+    """Whole hours elapsed since the epoch (used for hourly billing rollup)."""
+    return int(t // HOUR)
+
+
+def format_time(t: float) -> str:
+    """Human-readable timestamp, e.g. ``'day 3 (Thu) 14:05:09'``."""
+    d = day_index(t)
+    rem = t - d * DAY
+    h = int(rem // HOUR)
+    m = int((rem % HOUR) // MINUTE)
+    s = int(rem % MINUTE)
+    return f"day {d} ({_WEEKDAYS[d % 7]}) {h:02d}:{m:02d}:{s:02d}"
+
+
+@dataclass(frozen=True)
+class Window:
+    """A half-open time interval ``[start, end)`` in simulation seconds."""
+
+    start: float
+    end: float
+
+    def __post_init__(self):
+        if self.end < self.start:
+            raise ValueError(f"window end {self.end} precedes start {self.start}")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def contains(self, t: float) -> bool:
+        return self.start <= t < self.end
+
+    def overlap(self, other: "Window") -> float:
+        """Length of the intersection with ``other`` (0.0 if disjoint)."""
+        return max(0.0, min(self.end, other.end) - max(self.start, other.start))
+
+    def clamp(self, t: float) -> float:
+        """Clamp a timestamp into the window."""
+        return min(max(t, self.start), self.end)
+
+    def split_hours(self) -> list["Window"]:
+        """Split the window at hour boundaries (for hourly billing rollups)."""
+        pieces: list[Window] = []
+        t = self.start
+        while t < self.end:
+            boundary = (hour_index(t) + 1) * HOUR
+            nxt = min(boundary, self.end)
+            pieces.append(Window(t, nxt))
+            t = nxt
+        return pieces

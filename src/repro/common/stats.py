@@ -1,0 +1,88 @@
+"""Small statistics helpers shared by telemetry, monitoring and dashboards."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Percentile of ``values`` with linear interpolation.
+
+    Returns 0.0 for an empty sequence — KPI code treats "no queries" as a
+    zero latency rather than an error, matching dashboard behaviour.
+    """
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile q must be in [0, 100], got {q}")
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return 0.0
+    return float(np.percentile(arr, q))
+
+
+def ewma(values: Iterable[float], alpha: float) -> float:
+    """Exponentially-weighted moving average of a value sequence.
+
+    Returns 0.0 for an empty sequence.
+    """
+    if not 0.0 < alpha <= 1.0:
+        raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+    out = None
+    for v in values:
+        out = v if out is None else alpha * v + (1.0 - alpha) * out
+    return 0.0 if out is None else float(out)
+
+
+@dataclass
+class StreamingStats:
+    """Welford-style streaming mean/variance with min/max tracking."""
+
+    count: int = 0
+    mean: float = 0.0
+    _m2: float = 0.0
+    minimum: float = math.inf
+    maximum: float = -math.inf
+
+    def add(self, value: float) -> None:
+        self.count += 1
+        delta = value - self.mean
+        self.mean += delta / self.count
+        self._m2 += delta * (value - self.mean)
+        self.minimum = min(self.minimum, value)
+        self.maximum = max(self.maximum, value)
+
+    @property
+    def variance(self) -> float:
+        return self._m2 / self.count if self.count > 1 else 0.0
+
+    @property
+    def std(self) -> float:
+        return math.sqrt(self.variance)
+
+    def zscore(self, value: float) -> float:
+        """Z-score of ``value`` against the accumulated distribution.
+
+        A zero-variance stream yields 0.0 (no evidence of anomaly) so spike
+        detectors do not fire on constant histories.
+        """
+        if self.count < 2 or self.std == 0.0:
+            return 0.0
+        return (value - self.mean) / self.std
+
+
+def summarize(values: Sequence[float]) -> dict[str, float]:
+    """Summary dict (count/mean/p50/p95/p99/max) used by dashboards."""
+    arr = np.asarray(list(values), dtype=float)
+    if arr.size == 0:
+        return {"count": 0, "mean": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0, "max": 0.0}
+    return {
+        "count": int(arr.size),
+        "mean": float(arr.mean()),
+        "p50": float(np.percentile(arr, 50)),
+        "p95": float(np.percentile(arr, 95)),
+        "p99": float(np.percentile(arr, 99)),
+        "max": float(arr.max()),
+    }

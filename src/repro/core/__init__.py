@@ -1,0 +1,56 @@
+"""Keebo Warehouse Optimization (KWO) — the paper's core contribution.
+
+Action space, constraint engine, slider mapping, monitoring, actuator,
+smart model, value-based pricing, and the Algorithm-1 optimization loop.
+"""
+
+from repro.core.actions import (
+    CLUSTER_DELTAS,
+    RESIZE_DELTAS,
+    SUSPEND_CHOICES,
+    Action,
+    ActionSpace,
+)
+from repro.core.actuator import Actuator, AppliedAction
+from repro.core.consolidation import ConsolidationAdvisor, ConsolidationRecommendation
+from repro.core.constraints import ConstraintRule, ConstraintSet
+from repro.core.ledger import LedgerEntry, SavingsLedger
+from repro.core.monitoring import Monitor, RealTimeFeedback
+from repro.core.optimizer import KeeboService, OptimizerConfig, WarehouseOptimizer
+from repro.core.policy_advisor import ScalingPolicyAdvisor
+from repro.core.pricing import Invoice, ValueBasedPricing
+from repro.core.registry import CheckpointInfo, ModelRegistry
+from repro.core.sliders import SliderParams, SliderPosition, slider_params
+from repro.core.smart_model import Decision, DecisionKind, SmartModel
+
+__all__ = [
+    "Action",
+    "ActionSpace",
+    "SUSPEND_CHOICES",
+    "RESIZE_DELTAS",
+    "CLUSTER_DELTAS",
+    "ConstraintRule",
+    "ConstraintSet",
+    "SliderPosition",
+    "SliderParams",
+    "slider_params",
+    "Monitor",
+    "RealTimeFeedback",
+    "Actuator",
+    "AppliedAction",
+    "SmartModel",
+    "Decision",
+    "DecisionKind",
+    "ValueBasedPricing",
+    "Invoice",
+    "ModelRegistry",
+    "ScalingPolicyAdvisor",
+    "ConsolidationAdvisor",
+    "ConsolidationRecommendation",
+    "SavingsLedger",
+    "LedgerEntry",
+    "CheckpointInfo",
+    "WarehouseOptimizer",
+    "KeeboService",
+    "OptimizerConfig",
+]

@@ -1,0 +1,86 @@
+"""The actuator (§4.5): translates decided actions into vendor API calls.
+
+The actuator is the only KWO component that issues writes against the CDW.
+It keeps a full log of applied actions (for dashboards, §4.1), knows how to
+*revert* to the customer's original configuration (used on external-change
+conflicts and back-offs), and tells the monitor what configuration it
+expects so external changes are detectable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import WarehouseError
+from repro.core.monitoring import Monitor
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+
+
+@dataclass(frozen=True)
+class AppliedAction:
+    """One entry of the actuator's action log."""
+
+    time: float
+    warehouse: str
+    from_config: WarehouseConfig
+    to_config: WarehouseConfig
+    reason: str
+    succeeded: bool
+    error: str = ""
+
+    @property
+    def changed(self) -> bool:
+        return self.from_config != self.to_config
+
+
+class Actuator:
+    """Applies target configurations through the vendor API."""
+
+    def __init__(self, client: CloudWarehouseClient, warehouse: str, monitor: Monitor):
+        self.client = client
+        self.warehouse = warehouse
+        self.monitor = monitor
+        self.log: list[AppliedAction] = []
+        self.errors = 0
+
+    def apply(self, target: WarehouseConfig, reason: str) -> AppliedAction:
+        """Move the warehouse to ``target``; no-ops are logged but free."""
+        now = self.client.now
+        current = self.client.current_config(self.warehouse)
+        if target == current:
+            entry = AppliedAction(now, self.warehouse, current, current, reason, True)
+            self.log.append(entry)
+            self.monitor.set_expected_config(current)
+            return entry
+        try:
+            self.client.alter_warehouse(
+                self.warehouse,
+                size=target.size,
+                auto_suspend_seconds=target.auto_suspend_seconds,
+                min_clusters=target.min_clusters,
+                max_clusters=target.max_clusters,
+                scaling_policy=target.scaling_policy,
+            )
+            entry = AppliedAction(now, self.warehouse, current, target, reason, True)
+        except WarehouseError as exc:
+            # Report and keep going (§4.5: "reports any errors it encounters").
+            self.errors += 1
+            entry = AppliedAction(
+                now, self.warehouse, current, current, reason, False, error=str(exc)
+            )
+        self.log.append(entry)
+        self.monitor.set_expected_config(self.client.current_config(self.warehouse))
+        return entry
+
+    def revert_to(self, config: WarehouseConfig, reason: str) -> AppliedAction:
+        """Restore a previous configuration (self-correction / conflicts)."""
+        return self.apply(config, reason=f"revert: {reason}")
+
+    @property
+    def last_applied(self) -> AppliedAction | None:
+        return self.log[-1] if self.log else None
+
+    def actions_taken(self) -> list[AppliedAction]:
+        """Only the entries that actually changed the warehouse."""
+        return [a for a in self.log if a.changed and a.succeeded]

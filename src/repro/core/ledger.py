@@ -1,0 +1,83 @@
+"""The savings ledger: Algorithm 1's reporting step (lines 18-19).
+
+The optimization loop doesn't just act — it periodically estimates the
+savings its actions produced (``savings <- cm.estimateSavings(...)``) and
+reports them (``report(action[], feedback[], savings)``).  The ledger is
+that report stream: an append-only series of per-period savings entries the
+dashboards, invoices and the onboarding-curve analysis all read from.
+
+Keeping the ledger inside the loop (rather than recomputing savings ad hoc)
+matters for value-based pricing: the invoice amount is exactly the sum of
+what was reported to the customer, period by period, not a retroactive
+recomputation under a later (possibly refitted) cost model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import Window
+from repro.costmodel.model import SavingsEstimate
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """One reported period."""
+
+    window: Window
+    without_keebo_credits: float
+    with_keebo_credits: float
+    n_actions: int
+    n_backoffs: int
+
+    @property
+    def savings_credits(self) -> float:
+        return self.without_keebo_credits - self.with_keebo_credits
+
+
+@dataclass
+class SavingsLedger:
+    """Append-only per-period savings reports for one warehouse."""
+
+    warehouse: str
+    entries: list[LedgerEntry] = field(default_factory=list)
+
+    def report(
+        self, estimate: SavingsEstimate, n_actions: int, n_backoffs: int
+    ) -> LedgerEntry:
+        if self.entries and estimate.window.start < self.entries[-1].window.end - 1e-9:
+            raise ConfigurationError("ledger periods must not overlap")
+        entry = LedgerEntry(
+            window=estimate.window,
+            without_keebo_credits=estimate.without_keebo_credits,
+            with_keebo_credits=estimate.with_keebo_credits,
+            n_actions=n_actions,
+            n_backoffs=n_backoffs,
+        )
+        self.entries.append(entry)
+        return entry
+
+    # ------------------------------------------------------------- queries
+    def total_savings_credits(self, window: Window | None = None) -> float:
+        return sum(
+            e.savings_credits
+            for e in self.entries
+            if window is None or window.overlap(e.window) > 0
+        )
+
+    def total_billable_credits(self, window: Window | None = None) -> float:
+        """Only positive periods are billable (no savings, no charges)."""
+        return sum(
+            max(e.savings_credits, 0.0)
+            for e in self.entries
+            if window is None or window.overlap(e.window) > 0
+        )
+
+    def series(self) -> list[tuple[float, float]]:
+        """(period end, savings credits) pairs for plotting."""
+        return [(e.window.end, e.savings_credits) for e in self.entries]
+
+    @property
+    def periods_reported(self) -> int:
+        return len(self.entries)

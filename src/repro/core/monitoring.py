@@ -1,0 +1,153 @@
+"""Real-time monitoring (§4.4): the feedback loop that makes KWO safe.
+
+The monitor watches each warehouse for three things:
+
+1. **Impact of KWO's own actions** — recent p99 latency and queueing versus
+   the pre-optimization baseline; when degradation exceeds the slider's
+   tolerance the smart model must back off (Algorithm 1 lines 18-19).
+2. **Workload change** — sudden arrival spikes (Poisson z-score against the
+   baseline's hour-of-day profile) or query shapes never seen in training
+   (unseen template hashes), either of which argues for conservatism.
+3. **External changes** — a human or another tool altering the warehouse
+   under KWO's feet.  The monitor compares the live configuration against
+   what the actuator last set; on mismatch KWO reverts its own action and
+   pauses until the conflict clears (§4.4's devastating-interference
+   example).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.simtime import HOUR, Window
+from repro.common.stats import percentile
+from repro.core.sliders import SliderParams
+from repro.learning.features import WorkloadBaseline
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+
+#: Spilled-query share that forces a back-off.  Spilling is categorical
+#: evidence the warehouse sits below the workload's working set, and the
+#: cost model's log-linear scaling cannot price it — so the bar is low.
+SPILL_BACKOFF_FRACTION = 0.05
+
+
+@dataclass(frozen=True)
+class RealTimeFeedback:
+    """What the monitor reports to the smart model each decision tick."""
+
+    time: float
+    queue_length: int
+    running_queries: int
+    recent_queries: int
+    recent_p99: float
+    latency_ratio: float  # recent p99 / baseline p99
+    mean_queue_seconds: float
+    arrival_zscore: float
+    unseen_template_fraction: float
+    external_change: bool
+    #: What "normal" short-window p99 volatility looked like pre-optimization.
+    baseline_ratio_q99: float = 1.5
+    #: Fraction of recent queries that spilled to storage — a direct signal
+    #: that the current size is below the workload's working set.
+    spill_fraction: float = 0.0
+
+    def needs_backoff(self, params: SliderParams) -> bool:
+        """Degradation beyond the slider's tolerance → revert to safety.
+
+        The latency signal requires a minimum sample (a 15-minute p99 over
+        three queries is dominated by a single heavy query, not by KWO's
+        actions) and a threshold above the workload's own historical p99
+        volatility — otherwise ordinary noise would cause thrashing.
+        """
+        if self.queue_length > 0 and self.mean_queue_seconds > 1.0:
+            return True
+        if self.recent_queries >= 5 and self.spill_fraction > SPILL_BACKOFF_FRACTION:
+            # Widespread spilling means the warehouse is below the working
+            # set: queries are growing super-linearly slower (§5.2) and the
+            # cost model's log-linear scaling under-predicts the damage.
+            return True
+        threshold = max(params.backoff_latency_ratio, 1.1 * self.baseline_ratio_q99)
+        return self.recent_queries >= 5 and self.latency_ratio > threshold
+
+    def spike_detected(self, params: SliderParams) -> bool:
+        return self.arrival_zscore > params.spike_zscore
+
+
+class Monitor:
+    """Per-warehouse monitoring component."""
+
+    def __init__(
+        self,
+        client: CloudWarehouseClient,
+        warehouse: str,
+        baseline: WorkloadBaseline,
+        lookback_seconds: float = 900.0,
+    ):
+        self.client = client
+        self.warehouse = warehouse
+        self.baseline = baseline
+        self.lookback_seconds = lookback_seconds
+        self._expected_config: WarehouseConfig | None = None
+        self._known_templates: set[str] = set()
+
+    # -------------------------------------------------- actuator integration
+    def set_expected_config(self, config: WarehouseConfig) -> None:
+        """The actuator reports what KWO last set; deviations are external."""
+        self._expected_config = config
+
+    def learn_templates(self, template_hashes: set[str]) -> None:
+        """Register templates seen during training (for novelty detection)."""
+        self._known_templates |= template_hashes
+
+    # -------------------------------------------------------------- snapshot
+    def snapshot(self, now: float) -> RealTimeFeedback:
+        window = Window(max(0.0, now - self.lookback_seconds), now)
+        records = self.client.query_history(self.warehouse, window)
+        info = self.client.describe_warehouse(self.warehouse)
+        latencies = [r.total_seconds for r in records]
+        p99 = percentile(latencies, 99)
+        queue_mean = (
+            float(np.mean([r.queued_seconds for r in records])) if records else 0.0
+        )
+        expected = self.baseline.expected_arrivals_per_hour(now) * (
+            self.lookback_seconds / HOUR
+        )
+        observed = len(records)
+        if expected > 0.5:
+            zscore = (observed - expected) / math.sqrt(expected)
+        else:
+            # No historical traffic at this hour: any activity is "new",
+            # but a couple of queries is not a spike.
+            zscore = 0.0 if observed <= 2 else float(observed)
+        if records and self._known_templates:
+            unseen = sum(
+                1 for r in records if r.template_hash not in self._known_templates
+            )
+            unseen_fraction = unseen / len(records)
+        else:
+            unseen_fraction = 0.0
+        external = (
+            self._expected_config is not None and info.config != self._expected_config
+        )
+        return RealTimeFeedback(
+            time=now,
+            queue_length=info.queue_length,
+            running_queries=info.running_queries,
+            recent_queries=observed,
+            recent_p99=p99,
+            latency_ratio=p99 / self.baseline.p99_latency if latencies else 0.0,
+            mean_queue_seconds=queue_mean,
+            arrival_zscore=float(zscore),
+            unseen_template_fraction=unseen_fraction,
+            external_change=external,
+            baseline_ratio_q99=self.baseline.window_p99_ratio_q99,
+            spill_fraction=(
+                sum(1 for r in records if r.bytes_spilled > 0) / len(records)
+                if records
+                else 0.0
+            ),
+        )

@@ -1,0 +1,378 @@
+"""The warehouse optimizer: Algorithm 1, end to end.
+
+:class:`WarehouseOptimizer` is the per-warehouse control loop.  Onboarding
+(§4.2, "data learning") reads the warehouse's recent telemetry, fits the
+cost model, reconstructs a training environment and trains the DQN smart
+model offline.  The optimizer then registers a periodic controller on the
+account's event loop and, every ``decision_interval`` (the paper's
+``T_realtime``), gathers real-time feedback, asks the smart model for the
+next action and applies it through the actuator.  Every
+``retrain_interval`` (the paper's ``T``) it re-fits the models on the
+accumulated telemetry (Algorithm 1 lines 13-16).
+
+:class:`KeeboService` is the managed-product facade: one smart model per
+warehouse (never shared across warehouses or customers — C5/C6), slider
+updates without retraining, constraint management, savings reporting and
+value-based invoicing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError, UnknownWarehouseError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.actions import ActionSpace
+from repro.core.actuator import Actuator
+from repro.core.constraints import ConstraintSet
+from repro.core.ledger import SavingsLedger
+from repro.core.monitoring import Monitor
+from repro.core.policy_advisor import ScalingPolicyAdvisor
+from repro.core.pricing import Invoice, ValueBasedPricing
+from repro.core.registry import ModelRegistry
+from repro.core.sliders import SliderPosition, slider_params
+from repro.core.smart_model import Decision, DecisionKind, SmartModel
+from repro.costmodel.model import SavingsEstimate, WarehouseCostModel
+from repro.learning.agent import DQNAgent, DQNConfig
+from repro.learning.env import WarehouseEnv, reconstruct_workload
+from repro.learning.features import FEATURE_DIM, FeatureExtractor, WorkloadBaseline
+from repro.learning.trainer import OfflineTrainer, TrainingReport
+from repro.warehouse.account import Account
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.telemetry import WarehouseEvent
+
+
+@dataclass
+class OptimizerConfig:
+    """Knobs of the optimization loop itself (not of the warehouse)."""
+
+    #: Paper's ``T_realtime``: seconds between decisions.
+    decision_interval: float = 600.0
+    #: Paper's ``T``: seconds between model refreshes.
+    retrain_interval: float = 24 * HOUR
+    #: Telemetry history used for onboarding training.
+    training_window: float = 3 * DAY
+    #: Training episodes at onboarding.
+    onboarding_episodes: int = 6
+    #: Fine-tuning episodes per periodic retrain (0 = refit cost model only).
+    retrain_episodes: int = 1
+    #: Episode length for training (shorter slices -> more resets/episodes).
+    episode_length: float = 1 * DAY
+    #: Seconds between savings reports to the ledger (Algorithm 1 line 18).
+    report_interval: float = 4 * HOUR
+    #: Time constant (seconds) of the onboarding confidence ramp: the smart
+    #: model's permitted aggressiveness grows as 1 - exp(-t/τ) after
+    #: onboarding (0 disables).  The default reproduces the paper's observed
+    #: 50/70/95%-of-eventual-savings at roughly 20/43/83 hours.
+    confidence_tau: float = 30 * HOUR
+    agent: DQNConfig = field(default_factory=DQNConfig)
+
+    def __post_init__(self):
+        if self.decision_interval <= 0 or self.retrain_interval <= 0:
+            raise ConfigurationError("intervals must be positive")
+        if self.training_window < self.episode_length:
+            raise ConfigurationError("training window shorter than one episode")
+
+
+class WarehouseOptimizer:
+    """Algorithm 1 for one warehouse."""
+
+    def __init__(
+        self,
+        account: Account,
+        warehouse: str,
+        slider: SliderPosition = SliderPosition.BALANCED,
+        constraints: ConstraintSet | None = None,
+        config: OptimizerConfig | None = None,
+        registry: ModelRegistry | None = None,
+    ):
+        self.account = account
+        self.warehouse = warehouse
+        self.client = CloudWarehouseClient(account, actor="keebo")
+        self.params = slider_params(slider)
+        self.constraints = constraints or ConstraintSet()
+        self.config = config or OptimizerConfig()
+        self.registry = registry
+        self.onboarded = False
+        self.paused = False
+        self.decisions: list[Decision] = []
+        self.training_reports: list[TrainingReport] = []
+        self.ledger = SavingsLedger(warehouse)
+        self._last_retrain = -1e18
+        self._last_report = -1e18
+        self._decisions_at_last_report = 0
+        self._controller = None
+        # Populated at onboarding:
+        self.cost_model: WarehouseCostModel | None = None
+        self.smart_model: SmartModel | None = None
+        self.actuator: Actuator | None = None
+        self.monitor: Monitor | None = None
+        self.agent: DQNAgent | None = None
+        self.baseline: WorkloadBaseline | None = None
+        self.action_space: ActionSpace | None = None
+        self.policy_advisor = ScalingPolicyAdvisor(self.params)
+
+    # ------------------------------------------------------------ onboarding
+    def onboard(self) -> TrainingReport:
+        """Fit models on recent telemetry and start the decision loop."""
+        now = self.account.sim.now
+        history = Window(max(0.0, now - self.config.training_window), now)
+        records = self.client.query_history(self.warehouse, history)
+        if not records:
+            raise ConfigurationError(
+                f"cannot onboard {self.warehouse!r}: no telemetry in the last "
+                f"{self.config.training_window / DAY:.1f} days"
+            )
+        original = self.account.telemetry.original_config(self.warehouse, before=now)
+        self.action_space = ActionSpace(
+            original, max_size_headroom=self.params.max_upsize_steps
+        )
+        self.baseline = WorkloadBaseline.fit(records)
+        self.cost_model = WarehouseCostModel(self.client, self.warehouse).fit(history)
+        self.monitor = Monitor(self.client, self.warehouse, self.baseline)
+        self.monitor.learn_templates({r.template_hash for r in records})
+        self.monitor.set_expected_config(self.client.current_config(self.warehouse))
+        self.actuator = Actuator(self.client, self.warehouse, self.monitor)
+        self.agent = DQNAgent(
+            FEATURE_DIM,
+            len(self.action_space),
+            self.config.agent,
+            self.account.rngs.stream(f"keebo.agent.{self.warehouse}"),
+        )
+        features = FeatureExtractor(self.baseline, original)
+        self.smart_model = SmartModel(
+            self.client,
+            self.warehouse,
+            self.agent,
+            self.action_space,
+            features,
+            self.cost_model,
+            self.constraints,
+            self.params,
+            self.config.decision_interval,
+        )
+        if self.config.confidence_tau > 0:
+            self.smart_model.set_confidence_ramp(now, self.config.confidence_tau)
+        restored = self._try_restore_checkpoint()
+        if restored:
+            # A checkpointed model resumes where it left off: a quick
+            # fine-tune instead of a full onboarding run.
+            report = self._train(records, history, self.config.retrain_episodes)
+        else:
+            report = self._train(records, history, self.config.onboarding_episodes)
+        self._save_checkpoint()
+        self.training_reports.append(report)
+        self._last_retrain = now
+        self._controller = self.account.sim.add_controller(
+            self.config.decision_interval, self._tick, start=now + self.config.decision_interval
+        )
+        self.onboarded = True
+        self._last_report = now
+        self.account.telemetry.record_event(
+            WarehouseEvent(now, self.warehouse, "keebo_onboarded", "keebo", {})
+        )
+        return report
+
+    def _try_restore_checkpoint(self) -> bool:
+        """Load a previously saved smart model, if one is compatible."""
+        if self.registry is None:
+            return False
+        if self.registry.info(self.account.name, self.warehouse) is None:
+            return False
+        try:
+            self.registry.load_into(self.account.name, self.warehouse, self.agent)
+        except ConfigurationError:
+            return False  # incompatible shapes: train fresh
+        return True
+
+    def _save_checkpoint(self) -> None:
+        if self.registry is not None:
+            self.registry.save(
+                self.account.name,
+                self.warehouse,
+                self.agent,
+                slider_position=int(self.params.position),
+            )
+
+    def _train(self, records, history: Window, episodes: int) -> TrainingReport:
+        """Offline DRL training on the telemetry-reconstructed workload."""
+        if episodes <= 0:
+            return TrainingReport()
+        requests = reconstruct_workload(records, self.cost_model.latency_model)
+        original = self.action_space.original
+        # Train on the most recent episode-length slice; each episode
+        # re-simulates it under a different seed.
+        episode_start = max(history.start, history.end - self.config.episode_length)
+        env = WarehouseEnv(
+            requests,
+            original,
+            self.baseline,
+            self.action_space,
+            self.params.reward_config(),
+            Window(episode_start, history.end),
+            decision_interval=self.config.decision_interval,
+            # Full confidence during offline training: the ramp gates live
+            # rollout only (see SmartModel._admissible_mask).
+            mask_fn=lambda t, cfg: self.smart_model._admissible_mask(
+                t, cfg, confidence=1.0
+            ),
+            seed=self.account.rngs.spawn_seed(f"keebo.env.{self.warehouse}"),
+        )
+        return OfflineTrainer(self.agent, env).run(episodes)
+
+    # ------------------------------------------------------------------ loop
+    def _tick(self, now: float) -> None:
+        if not self.onboarded:
+            return
+        if self.paused:
+            return
+        if now - self._last_retrain >= self.config.retrain_interval:
+            self._retrain(now)
+        if now - self._last_report >= self.config.report_interval:
+            self._report_savings(now)
+        feedback = self.monitor.snapshot(now)
+        decision = self.smart_model.next_action(now, feedback)
+        self.decisions.append(decision)
+        if decision.kind == DecisionKind.EXTERNAL_CONFLICT:
+            self._handle_external_conflict(now)
+            return
+        current = self.client.current_config(self.warehouse)
+        if decision.target != current:
+            self.actuator.apply(decision.target, reason=f"{decision.kind.value}: {decision.reason}")
+        self._advise_scaling_policy(now, feedback)
+
+    def _advise_scaling_policy(self, now: float, feedback) -> None:
+        """Tune the categorical STANDARD/ECONOMY knob (outside the DQN's
+        numeric action lattice; see repro.core.policy_advisor)."""
+        config = self.client.current_config(self.warehouse)
+        policy = self.policy_advisor.recommend(now, config, feedback)
+        if policy is None or policy == config.scaling_policy:
+            return
+        target = config.with_changes(scaling_policy=policy)
+        if self.constraints.permits(now, config, target):
+            self.actuator.apply(target, reason=f"policy advisor: {policy.value}")
+
+    def _retrain(self, now: float) -> None:
+        """Periodic refresh (Algorithm 1 lines 13-16)."""
+        history = Window(max(0.0, now - self.config.training_window), now)
+        self.cost_model.fit(history)
+        records = self.client.query_history(self.warehouse, history)
+        if records:
+            self.baseline = WorkloadBaseline.fit(records)
+            self.monitor.baseline = self.baseline
+            self.monitor.learn_templates({r.template_hash for r in records})
+            self.smart_model.features.baseline = self.baseline
+            if self.config.retrain_episodes > 0:
+                self.training_reports.append(
+                    self._train(records, history, self.config.retrain_episodes)
+                )
+                self._save_checkpoint()
+        self._last_retrain = now
+
+    def _report_savings(self, now: float) -> None:
+        """Algorithm 1 lines 18-19: estimate and report period savings."""
+        period = Window(max(0.0, self._last_report), now)
+        if period.duration <= 0:
+            self._last_report = now
+            return
+        estimate = self.cost_model.estimate_savings(period)
+        recent = self.decisions[self._decisions_at_last_report:]
+        self.ledger.report(
+            estimate,
+            n_actions=sum(1 for d in recent if d.kind == DecisionKind.LEARNED),
+            n_backoffs=sum(1 for d in recent if d.kind == DecisionKind.BACKOFF),
+        )
+        self._decisions_at_last_report = len(self.decisions)
+        self._last_report = now
+
+    def _handle_external_conflict(self, now: float) -> None:
+        """§4.4: revert our own pending changes and pause until told."""
+        live = self.client.current_config(self.warehouse)
+        self.monitor.set_expected_config(live)  # accept the external state
+        self.paused = True
+        self.account.telemetry.record_event(
+            WarehouseEvent(
+                now, self.warehouse, "keebo_paused", "keebo", {"cause": "external change"}
+            )
+        )
+
+    def resume_optimizations(self) -> None:
+        """Admin explicitly re-enables optimization after a conflict."""
+        self.paused = False
+        self.monitor.set_expected_config(self.client.current_config(self.warehouse))
+
+    def shutdown(self) -> None:
+        if self._controller is not None:
+            self._controller.stop()
+
+    # ------------------------------------------------------------- reporting
+    def set_slider(self, slider: SliderPosition) -> None:
+        self.params = slider_params(slider)
+        if self.smart_model is not None:
+            self.smart_model.set_slider(self.params)
+        self.policy_advisor.set_slider(self.params)
+
+    def estimate_savings(self, window: Window) -> SavingsEstimate:
+        if self.cost_model is None:
+            raise ConfigurationError("optimizer not onboarded")
+        return self.cost_model.estimate_savings(window)
+
+    def decision_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for d in self.decisions:
+            counts[d.kind.value] = counts.get(d.kind.value, 0) + 1
+        return counts
+
+
+class KeeboService:
+    """The managed SaaS facade over one customer account."""
+
+    def __init__(
+        self,
+        account: Account,
+        fee_fraction: float = 0.3,
+        registry: ModelRegistry | None = None,
+    ):
+        self.account = account
+        self.pricing = ValueBasedPricing(fee_fraction, account.price_per_credit)
+        self.registry = registry
+        self.optimizers: dict[str, WarehouseOptimizer] = {}
+
+    def onboard_warehouse(
+        self,
+        warehouse: str,
+        slider: SliderPosition = SliderPosition.BALANCED,
+        constraints: ConstraintSet | None = None,
+        config: OptimizerConfig | None = None,
+    ) -> WarehouseOptimizer:
+        """Attach KWO to one warehouse (a separate smart model per warehouse)."""
+        if warehouse not in self.account.warehouses:
+            raise UnknownWarehouseError(warehouse)
+        if warehouse in self.optimizers:
+            raise ConfigurationError(f"{warehouse!r} is already being optimized")
+        optimizer = WarehouseOptimizer(
+            self.account, warehouse, slider, constraints, config, registry=self.registry
+        )
+        optimizer.onboard()
+        self.optimizers[warehouse] = optimizer
+        return optimizer
+
+    def optimizer(self, warehouse: str) -> WarehouseOptimizer:
+        try:
+            return self.optimizers[warehouse]
+        except KeyError:
+            raise UnknownWarehouseError(warehouse) from None
+
+    def set_slider(self, warehouse: str, slider: SliderPosition) -> None:
+        self.optimizer(warehouse).set_slider(slider)
+
+    def invoice(self, warehouse: str, window: Window) -> Invoice:
+        estimate = self.optimizer(warehouse).estimate_savings(window)
+        return self.pricing.invoice(warehouse, estimate)
+
+    def invoices(self, window: Window) -> list[Invoice]:
+        return [self.invoice(name, window) for name in sorted(self.optimizers)]
+
+    def shutdown(self) -> None:
+        for optimizer in self.optimizers.values():
+            optimizer.shutdown()

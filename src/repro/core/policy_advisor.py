@@ -1,0 +1,94 @@
+"""Scale-out policy optimization (§3 "warehouse parallelism").
+
+Snowflake's multi-cluster warehouses offer two dynamic scale-out policies:
+STANDARD (scale out as soon as anything queues) and ECONOMY (only scale out
+for sustained load, keeping clusters full).  The policy is a categorical
+knob, so it lives outside the smart model's numeric action lattice; this
+advisor tunes it deterministically from the same inputs the smart model
+uses — the slider and real-time queueing evidence:
+
+* performance-leaning sliders always run STANDARD (queueing is the one
+  thing those customers will not tolerate);
+* cost-leaning sliders move to ECONOMY once queueing has stayed negligible
+  for a full observation streak, and snap back to STANDARD the moment real
+  queueing appears (self-correction, same spirit as §4.4);
+* single-cluster warehouses are left alone — the policy only matters when
+  scale-out can happen.
+
+Policy flips re-provision nothing (no cache loss), but a dwell time avoids
+oscillation at the decision boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.monitoring import RealTimeFeedback
+from repro.core.sliders import SliderParams, SliderPosition
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import ScalingPolicy
+
+#: Queue evidence thresholds (seconds of mean queueing over the lookback).
+QUIET_QUEUE_SECONDS = 0.2
+NOISY_QUEUE_SECONDS = 1.0
+#: Consecutive quiet observations required before ECONOMY engages.
+QUIET_STREAK_REQUIRED = 12
+#: Minimum time between policy flips.
+POLICY_DWELL_SECONDS = 2 * 3600.0
+
+
+@dataclass
+class ScalingPolicyAdvisor:
+    """Recommends STANDARD/ECONOMY per decision tick."""
+
+    params: SliderParams
+    _quiet_streak: int = 0
+    _last_flip: float = field(default=-1e18)
+
+    def set_slider(self, params: SliderParams) -> None:
+        self.params = params
+        self._quiet_streak = 0
+
+    def recommend(
+        self, now: float, config: WarehouseConfig, feedback: RealTimeFeedback
+    ) -> ScalingPolicy | None:
+        """The policy to set now, or ``None`` to keep the current one."""
+        if config.max_clusters <= 1:
+            return None
+        if self.params.position >= SliderPosition.GOOD_PERFORMANCE:
+            # Performance-leaning: STANDARD, immediately and always.
+            if config.scaling_policy != ScalingPolicy.STANDARD:
+                return self._flip(now, ScalingPolicy.STANDARD)
+            return None
+
+        queueing = feedback.queue_length > 0 or (
+            feedback.mean_queue_seconds > NOISY_QUEUE_SECONDS
+        )
+        quiet = (
+            feedback.queue_length == 0
+            and feedback.mean_queue_seconds <= QUIET_QUEUE_SECONDS
+        )
+        if queueing:
+            self._quiet_streak = 0
+            # Snap back to STANDARD regardless of dwell: queueing is the
+            # failure mode ECONOMY risks, and C4 says performance first.
+            if config.scaling_policy == ScalingPolicy.ECONOMY:
+                return self._flip(now, ScalingPolicy.STANDARD, force=True)
+            return None
+        if quiet:
+            self._quiet_streak += 1
+        if (
+            config.scaling_policy == ScalingPolicy.STANDARD
+            and self._quiet_streak >= QUIET_STREAK_REQUIRED
+        ):
+            return self._flip(now, ScalingPolicy.ECONOMY)
+        return None
+
+    def _flip(
+        self, now: float, policy: ScalingPolicy, force: bool = False
+    ) -> ScalingPolicy | None:
+        if not force and now - self._last_flip < POLICY_DWELL_SECONDS:
+            return None
+        self._last_flip = now
+        self._quiet_streak = 0
+        return policy

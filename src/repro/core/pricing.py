@@ -1,0 +1,64 @@
+"""Value-based pricing (§4.7): customers pay a share of realized savings.
+
+The invoice for a period charges ``fee_fraction`` of the cost model's
+estimated savings, floored at zero ("no savings, no charges" — C1's
+zero-downside requirement).  Negative savings (the optimizer cost money)
+are never billed and are surfaced explicitly so dashboards can show them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import Window
+from repro.costmodel.model import SavingsEstimate
+
+
+@dataclass(frozen=True)
+class Invoice:
+    """One billing line for one warehouse and period."""
+
+    warehouse: str
+    window: Window
+    without_keebo_credits: float
+    with_keebo_credits: float
+    savings_credits: float
+    fee_fraction: float
+    price_per_credit: float
+
+    @property
+    def billable_savings_credits(self) -> float:
+        return max(self.savings_credits, 0.0)
+
+    @property
+    def fee_dollars(self) -> float:
+        return self.billable_savings_credits * self.price_per_credit * self.fee_fraction
+
+    @property
+    def customer_net_benefit_dollars(self) -> float:
+        """What the customer keeps after Keebo's fee."""
+        return self.savings_credits * self.price_per_credit - self.fee_dollars
+
+
+class ValueBasedPricing:
+    """Turns savings estimates into invoices."""
+
+    def __init__(self, fee_fraction: float = 0.3, price_per_credit: float = 3.0):
+        if not 0.0 <= fee_fraction <= 1.0:
+            raise ConfigurationError("fee_fraction must be within [0, 1]")
+        if price_per_credit <= 0:
+            raise ConfigurationError("price_per_credit must be positive")
+        self.fee_fraction = fee_fraction
+        self.price_per_credit = price_per_credit
+
+    def invoice(self, warehouse: str, estimate: SavingsEstimate) -> Invoice:
+        return Invoice(
+            warehouse=warehouse,
+            window=estimate.window,
+            without_keebo_credits=estimate.without_keebo_credits,
+            with_keebo_credits=estimate.with_keebo_credits,
+            savings_credits=estimate.savings_credits,
+            fee_fraction=self.fee_fraction,
+            price_per_credit=self.price_per_credit,
+        )

@@ -1,0 +1,139 @@
+"""Per-warehouse smart-model persistence.
+
+The paper's smart models are long-lived, per-warehouse assets: they keep
+improving across retrains and "are never shared or used for other
+customers" (§4.2).  The registry gives them a durable home so a managed
+service can restart without retraining from scratch:
+
+* agent weights are stored as ``.npz`` archives keyed by
+  ``(account, warehouse)``;
+* each checkpoint carries metadata (training episodes seen, feature/action
+  dimensions, slider at save time) that is validated on load — restoring a
+  checkpoint into an incompatible agent is an error, not a silent corruption;
+* the isolation rule is structural: a registry lookup requires the exact
+  account *and* warehouse key, and listing is scoped per account.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.learning.agent import DQNAgent
+
+
+@dataclass(frozen=True)
+class CheckpointInfo:
+    """Metadata stored alongside each weight archive."""
+
+    account: str
+    warehouse: str
+    state_dim: int
+    n_actions: int
+    train_steps: int
+    slider_position: int
+    saved_at_unix: float
+
+    def to_json(self) -> str:
+        return json.dumps(self.__dict__, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "CheckpointInfo":
+        return cls(**json.loads(text))
+
+
+class ModelRegistry:
+    """Filesystem-backed store of per-warehouse agent checkpoints."""
+
+    def __init__(self, root: str | pathlib.Path):
+        self.root = pathlib.Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    # ----------------------------------------------------------------- paths
+    @staticmethod
+    def _slug(name: str) -> str:
+        safe = "".join(c if c.isalnum() or c in "-_" else "_" for c in name)
+        if not safe:
+            raise ConfigurationError(f"cannot derive a storage key from {name!r}")
+        return safe
+
+    def _paths(self, account: str, warehouse: str) -> tuple[pathlib.Path, pathlib.Path]:
+        base = self.root / self._slug(account)
+        return base / f"{self._slug(warehouse)}.npz", base / f"{self._slug(warehouse)}.json"
+
+    # ------------------------------------------------------------------ save
+    def save(
+        self,
+        account: str,
+        warehouse: str,
+        agent: DQNAgent,
+        slider_position: int = 3,
+    ) -> CheckpointInfo:
+        """Checkpoint ``agent``'s online weights (atomically per file pair)."""
+        weights_path, meta_path = self._paths(account, warehouse)
+        weights_path.parent.mkdir(parents=True, exist_ok=True)
+        params = agent.snapshot()
+        np.savez(weights_path, *params)
+        info = CheckpointInfo(
+            account=account,
+            warehouse=warehouse,
+            state_dim=agent.online.input_dim,
+            n_actions=agent.n_actions,
+            train_steps=agent.train_steps,
+            slider_position=slider_position,
+            saved_at_unix=time.time(),
+        )
+        meta_path.write_text(info.to_json())
+        return info
+
+    # ------------------------------------------------------------------ load
+    def info(self, account: str, warehouse: str) -> CheckpointInfo | None:
+        _, meta_path = self._paths(account, warehouse)
+        if not meta_path.exists():
+            return None
+        return CheckpointInfo.from_json(meta_path.read_text())
+
+    def load_into(self, account: str, warehouse: str, agent: DQNAgent) -> CheckpointInfo:
+        """Restore a checkpoint into ``agent`` (online and target nets)."""
+        weights_path, _ = self._paths(account, warehouse)
+        info = self.info(account, warehouse)
+        if info is None or not weights_path.exists():
+            raise ConfigurationError(
+                f"no checkpoint for warehouse {warehouse!r} of account {account!r}"
+            )
+        if info.state_dim != agent.online.input_dim or info.n_actions != agent.n_actions:
+            raise ConfigurationError(
+                f"checkpoint shape ({info.state_dim}, {info.n_actions}) does not match "
+                f"agent ({agent.online.input_dim}, {agent.n_actions})"
+            )
+        with np.load(weights_path) as archive:
+            params = [archive[key] for key in sorted(archive.files, key=_array_index)]
+        agent.restore(params)
+        return info
+
+    # ------------------------------------------------------------------ list
+    def warehouses(self, account: str) -> list[str]:
+        """Checkpointed warehouses of one account (isolation boundary)."""
+        base = self.root / self._slug(account)
+        if not base.exists():
+            return []
+        return sorted(p.stem for p in base.glob("*.json"))
+
+    def delete(self, account: str, warehouse: str) -> bool:
+        """Remove a checkpoint; returns whether anything existed."""
+        weights_path, meta_path = self._paths(account, warehouse)
+        existed = weights_path.exists() or meta_path.exists()
+        weights_path.unlink(missing_ok=True)
+        meta_path.unlink(missing_ok=True)
+        return existed
+
+
+def _array_index(key: str) -> int:
+    """np.savez names positional arrays 'arr_0', 'arr_1', ... — sort by index
+    so layer order survives the roundtrip past 'arr_9'."""
+    return int(key.split("_")[1])

@@ -1,0 +1,147 @@
+"""The cost/performance slider (§4.1 "Sliders", evaluated in §7.4).
+
+One slider per warehouse with five positions from "Best Performance" to
+"Lowest Cost".  The paper's salient point is that the single slider maps
+internally to *all* the learning hyper-parameters at once, so the customer
+never reasons about individual optimizations.  Our mapping controls:
+
+* the reward's latency-penalty weight λ (dominant during DRL training);
+* the guardrail ceiling on the cost model's predicted latency factor for a
+  candidate action (how much predicted slowdown an action may cause);
+* the floor on the auto-suspend interval (aggressive suspension is the
+  first thing a performance-leaning customer wants disabled);
+* how trigger-happy the monitor's back-off is (spike z-score threshold);
+* extra size headroom kept above the learned choice.
+
+Changing the slider re-calibrates decisions without retraining (§4.3): the
+guardrails and penalties shift, the same Q-function is reused.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.learning.reward import RewardConfig
+
+
+class SliderPosition(enum.IntEnum):
+    """Five positions, ordered from cheapest to fastest."""
+
+    LOWEST_COST = 1
+    LOW_COST = 2
+    BALANCED = 3
+    GOOD_PERFORMANCE = 4
+    BEST_PERFORMANCE = 5
+
+    @property
+    def label(self) -> str:
+        return {
+            SliderPosition.LOWEST_COST: "Lowest Cost",
+            SliderPosition.LOW_COST: "Low Cost",
+            SliderPosition.BALANCED: "Balanced",
+            SliderPosition.GOOD_PERFORMANCE: "Good Performance",
+            SliderPosition.BEST_PERFORMANCE: "Best Performance",
+        }[self]
+
+
+@dataclass(frozen=True)
+class SliderParams:
+    """Internal hyper-parameters one slider position expands into."""
+
+    position: SliderPosition
+    #: λ in the reward: weight of the latency penalty vs. the cost term.
+    latency_weight: float
+    #: Max cost-model-predicted latency factor an action may cause.
+    max_latency_factor: float
+    #: Auto-suspend floor (s); actions proposing shorter intervals are masked.
+    min_auto_suspend: float
+    #: p99/baseline z-threshold at which the monitor demands a back-off.
+    backoff_latency_ratio: float
+    #: Arrival-spike z-score triggering conservative behaviour.
+    spike_zscore: float
+    #: How many T-shirt steps below the customer's original size the model
+    #: may go.  Performance-leaning positions keep headroom ("provisioning
+    #: for sudden spikes", §4.1); BEST_PERFORMANCE never downsizes at all.
+    max_downsize_steps: int
+    #: Max predicted cost increase (as a fraction of current cost) an action
+    #: may cause.  Cost-leaning positions never pay more; performance-leaning
+    #: positions may buy latency with credits (§2 C4's trade-off, customer-
+    #: authorized through the slider).
+    cost_increase_tolerance: float
+    #: T-shirt steps the optimizer may provision *above* the customer's
+    #: original size.  Cost-leaning positions never exceed what the customer
+    #: provisioned (their bill must not be able to grow structurally);
+    #: performance-leaning positions may burst one size bigger.
+    max_upsize_steps: int
+
+    def reward_config(self) -> RewardConfig:
+        return RewardConfig(
+            latency_weight=self.latency_weight,
+            queue_weight=self.latency_weight / 2.0,
+            cold_weight=self.latency_weight / 16.0,
+        )
+
+
+_SLIDER_TABLE: dict[SliderPosition, SliderParams] = {
+    SliderPosition.LOWEST_COST: SliderParams(
+        position=SliderPosition.LOWEST_COST,
+        latency_weight=0.5,
+        max_latency_factor=1.8,
+        min_auto_suspend=60.0,
+        backoff_latency_ratio=3.0,
+        spike_zscore=4.0,
+        max_downsize_steps=9,
+        cost_increase_tolerance=0.0,
+        max_upsize_steps=0,
+    ),
+    SliderPosition.LOW_COST: SliderParams(
+        position=SliderPosition.LOW_COST,
+        latency_weight=1.5,
+        max_latency_factor=1.4,
+        min_auto_suspend=60.0,
+        backoff_latency_ratio=2.2,
+        spike_zscore=3.5,
+        max_downsize_steps=9,
+        cost_increase_tolerance=0.0,
+        max_upsize_steps=0,
+    ),
+    SliderPosition.BALANCED: SliderParams(
+        position=SliderPosition.BALANCED,
+        latency_weight=4.0,
+        max_latency_factor=1.15,
+        min_auto_suspend=60.0,
+        backoff_latency_ratio=1.6,
+        spike_zscore=3.0,
+        max_downsize_steps=9,
+        cost_increase_tolerance=0.0,
+        max_upsize_steps=0,
+    ),
+    SliderPosition.GOOD_PERFORMANCE: SliderParams(
+        position=SliderPosition.GOOD_PERFORMANCE,
+        latency_weight=10.0,
+        max_latency_factor=1.05,
+        min_auto_suspend=300.0,
+        backoff_latency_ratio=1.3,
+        spike_zscore=2.5,
+        max_downsize_steps=2,
+        cost_increase_tolerance=0.25,
+        max_upsize_steps=1,
+    ),
+    SliderPosition.BEST_PERFORMANCE: SliderParams(
+        position=SliderPosition.BEST_PERFORMANCE,
+        latency_weight=25.0,
+        max_latency_factor=1.0,
+        min_auto_suspend=600.0,
+        backoff_latency_ratio=1.15,
+        spike_zscore=2.0,
+        max_downsize_steps=0,
+        cost_increase_tolerance=1.0,
+        max_upsize_steps=1,
+    ),
+}
+
+
+def slider_params(position: SliderPosition | int) -> SliderParams:
+    """Expand a slider position into its internal hyper-parameters."""
+    return _SLIDER_TABLE[SliderPosition(position)]

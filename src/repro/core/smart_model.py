@@ -1,0 +1,349 @@
+"""The smart model (§4.3): the per-warehouse decision maker.
+
+At every decision tick the smart model combines the four inputs the paper
+enumerates:
+
+1. **historical knowledge** — the trained DQN's Q-values over the joint
+   action space;
+2. **the warehouse cost model** — a guardrail: before committing to the
+   best-Q action, the model what-ifs its predicted latency factor over the
+   recent workload and skips candidates that exceed the slider's ceiling
+   (C4: never prioritize cost over performance beyond what the customer
+   allowed);
+3. **customer constraints and the slider** — non-compliant actions are
+   masked before selection ("the smart models never take actions that
+   violate the customer constraints"), and active resource floors are
+   enforced unconditionally;
+4. **real-time feedback** — on degradation or a load spike the model backs
+   off to a safe configuration (a step back toward the customer's original
+   settings) and holds during a cooldown; on an external change it asks the
+   optimizer to revert and pause (§4.4).
+
+Because the slider only shifts guardrails, penalties and masks, moving it
+re-calibrates behaviour without retraining — exactly the paper's
+"re-calibrate its decisions automatically" property.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.simtime import HOUR, Window
+from repro.core.actions import ActionSpace
+from repro.core.constraints import ConstraintSet
+from repro.core.monitoring import RealTimeFeedback
+from repro.core.sliders import SliderParams
+from repro.costmodel.model import WarehouseCostModel
+from repro.learning.agent import DQNAgent
+from repro.learning.features import FeatureExtractor, interval_windows
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+
+#: How many top-Q candidates the cost-model guardrail will consider before
+#: falling back to holding the current configuration.
+GUARDRAIL_CANDIDATES = 3
+#: Window of recent history used for guardrail what-ifs.
+GUARDRAIL_LOOKBACK = 2 * HOUR
+#: Hold time after a back-off before learned actions resume.
+BACKOFF_COOLDOWN = 1800.0
+#: Minimum dwell between *structural* changes (size / cluster bounds).
+#: Resizes drop every cluster's cache, so thrashing sizes every decision
+#: interval destroys exactly the cache warmth KWO is trying to preserve.
+#: Auto-suspend retuning is exempt — it drops nothing.
+STRUCTURAL_DWELL = 1800.0
+#: Minimum queries in the monitor's lookback before a structural change is
+#: considered.  During idle periods the what-if replay sees no workload, so
+#: every resize looks free — acting on that evidence vacuum is how an
+#: optimizer drifts to the wrong size overnight.  (Idle time is also exactly
+#: when resizing buys nothing: a suspended warehouse costs 0 at any size.)
+MIN_ACTIVITY_FOR_STRUCTURAL = 5
+
+
+class DecisionKind(enum.Enum):
+    LEARNED = "learned"  # chosen by the DQN and cleared by guardrails
+    CONSTRAINT_FLOOR = "constraint_floor"  # forced by an active rule
+    BACKOFF = "backoff"  # self-correction on degradation/spike
+    HOLD = "hold"  # cooldown or no admissible improvement
+    EXTERNAL_CONFLICT = "external_conflict"  # revert + pause requested
+
+
+@dataclass(frozen=True)
+class Decision:
+    """One decision tick's outcome."""
+
+    kind: DecisionKind
+    target: WarehouseConfig
+    reason: str
+    action_index: int | None = None
+    q_value: float | None = None
+
+
+class SmartModel:
+    """Decision policy for one warehouse."""
+
+    def __init__(
+        self,
+        client: CloudWarehouseClient,
+        warehouse: str,
+        agent: DQNAgent,
+        action_space: ActionSpace,
+        features: FeatureExtractor,
+        cost_model: WarehouseCostModel,
+        constraints: ConstraintSet,
+        params: SliderParams,
+        decision_interval: float = 600.0,
+    ):
+        self.client = client
+        self.warehouse = warehouse
+        self.agent = agent
+        self.action_space = action_space
+        self.features = features
+        self.cost_model = cost_model
+        self.constraints = constraints
+        self.params = params
+        self.decision_interval = decision_interval
+        self.original = action_space.original
+        self._cooldown_until = -1e18
+        self._last_structural_change = -1e18
+        self._confidence_anchor: float | None = None
+        self._confidence_tau: float = 0.0
+        self.guardrail_vetoes = 0
+
+    # ----------------------------------------------------------- slider swap
+    def set_slider(self, params: SliderParams) -> None:
+        """Re-calibrate without retraining (§4.3)."""
+        self.params = params
+
+    # ------------------------------------------------------- confidence ramp
+    def set_confidence_ramp(self, anchor_time: float, tau_seconds: float) -> None:
+        """Unlock aggressiveness gradually after onboarding.
+
+        The paper reports customers reach 50/70/95% of their eventual
+        savings after 20/43/83 hours — models "constantly learn and improve
+        with more usage".  We encode that trust ramp explicitly: confidence
+        ``c = 1 - exp(-t/τ)`` grows with enabled time, and the admissible
+        action set widens with it (the suspend floor relaxes from the most
+        conservative choice down to the slider's floor; the permitted
+        downsizing depth grows from zero to the slider's depth).  τ = 0
+        disables the ramp (full aggressiveness immediately).
+        """
+        self._confidence_anchor = anchor_time
+        self._confidence_tau = tau_seconds
+
+    def confidence(self, now: float) -> float:
+        if self._confidence_anchor is None or self._confidence_tau <= 0:
+            return 1.0
+        elapsed = max(0.0, now - self._confidence_anchor)
+        raw = 1.0 - float(np.exp(-elapsed / self._confidence_tau))
+        # Normalize so full aggressiveness is actually reached (the raw
+        # exponential only approaches 1 asymptotically, which would leave
+        # the most aggressive actions masked forever).
+        return min(1.0, raw / 0.95)
+
+    # ------------------------------------------------------------- decisions
+    def next_action(self, now: float, feedback: RealTimeFeedback) -> Decision:
+        current = self.client.current_config(self.warehouse)
+
+        if feedback.external_change:
+            return Decision(
+                DecisionKind.EXTERNAL_CONFLICT,
+                current,
+                "external configuration change detected",
+            )
+
+        # Mandatory resource floors from active rules apply before anything.
+        floored = self.constraints.enforce_floor(now, current)
+        if floored != current:
+            return Decision(
+                DecisionKind.CONSTRAINT_FLOOR, floored, "active rule requires resources"
+            )
+
+        if feedback.needs_backoff(self.params) or feedback.spike_detected(self.params):
+            target = self._safe_config(now, current)
+            self._cooldown_until = now + BACKOFF_COOLDOWN
+            if self._is_structural(current, target):
+                self._last_structural_change = now
+            cause = (
+                "performance degradation"
+                if feedback.needs_backoff(self.params)
+                else "arrival spike"
+            )
+            return Decision(DecisionKind.BACKOFF, target, f"self-correct: {cause}")
+
+        if now < self._cooldown_until:
+            return Decision(DecisionKind.HOLD, current, "cooldown after back-off")
+
+        return self._learned_decision(now, current, feedback)
+
+    @staticmethod
+    def _is_structural(current: WarehouseConfig, target: WarehouseConfig) -> bool:
+        """Does the change re-provision servers (and thus drop caches)?"""
+        return (
+            target.size != current.size
+            or target.max_clusters != current.max_clusters
+            or target.min_clusters != current.min_clusters
+        )
+
+    def _learned_decision(
+        self, now: float, current: WarehouseConfig, feedback: RealTimeFeedback
+    ) -> Decision:
+        state = self._state(now)
+        mask = self._admissible_mask(now, current)
+        if not mask.any():
+            return Decision(DecisionKind.HOLD, current, "no admissible action")
+        q = self.agent.q_values(state)
+        order = np.argsort(np.where(mask, q, -np.inf))[::-1]
+        candidates = [int(i) for i in order[:GUARDRAIL_CANDIDATES] if mask[i]]
+        dwelling = now - self._last_structural_change < STRUCTURAL_DWELL
+        quiet = feedback.recent_queries < MIN_ACTIVITY_FOR_STRUCTURAL
+        pressure = feedback.queue_length > 0 or feedback.latency_ratio > 1.15
+        guard = self._guardrail_context(now, current)
+        for idx in candidates:
+            target = self.action_space.apply(current, self.action_space.actions[idx])
+            if target == current:
+                return Decision(
+                    DecisionKind.LEARNED, current, "best action keeps settings",
+                    action_index=idx, q_value=float(q[idx]),
+                )
+            structural = self._is_structural(current, target)
+            if structural and (dwelling or quiet):
+                continue  # too soon, or no workload evidence to judge by
+            if self._passes_guardrail(guard, target, pressure):
+                if structural:
+                    self._last_structural_change = now
+                return Decision(
+                    DecisionKind.LEARNED,
+                    target,
+                    self.action_space.actions[idx].describe(),
+                    action_index=idx,
+                    q_value=float(q[idx]),
+                )
+            self.guardrail_vetoes += 1
+        return Decision(DecisionKind.HOLD, current, "all candidates vetoed by cost model")
+
+    # ------------------------------------------------------------- internals
+    def _state(self, now: float) -> np.ndarray:
+        recent_w, previous_w = interval_windows(now, self.decision_interval)
+        recent = self.client.query_history(self.warehouse, recent_w)
+        previous = self.client.query_history(self.warehouse, previous_w)
+        info = self.client.describe_warehouse(self.warehouse)
+        return self.features.extract(now, recent, previous, info)
+
+    def _admissible_mask(
+        self, now: float, current: WarehouseConfig, confidence: float | None = None
+    ) -> np.ndarray:
+        """Constraints ∧ slider policy (suspend floor, downsize depth),
+        scaled back by the onboarding confidence ramp.
+
+        ``confidence`` overrides the ramp — offline training passes 1.0 so
+        the agent learns over the *eventual* action space (episode
+        timestamps predate the ramp anchor, so without the override every
+        training step would see the fully-locked day-zero mask and the DQN
+        would never explore the actions it later becomes allowed to take).
+        """
+        mask = self.constraints.action_mask(now, current, self.action_space)
+        c = self.confidence(now) if confidence is None else confidence
+        # The suspend floor relaxes geometrically from the customer's own
+        # setting down to the slider's floor as confidence grows: early on
+        # KWO only trims the obvious idle fat; the aggressive 60 s suspends
+        # that risk cold caches are earned, not assumed.
+        max_suspend = max(a.suspend_seconds for a in self.action_space.actions)
+        anchor = max(self.original.auto_suspend_seconds, max_suspend)
+        if self.original.auto_suspend_seconds <= 0:  # "never suspend" customer
+            anchor = 4 * max_suspend
+        floor = max(self.params.min_auto_suspend, 1.0)
+        suspend_floor = floor * (anchor / floor) ** (1.0 - c)
+        downsize_depth = int(c * self.params.max_downsize_steps)
+        size_floor = self.original.size.step(-downsize_depth)
+        size_ceiling = self.original.size.step(self.params.max_upsize_steps)
+        for i, action in enumerate(self.action_space.actions):
+            if not mask[i]:
+                continue
+            if not action.keeps_suspend and action.suspend_seconds < suspend_floor - 1e-9:
+                mask[i] = False
+                continue
+            target = self.action_space.apply(current, action)
+            if not size_floor <= target.size <= size_ceiling:
+                mask[i] = False
+        if not mask.any():
+            # A constraint floor can be unreachable in one step (e.g. a rule
+            # demanding X-Large while the warehouse sits at Small).  In the
+            # live loop enforce_floor() jumps the config before this mask is
+            # consulted; during offline training we simply hold.
+            mask[self.action_space.noop_index] = True
+        return mask
+
+    def _guardrail_context(self, now: float, current: WarehouseConfig) -> dict:
+        """Replay the recent window under the current *and* the customer's
+        original configuration once per tick (candidates reuse both)."""
+        window = Window(max(0.0, now - GUARDRAIL_LOOKBACK), now)
+        base = self.cost_model.estimate_cost(window, current)
+        if self.original == current:
+            original = base
+        else:
+            original = self.cost_model.estimate_cost(window, self.original)
+        return {"window": window, "current": current, "base": base, "original": original}
+
+    def _passes_guardrail(
+        self, guard: dict, target: WarehouseConfig, pressure: bool
+    ) -> bool:
+        """Cost-model veto: reject actions predicted to slow queries beyond
+        the slider's ceiling, or to raise cost beyond the slider's cost
+        tolerance.  This is C4's safety net against a mistrained Q-function:
+        whatever the agent believes, an action must look good to the
+        what-if replay before it is applied.
+
+        Latency is judged against the *original* configuration's replay, not
+        the current one.  Judging against the current config creates a
+        ratchet: once the warehouse drifts above the customer's size, every
+        downsize looks like a "slowdown" and is vetoed forever, even though
+        it merely returns to the performance the customer provisioned for.
+
+        ``pressure`` reports live performance stress: without it, upsizing
+        (which can only cost money) needs a predicted saving to be worth it.
+        """
+        candidate = self.cost_model.estimate_cost(guard["window"], target)
+        base = guard["base"]
+        original = guard["original"]
+        reference_latency = max(original.avg_latency, 1e-9)
+        latency_factor = (
+            candidate.avg_latency / reference_latency if original.avg_latency > 0 else 1.0
+        )
+        if latency_factor > self.params.max_latency_factor + 1e-9:
+            return False
+        credits_delta = candidate.credits - base.credits
+        slows_vs_base = candidate.avg_latency > base.avg_latency + 1e-9
+        if slows_vs_base and credits_delta >= 0:
+            return False
+        current = guard["current"]
+        # Upsizing costs money; it needs either live performance pressure, a
+        # predicted saving, or a slider so performance-leaning (tolerance
+        # >= 0.5, i.e. Best Performance) that speed is worth buying outright.
+        speed_buyer = self.params.cost_increase_tolerance >= 0.5
+        if target.size > current.size and not pressure and not speed_buyer and credits_delta >= 0:
+            return False
+        allowed_increase = self.params.cost_increase_tolerance * max(base.credits, 1e-6)
+        if credits_delta > allowed_increase + 1e-9:
+            return False
+        return True
+
+    def _safe_config(self, now: float, current: WarehouseConfig) -> WarehouseConfig:
+        """The back-off target: one step toward the original configuration,
+        with suspension relaxed so caches stop churning."""
+        size = current.size
+        if size < self.original.size:
+            size = WarehouseSize(size.value + 1)
+        max_clusters = min(self.original.max_clusters, current.max_clusters + 1)
+        safe = current.with_changes(
+            size=size,
+            max_clusters=max_clusters,
+            min_clusters=min(current.min_clusters, max_clusters),
+            auto_suspend_seconds=max(
+                current.auto_suspend_seconds, self.original.auto_suspend_seconds
+            ),
+        )
+        return self.constraints.enforce_floor(now, safe)

@@ -1,0 +1,105 @@
+"""Inter-arrival gap modelling (§5.2 "Impact on query arrival times").
+
+When the replay changes query latencies, *independent* arrivals keep their
+original timestamps (users do not type faster because the warehouse is
+bigger), but *chained* arrivals — ETL steps launched when their predecessor
+finishes — shift with the predecessor's counterfactual completion time.
+
+The model classifies each query as chained or independent.  Two signals are
+combined:
+
+* the telemetry ``chained`` flag (session-correlation metadata a CDW can
+  derive without query text);
+* a statistical detector: an arrival that lands within a small window after
+  the previous query's completion, for a (template → template) pair that
+  repeats this pattern, is chained.  The detector exists both as a fallback
+  for telemetry without session metadata and for the calibration ablation.
+
+It also records the gap each chained query keeps from its predecessor's
+completion so the replay can reproduce it.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.warehouse.queries import QueryRecord
+
+#: An arrival within this many seconds of the previous completion is a
+#: chaining candidate for the statistical detector.
+CHAIN_WINDOW_SECONDS = 30.0
+#: A (prev_template, next_template) pair must show the pattern at least this
+#: often to be considered a dependency.
+MIN_PAIR_SUPPORT = 3
+
+
+@dataclass
+class GapObservation:
+    """The replay-relevant structure of one query's arrival."""
+
+    record: QueryRecord
+    chained: bool
+    #: For chained queries: seconds between predecessor end and this arrival.
+    lag_after_predecessor: float = 0.0
+
+
+@dataclass
+class GapModel:
+    """Classifies arrivals and supplies chain lags for the replay."""
+
+    use_flags: bool = True
+    _pair_support: dict[tuple[str, str], int] = field(default_factory=dict)
+    _pair_lags: dict[tuple[str, str], float] = field(default_factory=dict)
+    fitted: bool = False
+
+    def fit(self, records: list[QueryRecord]) -> "GapModel":
+        """Learn recurring dependency pairs from completed history."""
+        support: dict[tuple[str, str], int] = defaultdict(int)
+        lags: dict[tuple[str, str], list[float]] = defaultdict(list)
+        ordered = sorted(records, key=lambda r: r.arrival_time)
+        for prev, nxt in zip(ordered, ordered[1:]):
+            lag = nxt.arrival_time - prev.end_time
+            if 0.0 <= lag <= CHAIN_WINDOW_SECONDS:
+                pair = (prev.template_hash, nxt.template_hash)
+                support[pair] += 1
+                lags[pair].append(lag)
+        self._pair_support = dict(support)
+        self._pair_lags = {
+            pair: sum(values) / len(values) for pair, values in lags.items()
+        }
+        self.fitted = True
+        return self
+
+    def is_dependent_pair(self, prev_template: str, next_template: str) -> bool:
+        return self._pair_support.get((prev_template, next_template), 0) >= MIN_PAIR_SUPPORT
+
+    def classify(self, records: list[QueryRecord]) -> list[GapObservation]:
+        """Label each record chained/independent with its chain lag."""
+        ordered = sorted(records, key=lambda r: r.arrival_time)
+        out: list[GapObservation] = []
+        for i, record in enumerate(ordered):
+            chained = False
+            lag = 0.0
+            if i > 0:
+                prev = ordered[i - 1]
+                observed_lag = record.arrival_time - prev.end_time
+                flag_says = self.use_flags and record.chained
+                detector_says = (
+                    0.0 <= observed_lag <= CHAIN_WINDOW_SECONDS
+                    and self.is_dependent_pair(prev.template_hash, record.template_hash)
+                )
+                if flag_says or detector_says:
+                    chained = True
+                    if 0.0 <= observed_lag <= CHAIN_WINDOW_SECONDS:
+                        lag = observed_lag
+                    else:
+                        lag = self._pair_lags.get(
+                            (prev.template_hash, record.template_hash), 5.0
+                        )
+            out.append(GapObservation(record, chained, lag))
+        return out
+
+    @property
+    def n_dependent_pairs(self) -> int:
+        return sum(1 for s in self._pair_support.values() if s >= MIN_PAIR_SUPPORT)

@@ -1,0 +1,155 @@
+"""The warehouse cost model facade (§5).
+
+Combines the analytical query replay with the three learned parameter
+estimators (latency scaling, gaps, cluster counts) to:
+
+* estimate the **without-Keebo** cost of any telemetry window — the what-if
+  baseline behind savings reporting and value-based pricing (§4.6, §4.7);
+* evaluate arbitrary **what-if configurations** so the smart model can ask
+  "what would this action do to cost and latency before I take it" (§4.3);
+* quantify **savings** = estimated without-Keebo credits − actual billed
+  credits (the with-Keebo cost is read directly from metering, as §5.1
+  notes it need not be estimated).
+
+Unlike a traditional query-optimizer cost model, every number here is in
+billable credits, directly convertible to dollars.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.errors import TelemetryError
+from repro.common.simtime import Window
+from repro.costmodel.clusters import ClusterCountPredictor
+from repro.costmodel.gaps import GapModel
+from repro.costmodel.latency import LatencyScalingModel
+from repro.costmodel.replay import QueryReplay, ReplayResult
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+
+
+@dataclass(frozen=True)
+class SavingsEstimate:
+    """Savings attributed to the optimizer over one window."""
+
+    window: Window
+    without_keebo_credits: float
+    with_keebo_credits: float
+
+    @property
+    def savings_credits(self) -> float:
+        return self.without_keebo_credits - self.with_keebo_credits
+
+    @property
+    def savings_fraction(self) -> float:
+        if self.without_keebo_credits <= 0:
+            return 0.0
+        return self.savings_credits / self.without_keebo_credits
+
+
+@dataclass(frozen=True)
+class ActionImpact:
+    """Predicted effect of moving a warehouse between two configurations."""
+
+    credits_delta: float
+    latency_factor: float
+    from_credits: float
+    to_credits: float
+
+    @property
+    def saves_money(self) -> bool:
+        return self.credits_delta < 0
+
+    @property
+    def slows_down(self) -> bool:
+        return self.latency_factor > 1.0
+
+
+class WarehouseCostModel:
+    """Per-warehouse cost model: fit on telemetry, then ask what-ifs."""
+
+    def __init__(
+        self,
+        client: CloudWarehouseClient,
+        warehouse: str,
+        calibrate: bool = True,
+        use_chain_flags: bool = True,
+    ):
+        self.client = client
+        self.warehouse = warehouse
+        self.latency_model = LatencyScalingModel()
+        self.gap_model = GapModel(use_flags=use_chain_flags)
+        self.cluster_predictor = ClusterCountPredictor(calibrate=calibrate)
+        self.replay = QueryReplay(self.latency_model, self.gap_model, self.cluster_predictor)
+        self.fitted = False
+        self.training_window: Window | None = None
+
+    # -------------------------------------------------------------- training
+    def fit(self, window: Window) -> "WarehouseCostModel":
+        """Fit all parameter estimators on the telemetry inside ``window``."""
+        records = self.client.query_history(self.warehouse, window)
+        self.latency_model.fit(records)
+        self.gap_model.fit(records)
+        fit_config = self.client.current_config(self.warehouse)
+        self.cluster_predictor.fit(records, fit_config)
+        self.training_window = window
+        self.fitted = True
+        return self
+
+    def _require_fit(self) -> None:
+        if not self.fitted:
+            raise TelemetryError(
+                f"cost model for {self.warehouse!r} used before fit(); call fit(window) first"
+            )
+
+    # ------------------------------------------------------------- estimates
+    def estimate_cost(self, window: Window, config: WarehouseConfig) -> ReplayResult:
+        """What-if: billed credits for ``window`` under ``config``."""
+        self._require_fit()
+        records = self.client.query_history(self.warehouse, window)
+        return self.replay.replay(records, config, window)
+
+    def estimate_without_keebo(self, window: Window) -> ReplayResult:
+        """The §5.1 baseline: replay under the customer's *original* settings
+        (the most recent configuration not initiated by Keebo)."""
+        self._require_fit()
+        original = self.client.account.telemetry.original_config(
+            self.warehouse, before=window.end
+        )
+        return self.estimate_cost(window, original)
+
+    def actual_credits(self, window: Window) -> float:
+        """With-Keebo cost straight from metering (no estimation needed)."""
+        return self.client.credits_in_window(self.warehouse, window)
+
+    def estimate_savings(self, window: Window) -> SavingsEstimate:
+        self._require_fit()
+        without = self.estimate_without_keebo(window)
+        actual = self.actual_credits(window)
+        return SavingsEstimate(window, without.credits, actual)
+
+    def predict_action_impact(
+        self,
+        window: Window,
+        from_config: WarehouseConfig,
+        to_config: WarehouseConfig,
+    ) -> ActionImpact:
+        """Replay a recent window under both configurations and compare.
+
+        Used by the smart model to veto actions whose predicted latency
+        impact exceeds what the slider allows (§4.3's "cost model" input).
+        """
+        self._require_fit()
+        base = self.estimate_cost(window, from_config)
+        candidate = self.estimate_cost(window, to_config)
+        if base.avg_latency > 0:
+            latency_factor = candidate.avg_latency / base.avg_latency
+        else:
+            latency_factor = 1.0
+        return ActionImpact(
+            credits_delta=candidate.credits - base.credits,
+            latency_factor=latency_factor,
+            from_credits=base.credits,
+            to_credits=candidate.credits,
+        )

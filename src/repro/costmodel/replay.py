@@ -1,0 +1,199 @@
+"""Analytical query replay (§5.1) — the what-if engine of the cost model.
+
+Given a window of telemetry and a *hypothetical* warehouse configuration
+(usually the customer's original settings, for the without-Keebo estimate),
+the replay walks the workload timeline and computes what the CDW would have
+billed:
+
+1. every query's execution time is rescaled to the hypothetical size by the
+   latency model; chained arrivals shift with their predecessor's
+   counterfactual completion (gap model), independent arrivals keep their
+   original timestamps;
+2. busy intervals are merged into *activation bursts*: the warehouse stays
+   billable through gaps shorter than the auto-suspend interval and for one
+   auto-suspend tail after each burst (``auto_suspend = 0`` means the
+   warehouse never suspends and bills to the end of the window);
+3. the cluster-count predictor estimates how many clusters would have been
+   running in each mini-window, bounded by the hypothetical min/max;
+4. credits = Σ (clusters × burst-overlap × rate), plus the 60 s minimum for
+   bursts shorter than a minute.
+
+The result also carries counterfactual latency statistics so the smart
+model can ask "what would this action do to performance" (§4.3).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.simtime import HOUR, Window, hour_index
+from repro.common.stats import percentile
+from repro.costmodel.clusters import MINI_WINDOW_SECONDS, ClusterCountPredictor
+from repro.costmodel.gaps import GapModel
+from repro.costmodel.latency import LatencyScalingModel
+from repro.warehouse.billing import MINIMUM_BILLED_SECONDS
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+
+
+@dataclass
+class ReplayResult:
+    """Outcome of one what-if replay."""
+
+    credits: float
+    active_seconds: float
+    cluster_seconds: float
+    n_queries: int
+    n_bursts: int
+    avg_latency: float
+    p99_latency: float
+    hourly_credits: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def cost_is_zero(self) -> bool:
+        return self.credits <= 0.0
+
+
+def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
+    """Union of (sorted) possibly-overlapping busy intervals."""
+    merged: list[tuple[float, float]] = []
+    for start, end in intervals:
+        if merged and start <= merged[-1][1]:
+            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+        else:
+            merged.append((start, end))
+    return merged
+
+
+@dataclass
+class QueryReplay:
+    """Replays telemetry under a hypothetical configuration."""
+
+    latency_model: LatencyScalingModel
+    gap_model: GapModel
+    cluster_predictor: ClusterCountPredictor
+
+    def replay(
+        self, records: list[QueryRecord], config: WarehouseConfig, window: Window
+    ) -> ReplayResult:
+        if not records:
+            return ReplayResult(0.0, 0.0, 0.0, 0, 0, 0.0, 0.0)
+        intervals, latencies = self._counterfactual_timeline(records, config, window)
+        bursts = self._activation_bursts(intervals, config, window)
+        credits, cluster_seconds, hourly = self._bill(bursts, intervals, config, window)
+        active_seconds = sum(end - start for start, end in bursts)
+        return ReplayResult(
+            credits=credits,
+            active_seconds=active_seconds,
+            cluster_seconds=cluster_seconds,
+            n_queries=len(latencies),
+            n_bursts=len(bursts),
+            avg_latency=float(np.mean(latencies)) if latencies else 0.0,
+            p99_latency=percentile(latencies, 99),
+            hourly_credits=hourly,
+        )
+
+    # ----------------------------------------------------------------- steps
+    def _counterfactual_timeline(
+        self, records: list[QueryRecord], config: WarehouseConfig, window: Window
+    ) -> tuple[list[tuple[float, float]], list[float]]:
+        observations = self.gap_model.classify(records)
+        intervals: list[tuple[float, float]] = []
+        latencies: list[float] = []
+        prev_end: float | None = None
+        for obs in observations:
+            latency = self.latency_model.rescale(obs.record, config.size)
+            if obs.chained and prev_end is not None:
+                arrival = prev_end + obs.lag_after_predecessor
+            else:
+                arrival = obs.record.arrival_time
+            arrival = max(arrival, window.start)
+            end = min(arrival + latency, window.end)
+            if end > arrival:
+                intervals.append((arrival, end))
+            latencies.append(latency)
+            prev_end = arrival + latency
+        intervals.sort()
+        return intervals, latencies
+
+    @staticmethod
+    def _activation_bursts(
+        intervals: list[tuple[float, float]], config: WarehouseConfig, window: Window
+    ) -> list[tuple[float, float]]:
+        """Merge busy intervals into billable activation bursts."""
+        if not intervals:
+            return []
+        suspend = config.auto_suspend_seconds
+        if suspend <= 0:
+            # Never auto-suspends: active from first arrival to window end.
+            return [(intervals[0][0], window.end)]
+        bursts: list[tuple[float, float]] = []
+        burst_start, busy_end = intervals[0]
+        for start, end in intervals[1:]:
+            if start <= busy_end + suspend:
+                busy_end = max(busy_end, end)
+            else:
+                bursts.append((burst_start, min(busy_end + suspend, window.end)))
+                burst_start, busy_end = start, end
+        bursts.append((burst_start, min(busy_end + suspend, window.end)))
+        return bursts
+
+    @staticmethod
+    def _coverage(
+        spans: list[tuple[float, float]], window: Window, n_windows: int
+    ) -> np.ndarray:
+        """Seconds of each mini-window covered by the (disjoint) spans."""
+        coverage = np.zeros(n_windows)
+        for span_start, span_end in spans:
+            first = int((span_start - window.start) // MINI_WINDOW_SECONDS)
+            last = int((span_end - window.start) // MINI_WINDOW_SECONDS)
+            for w in range(max(first, 0), min(last, n_windows - 1) + 1):
+                w_start = window.start + w * MINI_WINDOW_SECONDS
+                w_end = w_start + MINI_WINDOW_SECONDS
+                coverage[w] += max(0.0, min(span_end, w_end) - max(span_start, w_start))
+        return coverage
+
+    def _bill(
+        self,
+        bursts: list[tuple[float, float]],
+        intervals: list[tuple[float, float]],
+        config: WarehouseConfig,
+        window: Window,
+    ) -> tuple[float, float, dict[int, float]]:
+        rate = config.size.credits_per_hour
+        n_windows = max(1, int(math.ceil(window.duration / MINI_WINDOW_SECONDS)))
+        predicted = self.cluster_predictor.predict(
+            intervals, window.start, window.end, config
+        )
+        if len(predicted) < n_windows:  # pad defensively
+            predicted = np.pad(predicted, (0, n_windows - len(predicted)))
+        burst_overlap = self._coverage(bursts, window, n_windows)
+        # Extra clusters only bill while there is concurrent work for them:
+        # cluster 1 stays up through idle gaps (until suspend), but scale-out
+        # clusters retire shortly after the queue drains, so their billed
+        # time tracks the *busy* coverage, not the whole activation burst.
+        busy_overlap = self._coverage(_merge_intervals(intervals), window, n_windows)
+        base_clusters = float(max(config.min_clusters, 1))
+        clusters = np.maximum(predicted, base_clusters)
+        cluster_seconds_per_window = (
+            base_clusters * burst_overlap
+            + (clusters - base_clusters) * np.minimum(busy_overlap, burst_overlap)
+        )
+        cluster_seconds = float(cluster_seconds_per_window.sum())
+        credits = cluster_seconds / HOUR * rate
+        # 60 s minimum per activation (the burst's first cluster start).
+        for burst_start, burst_end in bursts:
+            duration = burst_end - burst_start
+            if duration < MINIMUM_BILLED_SECONDS:
+                credits += (MINIMUM_BILLED_SECONDS - duration) / HOUR * rate
+                cluster_seconds += MINIMUM_BILLED_SECONDS - duration
+        hourly: dict[int, float] = {}
+        for w in range(n_windows):
+            if cluster_seconds_per_window[w] <= 0:
+                continue
+            h = hour_index(window.start + w * MINI_WINDOW_SECONDS)
+            hourly[h] = hourly.get(h, 0.0) + cluster_seconds_per_window[w] / HOUR * rate
+        return credits, cluster_seconds, hourly

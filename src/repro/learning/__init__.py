@@ -1,0 +1,43 @@
+"""The data-learning stack (§6): featurization, numpy DQN, telemetry-
+reconstructed training environments and baseline policies."""
+
+from repro.learning.agent import DQNAgent, DQNConfig
+from repro.learning.baselines import (
+    GreedyDownsizerPolicy,
+    RuleOfThumbPolicy,
+    StaticPolicy,
+)
+from repro.learning.buffer import ReplayBuffer, Transition
+from repro.learning.env import EnvStep, WarehouseEnv, reconstruct_workload
+from repro.learning.features import (
+    FEATURE_DIM,
+    FeatureExtractor,
+    WorkloadBaseline,
+    interval_windows,
+)
+from repro.learning.network import MLP
+from repro.learning.reward import RewardConfig, interval_reward
+from repro.learning.trainer import EpisodeStats, OfflineTrainer, TrainingReport
+
+__all__ = [
+    "MLP",
+    "ReplayBuffer",
+    "Transition",
+    "DQNAgent",
+    "DQNConfig",
+    "FeatureExtractor",
+    "WorkloadBaseline",
+    "FEATURE_DIM",
+    "interval_windows",
+    "RewardConfig",
+    "interval_reward",
+    "WarehouseEnv",
+    "EnvStep",
+    "reconstruct_workload",
+    "OfflineTrainer",
+    "TrainingReport",
+    "EpisodeStats",
+    "StaticPolicy",
+    "RuleOfThumbPolicy",
+    "GreedyDownsizerPolicy",
+]

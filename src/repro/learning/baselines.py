@@ -1,0 +1,76 @@
+"""Baseline policies the paper's approach is compared against.
+
+* :class:`StaticPolicy` — the without-Keebo world: never touch anything.
+  This is the pre-Keebo baseline of Figure 4 (blue bars).
+* :class:`RuleOfThumbPolicy` — the "10 best practices" blog-post wisdom §3
+  cites: pin the auto-suspend interval to one minute and otherwise leave
+  the warehouse alone.  No workload awareness, no self-correction.
+* :class:`GreedyDownsizerPolicy` — a reactive heuristic: downsize whenever
+  recent utilization is low, upsize when queueing appears.  Smarter than a
+  static rule but memoryless and cache-blind.
+
+All baselines implement the same ``decide(now, recent, info) -> Action``
+protocol the smart model exposes, so the ablation bench can swap them in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.stats import percentile
+from repro.core.actions import KEEP_SUSPEND, Action
+from repro.learning.features import WorkloadBaseline
+from repro.warehouse.api import WarehouseInfo
+from repro.warehouse.queries import QueryRecord
+
+
+@dataclass
+class StaticPolicy:
+    """Keeps the customer's configuration untouched."""
+
+    def decide(
+        self, now: float, recent: list[QueryRecord], info: WarehouseInfo
+    ) -> Action:
+        return Action(0, KEEP_SUSPEND, 0)
+
+
+@dataclass
+class RuleOfThumbPolicy:
+    """Fixed 60-second auto-suspend, everything else untouched."""
+
+    def decide(
+        self, now: float, recent: list[QueryRecord], info: WarehouseInfo
+    ) -> Action:
+        return Action(0, 60.0, 0)
+
+
+@dataclass
+class GreedyDownsizerPolicy:
+    """Reactive utilization-threshold policy.
+
+    Downsizes when the recent interval looks underutilized (few queries,
+    no queueing), upsizes on queue pressure or high latency.  It has no
+    workload model, so it oscillates on bursty workloads and pays cold-cache
+    penalties it cannot anticipate.
+    """
+
+    baseline: WorkloadBaseline
+    low_utilization_queries: int = 3
+    queue_trigger_seconds: float = 2.0
+
+    def decide(
+        self, now: float, recent: list[QueryRecord], info: WarehouseInfo
+    ) -> Action:
+        queueing = (
+            float(np.mean([r.queued_seconds for r in recent])) if recent else 0.0
+        )
+        p99 = percentile([r.total_seconds for r in recent], 99) if recent else 0.0
+        if info.queue_length > 0 or queueing > self.queue_trigger_seconds:
+            return Action(1, 600.0, 1)
+        if p99 > 1.5 * self.baseline.p99_latency:
+            return Action(1, 600.0, 0)
+        if len(recent) <= self.low_utilization_queries:
+            return Action(-1, 60.0, -1)
+        return Action(0, 300.0, 0)

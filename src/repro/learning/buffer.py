@@ -1,0 +1,65 @@
+"""Experience replay buffer for the DQN.
+
+Stores transitions ``(state, action, reward, next_state, done, next_mask)``.
+The next-state action mask matters because customer constraints make the
+admissible action set time-dependent: the TD target must max only over
+actions that will actually be available (§4.3 "non-compliant actions are
+cancelled").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class Transition:
+    state: np.ndarray
+    action: int
+    reward: float
+    next_state: np.ndarray
+    done: bool
+    next_mask: np.ndarray  # bool per action
+
+
+class ReplayBuffer:
+    """Fixed-capacity ring buffer with uniform sampling."""
+
+    def __init__(self, capacity: int = 20000):
+        if capacity < 1:
+            raise ConfigurationError("buffer capacity must be positive")
+        self.capacity = capacity
+        self._storage: list[Transition] = []
+        self._cursor = 0
+
+    def __len__(self) -> int:
+        return len(self._storage)
+
+    def add(self, transition: Transition) -> None:
+        if len(self._storage) < self.capacity:
+            self._storage.append(transition)
+        else:
+            self._storage[self._cursor] = transition
+        self._cursor = (self._cursor + 1) % self.capacity
+
+    def sample(self, batch_size: int, rng: np.random.Generator) -> list[Transition]:
+        if not self._storage:
+            raise ConfigurationError("cannot sample from an empty buffer")
+        idx = rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
+        return [self._storage[i] for i in idx]
+
+    def as_batches(
+        self, transitions: list[Transition]
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Stack a transition list into arrays for a vectorized update."""
+        states = np.stack([t.state for t in transitions])
+        actions = np.array([t.action for t in transitions], dtype=int)
+        rewards = np.array([t.reward for t in transitions], dtype=float)
+        next_states = np.stack([t.next_state for t in transitions])
+        dones = np.array([t.done for t in transitions], dtype=bool)
+        next_masks = np.stack([t.next_mask for t in transitions])
+        return states, actions, rewards, next_states, dones, next_masks

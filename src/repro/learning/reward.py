@@ -1,0 +1,71 @@
+"""Reward shaping: the cost/performance trade-off the slider controls (§7.4).
+
+Per decision interval the agent receives
+
+``reward = -(credits spent) - λ · performance_penalty``
+
+where λ comes from the slider position.  The performance penalty combines
+queueing, p99 latency degradation versus the pre-optimization baseline, and
+a small term for dropped caches (cold reads a user would notice).  Credits
+are normalized by the original configuration's full-rate spend for the
+interval so rewards live on a comparable scale across warehouse sizes —
+without this, an XS warehouse's rewards would be invisible next to a 4XL's.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.simtime import HOUR
+from repro.common.stats import percentile
+from repro.learning.features import WorkloadBaseline
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+
+
+@dataclass(frozen=True)
+class RewardConfig:
+    """Weights of the reward; produced from the slider position."""
+
+    latency_weight: float = 4.0
+    queue_weight: float = 2.0
+    cold_weight: float = 0.25
+    #: p99/baseline ratios below this are not penalized at all (noise band).
+    latency_tolerance: float = 1.1
+
+
+def interval_reward(
+    credits_spent: float,
+    interval_seconds: float,
+    records: list[QueryRecord],
+    baseline: WorkloadBaseline,
+    original: WarehouseConfig,
+    weights: RewardConfig,
+) -> float:
+    """Reward for one decision interval."""
+    # --- cost term, normalized by the original config's full-rate spend.
+    reference = (
+        original.size.credits_per_hour * original.max_clusters * interval_seconds / HOUR
+    )
+    cost_term = credits_spent / max(reference, 1e-9)
+
+    # --- performance terms.
+    if records:
+        p99 = percentile([r.total_seconds for r in records], 99)
+        latency_ratio = p99 / baseline.p99_latency
+        latency_pen = max(0.0, latency_ratio - weights.latency_tolerance)
+        queue_pen = float(np.mean([r.queued_seconds for r in records])) / max(
+            baseline.avg_latency, 1.0
+        )
+        cold_pen = float(np.mean([1.0 - r.cache_hit_ratio for r in records]))
+    else:
+        latency_pen = queue_pen = cold_pen = 0.0
+
+    penalty = (
+        weights.latency_weight * latency_pen
+        + weights.queue_weight * queue_pen
+        + weights.cold_weight * cold_pen
+    )
+    return -cost_term - penalty

@@ -1,0 +1,50 @@
+"""Programmatic equivalent of Keebo's web portal (§4.1): KPI computation,
+dashboard data assembly, and text rendering."""
+
+from repro.portal.dashboards import (
+    ActionsDashboard,
+    OverheadDashboard,
+    SavingsDashboard,
+    actions_dashboard,
+    overhead_dashboard,
+    savings_dashboard,
+)
+from repro.portal.export import (
+    actions_to_dict,
+    kpi_bucket_to_dict,
+    optimizer_status_to_dict,
+    overhead_to_dict,
+    savings_to_dict,
+    to_json,
+)
+from repro.portal.kpis import (
+    KpiBucket,
+    daily_credits,
+    daily_p99_latency,
+    kpi_series,
+    total_spend,
+)
+from repro.portal.reports import render_actions, render_overhead, render_savings
+
+__all__ = [
+    "KpiBucket",
+    "kpi_series",
+    "total_spend",
+    "daily_credits",
+    "daily_p99_latency",
+    "SavingsDashboard",
+    "savings_dashboard",
+    "OverheadDashboard",
+    "overhead_dashboard",
+    "ActionsDashboard",
+    "actions_dashboard",
+    "render_savings",
+    "render_overhead",
+    "render_actions",
+    "savings_to_dict",
+    "overhead_to_dict",
+    "actions_to_dict",
+    "kpi_bucket_to_dict",
+    "optimizer_status_to_dict",
+    "to_json",
+]

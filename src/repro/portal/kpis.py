@@ -1,0 +1,92 @@
+"""KPI computation for the web-portal dashboards (§4.1 "Dashboards").
+
+The paper's dashboards expose: CDW spend, savings brought by KWO, query
+latency and queue times (average and 99th percentile), and cost per query,
+filterable by time and warehouse and aggregable daily/weekly/monthly.
+These functions compute exactly those series from telemetry + metering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, WEEK, Window
+from repro.common.stats import percentile
+from repro.warehouse.api import CloudWarehouseClient
+
+#: Supported aggregation granularities (seconds per bucket).
+GRANULARITIES = {"hourly": HOUR, "daily": DAY, "weekly": WEEK, "monthly": 28 * DAY}
+
+
+@dataclass(frozen=True)
+class KpiBucket:
+    """One aggregation bucket of the KPI time series."""
+
+    window: Window
+    credits: float
+    n_queries: int
+    avg_latency: float
+    p99_latency: float
+    avg_queue_seconds: float
+    p99_queue_seconds: float
+
+    @property
+    def cost_per_query(self) -> float:
+        return self.credits / self.n_queries if self.n_queries else 0.0
+
+
+def kpi_series(
+    client: CloudWarehouseClient,
+    warehouse: str,
+    window: Window,
+    granularity: str = "daily",
+) -> list[KpiBucket]:
+    """The KPI time series for one warehouse at a given granularity."""
+    if granularity not in GRANULARITIES:
+        raise ConfigurationError(
+            f"granularity must be one of {sorted(GRANULARITIES)}, got {granularity!r}"
+        )
+    step = GRANULARITIES[granularity]
+    buckets: list[KpiBucket] = []
+    t = window.start
+    while t < window.end:
+        bucket_window = Window(t, min(t + step, window.end))
+        records = client.query_history(warehouse, bucket_window)
+        credits = client.credits_in_window(warehouse, bucket_window)
+        latencies = [r.total_seconds for r in records]
+        queues = [r.queued_seconds for r in records]
+        buckets.append(
+            KpiBucket(
+                window=bucket_window,
+                credits=credits,
+                n_queries=len(records),
+                avg_latency=float(np.mean(latencies)) if latencies else 0.0,
+                p99_latency=percentile(latencies, 99),
+                avg_queue_seconds=float(np.mean(queues)) if queues else 0.0,
+                p99_queue_seconds=percentile(queues, 99),
+            )
+        )
+        t = bucket_window.end
+    return buckets
+
+
+def total_spend(client: CloudWarehouseClient, warehouse: str, window: Window) -> float:
+    """Total credits billed for a warehouse in ``window``."""
+    return client.credits_in_window(warehouse, window)
+
+
+def daily_credits(
+    client: CloudWarehouseClient, warehouse: str, window: Window
+) -> list[float]:
+    """Per-day credit usage — the bar heights of the paper's Figure 4."""
+    return [b.credits for b in kpi_series(client, warehouse, window, "daily")]
+
+
+def daily_p99_latency(
+    client: CloudWarehouseClient, warehouse: str, window: Window
+) -> list[float]:
+    """Per-day p99 latencies — the line of the paper's Figure 4."""
+    return [b.p99_latency for b in kpi_series(client, warehouse, window, "daily")]

@@ -1,0 +1,74 @@
+"""Plain-text rendering of portal dashboards (terminal-friendly).
+
+Benchmarks and examples print these to show the same views the paper's
+Figures 2, 4 and 6 screenshot; no plotting dependency is available offline.
+"""
+
+from __future__ import annotations
+
+from repro.portal.dashboards import ActionsDashboard, OverheadDashboard, SavingsDashboard
+
+_BAR_WIDTH = 40
+
+
+def _bar(value: float, maximum: float, fill: str) -> str:
+    if maximum <= 0:
+        return ""
+    n = int(round(_BAR_WIDTH * value / maximum))
+    return fill * max(0, min(n, _BAR_WIDTH))
+
+
+def render_savings(dashboard: SavingsDashboard) -> str:
+    """Figure-4-style daily bars: '#' pre-Keebo, '=' with Keebo."""
+    lines = [
+        f"Daily credit usage — warehouse {dashboard.warehouse}",
+        f"{'day':>4} {'credits':>9} {'p99 (s)':>8}  usage",
+    ]
+    peak = max(dashboard.daily_credits, default=0.0)
+    for day, credits, p99, active in zip(
+        dashboard.days, dashboard.daily_credits, dashboard.daily_p99, dashboard.keebo_active
+    ):
+        fill = "=" if active else "#"
+        tag = "keebo" if active else "pre"
+        lines.append(
+            f"{day:>4} {credits:>9.2f} {p99:>8.2f}  {_bar(credits, peak, fill):<40} {tag}"
+        )
+    lines.append(
+        f"mean/day: pre={dashboard.pre_keebo_daily_mean:.2f} "
+        f"with-keebo={dashboard.with_keebo_daily_mean:.2f} "
+        f"savings={dashboard.savings_fraction:.1%}"
+    )
+    return "\n".join(lines)
+
+
+def render_overhead(dashboard: OverheadDashboard) -> str:
+    """Figure-6-style hourly table: actual vs overhead vs estimated savings."""
+    lines = [
+        f"Hourly usage — warehouse {dashboard.warehouse}",
+        f"{'hour':>5} {'actual':>9} {'overhead':>9} {'est.savings':>12} {'total(no keebo)':>16}",
+    ]
+    for h, actual, overhead, savings in zip(
+        dashboard.hours,
+        dashboard.actual_credits,
+        dashboard.overhead_credits,
+        dashboard.estimated_savings,
+    ):
+        lines.append(
+            f"{h:>5} {actual:>9.3f} {overhead:>9.4f} {savings:>12.3f} {actual + savings:>16.3f}"
+        )
+    lines.append(f"overhead / actual usage: {dashboard.total_overhead_fraction:.4%}")
+    return "\n".join(lines)
+
+
+def render_actions(dashboard: ActionsDashboard, limit: int = 20) -> str:
+    """The real-time action log view."""
+    lines = [f"Actions on {dashboard.warehouse} ({dashboard.n_changes} changes)"]
+    shown = [a for a in dashboard.actions if a.changed][-limit:]
+    for a in shown:
+        lines.append(
+            f"  t={a.time:>10.0f}s  {a.from_config.describe()}  ->  "
+            f"{a.to_config.describe()}  [{a.reason}]"
+        )
+    if not shown:
+        lines.append("  (no configuration changes)")
+    return "\n".join(lines)

@@ -1,0 +1,52 @@
+"""The cloud data warehouse simulator substrate.
+
+A discrete-event model of a Snowflake-like CDW: virtual warehouses with
+T-shirt sizes, per-second billing (60 s minimums, hourly rollups),
+auto-suspend/resume with cache-drop semantics, multi-cluster scale-out
+policies, query queueing, a vendor-style client API and ACCOUNT_USAGE-style
+telemetry views.  See DESIGN.md §2 for the substitution rationale.
+"""
+
+from repro.warehouse.account import Account, OverheadMeter
+from repro.warehouse.api import CloudWarehouseClient, WarehouseInfo
+from repro.warehouse.billing import MINIMUM_BILLED_SECONDS, BillingMeter, UsageSegment
+from repro.warehouse.cache import PARTITION_BYTES, PartitionCache
+from repro.warehouse.cluster import Cluster, ClusterState
+from repro.warehouse.config import MAX_CLUSTER_COUNT, WarehouseConfig
+from repro.warehouse.engine import PeriodicController, Simulation, SimulationError
+from repro.warehouse.queries import QueryRecord, QueryRequest, QueryTemplate, hash_text
+from repro.warehouse.scheduler import MultiClusterScheduler
+from repro.warehouse.telemetry import ConfigSnapshot, TelemetryStore, WarehouseEvent
+from repro.warehouse.types import ScalingPolicy, WarehouseSize, WarehouseState
+from repro.warehouse.warehouse import VirtualWarehouse
+
+__all__ = [
+    "Account",
+    "OverheadMeter",
+    "CloudWarehouseClient",
+    "WarehouseInfo",
+    "BillingMeter",
+    "UsageSegment",
+    "MINIMUM_BILLED_SECONDS",
+    "PartitionCache",
+    "PARTITION_BYTES",
+    "Cluster",
+    "ClusterState",
+    "WarehouseConfig",
+    "MAX_CLUSTER_COUNT",
+    "Simulation",
+    "SimulationError",
+    "PeriodicController",
+    "QueryTemplate",
+    "QueryRequest",
+    "QueryRecord",
+    "hash_text",
+    "MultiClusterScheduler",
+    "TelemetryStore",
+    "WarehouseEvent",
+    "ConfigSnapshot",
+    "WarehouseSize",
+    "ScalingPolicy",
+    "WarehouseState",
+    "VirtualWarehouse",
+]

@@ -1,0 +1,129 @@
+"""Vendor-style client API over the simulated account.
+
+:class:`CloudWarehouseClient` is the only surface Keebo's components are
+allowed to touch (§4.5: the actuator "serves as a layer of abstraction
+between Keebo and the underlying CDW").  A client is bound to an *actor*;
+calls by the ``"keebo"`` actor are metered as service overhead, and config
+changes record their initiator so the monitor can distinguish Keebo's own
+actions from external (customer) changes — the conflict-detection behaviour
+of §4.4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.common.simtime import Window
+from repro.warehouse.account import Account
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.telemetry import WarehouseEvent
+from repro.warehouse.types import WarehouseState
+
+#: Cloud-services credits charged per metered service operation.
+TELEMETRY_FETCH_CREDITS = 0.0008
+ACTUATOR_CALL_CREDITS = 0.0004
+MONITOR_POLL_CREDITS = 0.0002
+
+
+@dataclass(frozen=True)
+class WarehouseInfo:
+    """SHOW WAREHOUSES row."""
+
+    name: str
+    state: WarehouseState
+    config: WarehouseConfig
+    queue_length: int
+    running_queries: int
+    active_clusters: int
+
+
+class CloudWarehouseClient:
+    """Programmatic access to the simulated CDW, bound to one actor."""
+
+    def __init__(self, account: Account, actor: str = "customer"):
+        self.account = account
+        self.actor = actor
+
+    # ------------------------------------------------------------- metering
+    def _charge(self, credits: float, kind: str, warehouse: str = "") -> None:
+        if self.actor == "keebo":
+            self.account.overhead.record(self.account.sim.now, credits, kind, warehouse)
+
+    # ----------------------------------------------------------------- DDL
+    def alter_warehouse(self, name: str, **changes) -> WarehouseConfig:
+        """ALTER WAREHOUSE <name> SET ... — returns the resulting config."""
+        wh = self.account.warehouse(name)
+        self._charge(ACTUATOR_CALL_CREDITS, "alter_warehouse", name)
+        return wh.alter(initiator=self.actor, **changes)
+
+    def suspend_warehouse(self, name: str) -> None:
+        wh = self.account.warehouse(name)
+        self._charge(ACTUATOR_CALL_CREDITS, "suspend", name)
+        wh.suspend(initiator=self.actor)
+
+    def resume_warehouse(self, name: str) -> None:
+        wh = self.account.warehouse(name)
+        self._charge(ACTUATOR_CALL_CREDITS, "resume", name)
+        wh.resume(initiator=self.actor)
+
+    # --------------------------------------------------------------- status
+    def show_warehouses(self) -> list[WarehouseInfo]:
+        self._charge(MONITOR_POLL_CREDITS, "show_warehouses")
+        rows = []
+        for name in sorted(self.account.warehouses):
+            wh = self.account.warehouses[name]
+            rows.append(
+                WarehouseInfo(
+                    name=name,
+                    state=wh.state,
+                    config=wh.config,
+                    queue_length=wh.queue_length,
+                    running_queries=wh.running_query_count,
+                    active_clusters=len(wh.active_clusters()),
+                )
+            )
+        return rows
+
+    def describe_warehouse(self, name: str) -> WarehouseInfo:
+        wh = self.account.warehouse(name)
+        self._charge(MONITOR_POLL_CREDITS, "describe_warehouse", name)
+        return WarehouseInfo(
+            name=name,
+            state=wh.state,
+            config=wh.config,
+            queue_length=wh.queue_length,
+            running_queries=wh.running_query_count,
+            active_clusters=len(wh.active_clusters()),
+        )
+
+    # -------------------------------------------------------- telemetry views
+    def query_history(
+        self, warehouse: str, window: Window | None = None, include_overhead: bool = False
+    ) -> list[QueryRecord]:
+        self._charge(TELEMETRY_FETCH_CREDITS, "query_history", warehouse)
+        return self.account.telemetry.query_history(warehouse, window, include_overhead)
+
+    def metering_history(self, warehouse: str, window: Window) -> dict[int, float]:
+        """Hourly credits (WAREHOUSE_METERING_HISTORY)."""
+        self._charge(TELEMETRY_FETCH_CREDITS, "metering_history", warehouse)
+        wh = self.account.warehouse(warehouse)
+        return wh.meter.hourly_rollup(window, as_of=self.account.sim.now)
+
+    def credits_in_window(self, warehouse: str, window: Window) -> float:
+        self._charge(TELEMETRY_FETCH_CREDITS, "metering_history", warehouse)
+        wh = self.account.warehouse(warehouse)
+        return wh.meter.credits_in_window(window, as_of=self.account.sim.now)
+
+    def warehouse_events(
+        self, warehouse: str, window: Window | None = None, kind: str | None = None
+    ) -> list[WarehouseEvent]:
+        self._charge(TELEMETRY_FETCH_CREDITS, "warehouse_events", warehouse)
+        return self.account.telemetry.warehouse_events(warehouse, window, kind)
+
+    def current_config(self, name: str) -> WarehouseConfig:
+        return self.account.warehouse(name).config
+
+    @property
+    def now(self) -> float:
+        return self.account.sim.now

@@ -1,0 +1,107 @@
+"""Per-cluster local result/data cache.
+
+Snowflake clusters keep recently scanned table data on local SSD; the cache
+is lost when the warehouse suspends (its servers are released) or when it is
+resized (new servers are provisioned).  This is the mechanism behind the
+paper's §3 "memory optimization" trade-off: a short auto-suspend interval
+saves idle credits but forces cold reads — and therefore longer, more
+expensive queries — after resume.
+
+The cache is modelled as an LRU over named data partitions with a byte
+capacity determined by warehouse size.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable
+
+from repro.common.errors import ConfigurationError
+
+#: Size of one cacheable data partition.  Snowflake micro-partitions are
+#: ~16 MB compressed; we use a coarser 64 MB unit so workloads stay small.
+PARTITION_BYTES = 64 * (2**20)
+
+
+class PartitionCache:
+    """LRU cache of data partitions with byte-capacity eviction.
+
+    Only identity (partition name) matters; all partitions have the same
+    size, so capacity is equivalently a max partition count.
+    """
+
+    def __init__(self, capacity_bytes: float):
+        if capacity_bytes < 0:
+            raise ConfigurationError("cache capacity must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        self._entries: OrderedDict[str, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def max_partitions(self) -> int:
+        return int(self.capacity_bytes // PARTITION_BYTES)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, partition: str) -> bool:
+        return partition in self._entries
+
+    @property
+    def used_bytes(self) -> float:
+        return len(self._entries) * PARTITION_BYTES
+
+    def access(self, partitions: Iterable[str]) -> float:
+        """Touch ``partitions``; return the hit ratio of this access.
+
+        Missing partitions are loaded (inserted) and hits are refreshed, so
+        a repeated access is fully warm.  An empty access counts as fully
+        warm (ratio 1.0) because a query that scans nothing cannot miss.
+        A query's footprint is a *set*: duplicate partition names in one
+        access are collapsed (they would otherwise self-hit mid-access).
+        """
+        parts = list(dict.fromkeys(partitions))
+        if not parts:
+            return 1.0
+        # Snapshot semantics: the hit set is decided against the cache state
+        # at access start (insertions during the scan cannot evict a
+        # partition this same query was about to read).
+        hit_set = [p in self._entries for p in parts]
+        for p in parts:
+            # (Re-)insert everything: refreshes recency for hits and loads
+            # misses; a hit evicted moments ago by this access's own misses
+            # is simply reloaded.
+            self._insert(p)
+        hits = sum(hit_set)
+        self.hits += hits
+        self.misses += len(parts) - hits
+        return hits / len(parts)
+
+    def peek_hit_ratio(self, partitions: Iterable[str]) -> float:
+        """Hit ratio ``access`` would see, without mutating the cache."""
+        parts = list(dict.fromkeys(partitions))
+        if not parts:
+            return 1.0
+        return sum(1 for p in parts if p in self._entries) / len(parts)
+
+    def _insert(self, partition: str) -> None:
+        if self.max_partitions == 0:
+            return
+        self._entries[partition] = None
+        self._entries.move_to_end(partition)
+        while len(self._entries) > self.max_partitions:
+            self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        """Drop everything (suspend / resize semantics)."""
+        self._entries.clear()
+
+    def resize(self, capacity_bytes: float) -> None:
+        """Change capacity.  The simulator clears on resize anyway, but a
+        standalone cache shrinks by evicting the least recent entries."""
+        if capacity_bytes < 0:
+            raise ConfigurationError("cache capacity must be non-negative")
+        self.capacity_bytes = float(capacity_bytes)
+        while len(self._entries) > self.max_partitions:
+            self._entries.popitem(last=False)

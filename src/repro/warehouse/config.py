@@ -1,0 +1,72 @@
+"""Warehouse configuration — the knob surface KWO optimizes.
+
+These are exactly the customer-visible Snowflake knobs the paper's §3
+enumerates: size (T-shirt), auto-suspend interval, multi-cluster bounds and
+the scale-out policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.common.errors import ConfigurationError
+from repro.warehouse.types import ScalingPolicy, WarehouseSize
+
+#: Snowflake caps multi-cluster warehouses at 10 clusters.
+MAX_CLUSTER_COUNT = 10
+
+
+@dataclass(frozen=True)
+class WarehouseConfig:
+    """Immutable snapshot of a warehouse's knob settings.
+
+    Attributes
+    ----------
+    size:
+        T-shirt size; determines billing rate, compute speed and cache size.
+    auto_suspend_seconds:
+        Idle time after which the warehouse suspends (0 disables
+        auto-suspend entirely — the warehouse runs until suspended manually).
+    min_clusters / max_clusters:
+        Multi-cluster bounds.  ``min == max`` is Snowflake's "Maximized"
+        mode: all clusters start with the warehouse.
+    scaling_policy:
+        STANDARD (scale out aggressively) or ECONOMY (keep clusters full).
+    max_concurrency:
+        Queries that can run concurrently on one cluster before queueing.
+    """
+
+    size: WarehouseSize = WarehouseSize.M
+    auto_suspend_seconds: float = 600.0
+    min_clusters: int = 1
+    max_clusters: int = 1
+    scaling_policy: ScalingPolicy = ScalingPolicy.STANDARD
+    max_concurrency: int = 8
+
+    def __post_init__(self):
+        if self.auto_suspend_seconds < 0:
+            raise ConfigurationError("auto_suspend_seconds must be >= 0")
+        if not 1 <= self.min_clusters <= self.max_clusters:
+            raise ConfigurationError(
+                f"need 1 <= min_clusters <= max_clusters, got "
+                f"{self.min_clusters}..{self.max_clusters}"
+            )
+        if self.max_clusters > MAX_CLUSTER_COUNT:
+            raise ConfigurationError(f"max_clusters cannot exceed {MAX_CLUSTER_COUNT}")
+        if self.max_concurrency < 1:
+            raise ConfigurationError("max_concurrency must be >= 1")
+
+    @property
+    def is_maximized(self) -> bool:
+        return self.min_clusters == self.max_clusters
+
+    def with_changes(self, **changes) -> "WarehouseConfig":
+        """Return a modified copy (validation re-runs)."""
+        return replace(self, **changes)
+
+    def describe(self) -> str:
+        return (
+            f"{self.size.label}, suspend={self.auto_suspend_seconds:.0f}s, "
+            f"clusters={self.min_clusters}..{self.max_clusters} "
+            f"({self.scaling_policy.value})"
+        )

@@ -1,0 +1,140 @@
+"""Discrete-event simulation core.
+
+A tiny, dependency-free event loop: components schedule callbacks at future
+timestamps; the simulation pops them in (time, insertion) order.  Periodic
+*controllers* are first-class because the paper's Algorithm 1 is exactly a
+periodic controller (fetch telemetry every ``T`` hours, act every
+``T_realtime`` minutes) running against the warehouse.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable
+
+from repro.common.errors import ReproError
+
+
+class SimulationError(ReproError):
+    """The event loop was driven incorrectly (e.g. scheduling in the past)."""
+
+
+@dataclass(order=True)
+class _Event:
+    time: float
+    seq: int
+    callback: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+
+class EventHandle:
+    """Returned by :meth:`Simulation.schedule`; allows cancellation."""
+
+    def __init__(self, event: _Event):
+        self._event = event
+
+    def cancel(self) -> None:
+        self._event.cancelled = True
+
+    @property
+    def cancelled(self) -> bool:
+        return self._event.cancelled
+
+    @property
+    def time(self) -> float:
+        return self._event.time
+
+
+class Simulation:
+    """The event loop.  ``now`` only moves forward."""
+
+    def __init__(self, start_time: float = 0.0):
+        self.now = float(start_time)
+        self._heap: list[_Event] = []
+        self._seq = itertools.count()
+        self.processed_events = 0
+
+    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run at ``time`` (>= now)."""
+        if time < self.now - 1e-9:
+            raise SimulationError(f"cannot schedule at {time} before now={self.now}")
+        event = _Event(max(time, self.now), next(self._seq), callback)
+        heapq.heappush(self._heap, event)
+        return EventHandle(event)
+
+    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+        """Schedule ``callback`` to run ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, callback)
+
+    def add_controller(
+        self, interval: float, callback: Callable[[float], None], start: float | None = None
+    ) -> "PeriodicController":
+        """Run ``callback(now)`` every ``interval`` seconds from ``start``."""
+        if interval <= 0:
+            raise SimulationError("controller interval must be positive")
+        controller = PeriodicController(self, interval, callback)
+        controller.start(self.now if start is None else start)
+        return controller
+
+    def run_until(self, end_time: float) -> None:
+        """Process all events up to and including ``end_time``."""
+        if end_time < self.now:
+            raise SimulationError(f"end_time {end_time} precedes now {self.now}")
+        while self._heap and self._heap[0].time <= end_time:
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.callback()
+            self.processed_events += 1
+        self.now = end_time
+
+    def run_all(self, hard_stop: float | None = None) -> None:
+        """Drain the event queue (optionally up to ``hard_stop``)."""
+        while self._heap:
+            head = self._heap[0]
+            if head.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if hard_stop is not None and head.time > hard_stop:
+                break
+            heapq.heappop(self._heap)
+            self.now = head.time
+            head.callback()
+            self.processed_events += 1
+        if hard_stop is not None:
+            self.now = max(self.now, hard_stop)
+
+    @property
+    def pending_events(self) -> int:
+        return sum(1 for e in self._heap if not e.cancelled)
+
+
+class PeriodicController:
+    """Re-schedules itself every ``interval`` until stopped."""
+
+    def __init__(self, sim: Simulation, interval: float, callback: Callable[[float], None]):
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self._handle: EventHandle | None = None
+        self._stopped = False
+
+    def start(self, first_fire: float) -> None:
+        self._handle = self.sim.schedule(first_fire, self._fire)
+
+    def _fire(self) -> None:
+        if self._stopped:
+            return
+        self.callback(self.sim.now)
+        if not self._stopped:
+            self._handle = self.sim.schedule_in(self.interval, self._fire)
+
+    def stop(self) -> None:
+        self._stopped = True
+        if self._handle is not None:
+            self._handle.cancel()

@@ -1,0 +1,153 @@
+"""Telemetry store: the metadata views KWO trains on (§6.1).
+
+Three views mirror Snowflake's ACCOUNT_USAGE schema:
+
+* **QUERY_HISTORY** — one :class:`~repro.warehouse.queries.QueryRecord` per
+  completed query: hashed text/template, arrival/queue/latency timings,
+  bytes scanned, size and cluster number at execution.
+* **WAREHOUSE_EVENTS** — resize / suspend / resume / config-change events
+  with their initiator (customer, system, or ``"keebo"``), which the cost
+  model uses to recover the customer's *original* settings for what-if
+  replay.
+* **METERING** lives on the billing meter and is exposed through the client
+  API (:mod:`repro.warehouse.api`).
+
+Per the paper's C6 security requirement, the store holds no query text and
+no customer data — only hashes and numeric metadata.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+from repro.common.errors import TelemetryError
+from repro.common.simtime import Window
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+
+
+@dataclass(frozen=True)
+class WarehouseEvent:
+    """A config or lifecycle change on a warehouse."""
+
+    time: float
+    warehouse: str
+    kind: str  # "resize" | "suspend" | "resume" | "alter" | "create"
+    initiator: str  # "customer" | "system" | "keebo"
+    detail: dict = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class ConfigSnapshot:
+    """The full knob configuration in force from ``time`` onward."""
+
+    time: float
+    config: WarehouseConfig
+    initiator: str
+
+
+class TelemetryStore:
+    """Append-only telemetry for one simulated account."""
+
+    def __init__(self):
+        self._queries: dict[str, list[QueryRecord]] = {}
+        self._query_arrivals: dict[str, list[float]] = {}  # parallel sort keys
+        self._events: dict[str, list[WarehouseEvent]] = {}
+        self._configs: dict[str, list[ConfigSnapshot]] = {}
+
+    # ------------------------------------------------------------------ write
+    def record_query(self, record: QueryRecord) -> None:
+        """Record a completed query (insertion kept sorted by arrival)."""
+        if not record.completed:
+            raise TelemetryError("only completed queries enter QUERY_HISTORY")
+        arrivals = self._query_arrivals.setdefault(record.warehouse, [])
+        records = self._queries.setdefault(record.warehouse, [])
+        idx = bisect.bisect_right(arrivals, record.arrival_time)
+        arrivals.insert(idx, record.arrival_time)
+        records.insert(idx, record)
+
+    def record_event(self, event: WarehouseEvent) -> None:
+        self._events.setdefault(event.warehouse, []).append(event)
+
+    def record_config(self, warehouse: str, snapshot: ConfigSnapshot) -> None:
+        history = self._configs.setdefault(warehouse, [])
+        if history and snapshot.time < history[-1].time:
+            raise TelemetryError("config snapshots must be recorded in time order")
+        history.append(snapshot)
+
+    # ------------------------------------------------------------------- read
+    def warehouses(self) -> list[str]:
+        names = set(self._queries) | set(self._events) | set(self._configs)
+        return sorted(names)
+
+    def query_history(
+        self,
+        warehouse: str,
+        window: Window | None = None,
+        include_overhead: bool = False,
+    ) -> list[QueryRecord]:
+        """Completed queries for ``warehouse``, by arrival time.
+
+        ``include_overhead=False`` (the default) filters out KWO's own
+        telemetry/actuator queries, matching how the paper separates customer
+        usage from Keebo overhead (§7.3).
+        """
+        records = self._queries.get(warehouse, [])
+        if window is not None:
+            arrivals = self._query_arrivals.get(warehouse, [])
+            lo = bisect.bisect_left(arrivals, window.start)
+            hi = bisect.bisect_left(arrivals, window.end)
+            records = records[lo:hi]
+        if not include_overhead:
+            records = [r for r in records if not r.is_overhead]
+        return list(records)
+
+    def warehouse_events(
+        self, warehouse: str, window: Window | None = None, kind: str | None = None
+    ) -> list[WarehouseEvent]:
+        events = self._events.get(warehouse, [])
+        if window is not None:
+            events = [e for e in events if window.contains(e.time)]
+        if kind is not None:
+            events = [e for e in events if e.kind == kind]
+        return list(events)
+
+    def config_at(self, warehouse: str, t: float) -> WarehouseConfig:
+        """The configuration in force at time ``t``."""
+        history = self._configs.get(warehouse)
+        if not history:
+            raise TelemetryError(f"no configuration history for {warehouse!r}")
+        result = None
+        for snap in history:
+            if snap.time <= t:
+                result = snap
+            else:
+                break
+        if result is None:
+            # Asked for a time before the warehouse existed: its first config.
+            result = history[0]
+        return result.config
+
+    def original_config(self, warehouse: str, before: float | None = None) -> WarehouseConfig:
+        """The customer's own configuration, ignoring Keebo-initiated changes.
+
+        This is the "without-Keebo" baseline the query replay of §5.1 needs:
+        the most recent snapshot whose initiator is not ``"keebo"`` (at or
+        before ``before``, when given).
+        """
+        history = self._configs.get(warehouse)
+        if not history:
+            raise TelemetryError(f"no configuration history for {warehouse!r}")
+        result = None
+        for snap in history:
+            if before is not None and snap.time > before:
+                break
+            if snap.initiator != "keebo":
+                result = snap
+        if result is None:
+            result = history[0]
+        return result.config
+
+    def config_history(self, warehouse: str) -> list[ConfigSnapshot]:
+        return list(self._configs.get(warehouse, []))

@@ -1,0 +1,115 @@
+"""Core vocabulary of the CDW simulator: sizes, states, scaling policies.
+
+The T-shirt size ladder and credit rates follow Snowflake's public pricing
+model (credits/hour doubling with each size step), which the paper's §3
+describes as the optimization surface for warehouse resizing.
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.common.errors import ConfigurationError
+
+
+class WarehouseSize(enum.IntEnum):
+    """Snowflake-style T-shirt sizes; the int value is the size index.
+
+    Credits per hour double with each step: XS bills 1 credit/hour, S bills
+    2, ..., SIZE_6XL bills 512.  Compute capacity is likewise assumed to
+    double per step (§3: "the compute capacity is widely assumed to also
+    double with each increment").
+    """
+
+    XS = 0
+    S = 1
+    M = 2
+    L = 3
+    XL = 4
+    SIZE_2XL = 5
+    SIZE_3XL = 6
+    SIZE_4XL = 7
+    SIZE_5XL = 8
+    SIZE_6XL = 9
+
+    @property
+    def credits_per_hour(self) -> float:
+        """Billing rate for one running cluster of this size."""
+        return float(2 ** self.value)
+
+    @property
+    def speedup(self) -> float:
+        """Raw compute capacity relative to XS (doubles per step)."""
+        return float(2 ** self.value)
+
+    @property
+    def cache_capacity_bytes(self) -> float:
+        """Local SSD cache capacity per cluster.
+
+        XS gets 32 GiB and capacity doubles with size, mirroring the "more
+        servers per cluster => more local cache" behaviour that makes
+        resizing interact with cache warmth.
+        """
+        return 32 * (2**30) * float(2 ** self.value)
+
+    @property
+    def label(self) -> str:
+        """Vendor-style label, e.g. ``'X-Small'`` or ``'2X-Large'``."""
+        names = {
+            WarehouseSize.XS: "X-Small",
+            WarehouseSize.S: "Small",
+            WarehouseSize.M: "Medium",
+            WarehouseSize.L: "Large",
+            WarehouseSize.XL: "X-Large",
+        }
+        if self in names:
+            return names[self]
+        return f"{self.value - 3}X-Large"
+
+    def step(self, delta: int) -> "WarehouseSize":
+        """Return the size ``delta`` steps away, clamped to the ladder."""
+        idx = min(max(self.value + delta, WarehouseSize.XS.value), WarehouseSize.SIZE_6XL.value)
+        return WarehouseSize(idx)
+
+    @classmethod
+    def parse(cls, text: str) -> "WarehouseSize":
+        """Parse either enum names ('XS', 'M') or vendor labels ('X-Small')."""
+        normalized = text.strip().upper().replace("-", "").replace("_", "").replace(" ", "")
+        aliases = {
+            "XSMALL": cls.XS,
+            "XS": cls.XS,
+            "SMALL": cls.S,
+            "S": cls.S,
+            "MEDIUM": cls.M,
+            "M": cls.M,
+            "LARGE": cls.L,
+            "L": cls.L,
+            "XLARGE": cls.XL,
+            "XL": cls.XL,
+        }
+        if normalized in aliases:
+            return aliases[normalized]
+        for n in range(2, 7):
+            if normalized in (f"{n}XLARGE", f"{n}XL", f"SIZE{n}XL"):
+                return cls(n + 3)
+        raise ConfigurationError(f"unknown warehouse size {text!r}")
+
+
+class ScalingPolicy(enum.Enum):
+    """Multi-cluster scale-out policies (§3 "warehouse parallelism").
+
+    STANDARD  aggressively starts a new cluster as soon as a query queues.
+    ECONOMY   starts a new cluster only if the queued work would keep it
+              busy for ~6 minutes, favouring cost over queueing delay.
+    """
+
+    STANDARD = "standard"
+    ECONOMY = "economy"
+
+
+class WarehouseState(enum.Enum):
+    """Lifecycle state of a virtual warehouse."""
+
+    SUSPENDED = "suspended"
+    RESUMING = "resuming"
+    RUNNING = "running"

@@ -1,0 +1,48 @@
+"""Synthetic workload generators (the paper's production traces substitute).
+
+Archetypes: recurring ETL pipelines, cache-sensitive BI dashboards, and
+unpredictable ad-hoc analytics; plus mixed presets matching the regimes of
+the paper's evaluation (§7).
+"""
+
+from repro.workloads.adhoc import AdhocWorkload
+from repro.workloads.base import (
+    CompositeWorkload,
+    Workload,
+    business_hours_profile,
+    make_partition_universe,
+    month_end_multiplier,
+    poisson_arrivals,
+    sample_table_subset,
+    template_bytes,
+)
+from repro.workloads.bi import BiWorkload, DashboardSpec
+from repro.workloads.etl import EtlWorkload, PipelineSpec
+from repro.workloads.reporting import ReportingWorkload
+from repro.workloads.mixed import (
+    make_bi_workload,
+    make_predictable_workload,
+    make_static_etl_workload,
+    make_unpredictable_workload,
+)
+
+__all__ = [
+    "Workload",
+    "CompositeWorkload",
+    "poisson_arrivals",
+    "business_hours_profile",
+    "month_end_multiplier",
+    "make_partition_universe",
+    "sample_table_subset",
+    "template_bytes",
+    "EtlWorkload",
+    "PipelineSpec",
+    "BiWorkload",
+    "DashboardSpec",
+    "AdhocWorkload",
+    "ReportingWorkload",
+    "make_predictable_workload",
+    "make_unpredictable_workload",
+    "make_static_etl_workload",
+    "make_bi_workload",
+]

@@ -1,0 +1,144 @@
+"""Workload generator framework.
+
+A workload is a deterministic (seeded) generator of
+:class:`~repro.warehouse.queries.QueryRequest` arrivals over a time window.
+Archetypes mirror the workload families the paper keeps contrasting (§2 C5,
+§3, §7): recurring ETL, cache-sensitive BI dashboards, and unpredictable
+ad-hoc analytics with spikes and month-end load.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Sequence
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, Window
+from repro.warehouse.queries import QueryRequest, QueryTemplate
+
+
+class Workload(abc.ABC):
+    """Base class for deterministic workload generators."""
+
+    def __init__(self, rng: np.random.Generator):
+        self.rng = rng
+
+    @abc.abstractmethod
+    def generate(self, window: Window) -> list[QueryRequest]:
+        """Emit all query arrivals inside ``window`` (sorted by time)."""
+
+    @staticmethod
+    def _sorted(requests: list[QueryRequest]) -> list[QueryRequest]:
+        return sorted(requests, key=lambda r: r.arrival_time)
+
+
+class CompositeWorkload(Workload):
+    """Union of several workloads driving the same warehouse."""
+
+    def __init__(self, parts: Sequence[Workload]):
+        if not parts:
+            raise ConfigurationError("composite workload needs at least one part")
+        # No rng of its own: parts carry their own streams.
+        super().__init__(np.random.default_rng(0))
+        self.parts = list(parts)
+
+    def generate(self, window: Window) -> list[QueryRequest]:
+        requests: list[QueryRequest] = []
+        for part in self.parts:
+            requests.extend(part.generate(window))
+        return self._sorted(requests)
+
+
+def poisson_arrivals(
+    rng: np.random.Generator, window: Window, rate_per_hour_fn
+) -> list[float]:
+    """Sample a non-homogeneous Poisson process by thinning.
+
+    ``rate_per_hour_fn(t)`` gives the instantaneous intensity (queries/hour)
+    at simulation time ``t``.  The envelope rate is probed hourly across the
+    window, so intensity functions should be piecewise-smooth at sub-hour
+    scale.
+    """
+    probes = np.arange(window.start, window.end + 1, 1800.0)
+    lambda_max = max(float(rate_per_hour_fn(t)) for t in probes)
+    if lambda_max <= 0:
+        return []
+    arrivals = []
+    t = window.start
+    while True:
+        t += rng.exponential(3600.0 / lambda_max)
+        if t >= window.end:
+            break
+        if rng.random() < rate_per_hour_fn(t) / lambda_max:
+            arrivals.append(t)
+    return arrivals
+
+
+def business_hours_profile(
+    t: float, base: float, peak: float, open_hour: float = 8.0, close_hour: float = 18.0
+) -> float:
+    """Weekday intensity profile: ``base`` off-hours, humped ``peak`` during
+    business hours with morning and afternoon maxima; weekends at ``base``."""
+    from repro.common.simtime import day_of_week, hour_of_day
+
+    if day_of_week(t) >= 5:
+        return base
+    h = hour_of_day(t)
+    if not open_hour <= h < close_hour:
+        return base
+    # Two-hump shape: peaks at ~10:30 and ~15:00.
+    span = close_hour - open_hour
+    x = (h - open_hour) / span
+    hump = 0.6 + 0.4 * (np.sin(np.pi * x) ** 2 + 0.5 * np.sin(2 * np.pi * x + 0.4) ** 2) / 1.5
+    return base + (peak - base) * float(hump)
+
+
+def month_end_multiplier(t: float, boost: float = 2.0, days: int = 3) -> float:
+    """Load multiplier near the end of the simulated 28-day month."""
+    day_in_month = int(t // DAY) % 28
+    return boost if day_in_month >= 28 - days else 1.0
+
+
+def make_partition_universe(prefix: str, n_tables: int, partitions_per_table: int) -> list[tuple[str, ...]]:
+    """Per-table partition tuples, the cacheable footprint of each table."""
+    return [
+        tuple(f"{prefix}.t{table}.p{p}" for p in range(partitions_per_table))
+        for table in range(n_tables)
+    ]
+
+
+def sample_table_subset(
+    rng: np.random.Generator, universe: list[tuple[str, ...]], n_tables: int, fraction: float
+) -> tuple[str, ...]:
+    """Pick ``n_tables`` tables and a fraction of each table's partitions."""
+    chosen = rng.choice(len(universe), size=min(n_tables, len(universe)), replace=False)
+    parts: list[str] = []
+    for idx in chosen:
+        table = universe[int(idx)]
+        k = max(1, int(round(fraction * len(table))))
+        start = int(rng.integers(0, max(1, len(table) - k + 1)))
+        parts.extend(table[start : start + k])
+    return tuple(parts)
+
+
+def template_bytes(partitions: tuple[str, ...]) -> float:
+    """Bytes scanned implied by a partition footprint."""
+    from repro.warehouse.cache import PARTITION_BYTES
+
+    return float(len(partitions) * PARTITION_BYTES)
+
+
+__all__ = [
+    "Workload",
+    "CompositeWorkload",
+    "poisson_arrivals",
+    "business_hours_profile",
+    "month_end_multiplier",
+    "make_partition_universe",
+    "sample_table_subset",
+    "template_bytes",
+    "QueryRequest",
+    "QueryTemplate",
+]

@@ -1,0 +1,136 @@
+"""Recurring ETL workloads: scheduled pipelines of chained steps.
+
+ETL is the "highly-recurring query pattern" archetype of §2 C5 and the
+static workload of Figure 6: the same pipelines run at the same times every
+day, each pipeline being a chain of dependent steps (step *i+1* is submitted
+when step *i* finishes).  Chained arrivals matter to the cost model's gap
+analysis (§5.2): their inter-arrival gaps shift when latencies change, while
+independent arrivals do not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, day_index
+from repro.common.simtime import Window
+from repro.warehouse.queries import QueryRequest, QueryTemplate
+from repro.workloads.base import (
+    Workload,
+    make_partition_universe,
+    sample_table_subset,
+    template_bytes,
+)
+
+
+@dataclass
+class PipelineSpec:
+    """One recurring pipeline: a chain of steps launched at fixed times."""
+
+    name: str
+    steps: list[QueryTemplate]
+    #: Seconds-of-day at which the pipeline launches (may repeat daily).
+    launch_times: list[float]
+    #: Expected per-step duration used to space chained arrivals, plus slack.
+    step_gap_slack: float = 5.0
+    #: Which weekdays the pipeline runs on (default: every day).
+    weekdays: tuple[int, ...] = (0, 1, 2, 3, 4, 5, 6)
+    #: Reference size the expected durations are computed against.
+    expected_speedup: float = field(default=4.0)  # ~Medium
+
+
+class EtlWorkload(Workload):
+    """A set of recurring pipelines."""
+
+    def __init__(self, rng: np.random.Generator, pipelines: list[PipelineSpec]):
+        super().__init__(rng)
+        if not pipelines:
+            raise ConfigurationError("ETL workload needs at least one pipeline")
+        self.pipelines = pipelines
+
+    @classmethod
+    def synthesize(
+        cls,
+        rng: np.random.Generator,
+        n_pipelines: int = 4,
+        steps_per_pipeline: int = 5,
+        launches_per_day: int = 2,
+        base_work_range: tuple[float, float] = (120.0, 900.0),
+        name_prefix: str = "etl",
+        evenly_spaced: bool = False,
+    ) -> "EtlWorkload":
+        """Build a random-but-seeded ETL workload.
+
+        Step templates are heavy, highly parallelizable (scale exponent near
+        1) and only mildly cache sensitive — fresh data is read every run,
+        so cold caches barely matter; this is exactly why aggressive suspend
+        works well on ETL warehouses.
+        """
+        universe = make_partition_universe(name_prefix, n_tables=20, partitions_per_table=24)
+        pipelines = []
+        for p in range(n_pipelines):
+            steps = []
+            for s in range(steps_per_pipeline):
+                base = float(rng.uniform(*base_work_range))
+                steps.append(
+                    QueryTemplate(
+                        name=f"{name_prefix}.p{p}.s{s}",
+                        base_work_seconds=base,
+                        scale_exponent=float(rng.uniform(0.85, 1.0)),
+                        bytes_scanned=template_bytes(
+                            parts := sample_table_subset(rng, universe, 3, 0.5)
+                        ),
+                        partitions=parts,
+                        cold_multiplier=float(rng.uniform(1.1, 1.4)),
+                    )
+                )
+            if evenly_spaced:
+                # Orchestrator-style cron schedule: evenly spread across the
+                # day with a fixed per-pipeline phase (static hourly load,
+                # the Figure 6 regime).
+                phase = float(rng.uniform(0, 24 / launches_per_day)) * HOUR
+                spacing = DAY / launches_per_day
+                launch_times = [phase + k * spacing for k in range(launches_per_day)]
+            else:
+                launch_times = sorted(
+                    float(rng.uniform(0, 24)) * HOUR for _ in range(launches_per_day)
+                )
+            pipelines.append(
+                PipelineSpec(name=f"{name_prefix}.p{p}", steps=steps, launch_times=launch_times)
+            )
+        return cls(rng, pipelines)
+
+    def generate(self, window: Window) -> list[QueryRequest]:
+        requests: list[QueryRequest] = []
+        first_day = day_index(window.start)
+        last_day = day_index(max(window.start, window.end - 1e-9))
+        for day in range(first_day, last_day + 1):
+            for pipeline in self.pipelines:
+                if day % 7 not in pipeline.weekdays:
+                    continue
+                for launch in pipeline.launch_times:
+                    requests.extend(self._emit_chain(pipeline, day * DAY + launch, window, day))
+        return self._sorted(requests)
+
+    def _emit_chain(
+        self, pipeline: PipelineSpec, launch_at: float, window: Window, day: int
+    ) -> list[QueryRequest]:
+        # Small launch jitter: orchestrators never fire at the exact second.
+        t = launch_at + float(self.rng.normal(0.0, 20.0))
+        out: list[QueryRequest] = []
+        for i, step in enumerate(pipeline.steps):
+            if window.contains(t):
+                out.append(
+                    QueryRequest(
+                        template=step,
+                        arrival_time=t,
+                        instance_key=f"{pipeline.name}:{day}:{launch_at:.0f}",
+                        chained=i > 0,
+                    )
+                )
+            expected = step.base_work_seconds / (pipeline.expected_speedup**step.scale_exponent)
+            t += expected + pipeline.step_gap_slack
+        return out

@@ -1,0 +1,64 @@
+"""Convenience constructors for the mixed workloads used across experiments."""
+
+from __future__ import annotations
+
+from repro.common.rng import RngRegistry
+from repro.workloads.adhoc import AdhocWorkload
+from repro.workloads.base import CompositeWorkload, Workload
+from repro.workloads.bi import BiWorkload
+from repro.workloads.etl import EtlWorkload
+
+
+def make_predictable_workload(rngs: RngRegistry, intensity: float = 1.0) -> Workload:
+    """A steady, recurring mix (Figure 4b's "predictable" warehouse):
+    dominated by scheduled ETL with a modest, regular BI overlay."""
+    etl = EtlWorkload.synthesize(
+        rngs.stream("workload.etl"),
+        n_pipelines=max(1, int(round(5 * intensity))),
+        steps_per_pipeline=6,
+        launches_per_day=3,
+    )
+    bi = BiWorkload.synthesize(
+        rngs.stream("workload.bi"),
+        n_dashboards=3,
+        peak_refreshes_per_hour=3.0 * intensity,
+    )
+    return CompositeWorkload([etl, bi])
+
+
+def make_unpredictable_workload(rngs: RngRegistry, intensity: float = 1.0) -> Workload:
+    """A fluctuating analyst mix (Figure 4a's "less predictable" warehouse):
+    spiky ad-hoc load with a small BI component and no fixed schedule."""
+    adhoc = AdhocWorkload.synthesize(
+        rngs.stream("workload.adhoc"),
+        peak_rate_per_hour=18.0 * intensity,
+        spike_probability_per_day=0.25,
+        spike_multiplier=4.0,
+    )
+    bi = BiWorkload.synthesize(
+        rngs.stream("workload.bi"),
+        n_dashboards=2,
+        peak_refreshes_per_hour=2.0 * intensity,
+    )
+    return CompositeWorkload([adhoc, bi])
+
+
+def make_static_etl_workload(rngs: RngRegistry, launches_per_day: int = 24) -> Workload:
+    """Hourly ETL with near-constant load (Figure 6's warehouse)."""
+    return EtlWorkload.synthesize(
+        rngs.stream("workload.etl"),
+        n_pipelines=3,
+        steps_per_pipeline=4,
+        launches_per_day=launches_per_day,
+        base_work_range=(60.0, 240.0),
+        evenly_spaced=True,
+    )
+
+
+def make_bi_workload(rngs: RngRegistry, intensity: float = 1.0) -> Workload:
+    """Pure dashboard traffic (cache-sensitivity stress; slider experiments)."""
+    return BiWorkload.synthesize(
+        rngs.stream("workload.bi"),
+        n_dashboards=6,
+        peak_refreshes_per_hour=6.0 * intensity,
+    )

@@ -1,0 +1,120 @@
+"""Scheduled reporting workloads.
+
+§2 C2 contrasts reporting applications against BI: "a reporting application
+may be able to tolerate slightly longer query latencies".  Reports are
+heavy, scheduled scans — daily operational reports at fixed times, plus
+weekly executive rollups — with no interactive user staring at a spinner.
+Their tolerance for latency (and their predictable schedule) makes them the
+easiest workload to run cheaply: a cost-leaning slider can downsize the
+warehouse without anyone noticing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, Window, day_index
+from repro.warehouse.queries import QueryRequest, QueryTemplate
+from repro.workloads.base import (
+    Workload,
+    make_partition_universe,
+    sample_table_subset,
+    template_bytes,
+)
+
+
+class ReportingWorkload(Workload):
+    """Daily and weekly scheduled reports."""
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        daily_reports: list[QueryTemplate],
+        weekly_reports: list[QueryTemplate],
+        daily_at_hour: float = 6.0,
+        weekly_weekday: int = 0,
+        weekly_at_hour: float = 5.0,
+        submit_spread_seconds: float = 120.0,
+    ):
+        super().__init__(rng)
+        if not daily_reports and not weekly_reports:
+            raise ConfigurationError("reporting workload needs at least one report")
+        if not 0 <= weekly_weekday <= 6:
+            raise ConfigurationError("weekly_weekday must be 0..6")
+        self.daily_reports = daily_reports
+        self.weekly_reports = weekly_reports
+        self.daily_at_hour = daily_at_hour
+        self.weekly_weekday = weekly_weekday
+        self.weekly_at_hour = weekly_at_hour
+        self.submit_spread_seconds = submit_spread_seconds
+
+    @classmethod
+    def synthesize(
+        cls,
+        rng: np.random.Generator,
+        n_daily: int = 6,
+        n_weekly: int = 3,
+        base_work_range: tuple[float, float] = (60.0, 400.0),
+        name_prefix: str = "report",
+        **kwargs,
+    ) -> "ReportingWorkload":
+        """Seeded reporting suite over a shared fact-table universe.
+
+        Reports scan wide (many partitions) but tolerate cold reads — they
+        run before anyone is at their desk — so cold multipliers are low
+        and scale exponents high (full scans parallelize well).
+        """
+        universe = make_partition_universe(name_prefix, n_tables=10, partitions_per_table=32)
+
+        def make(name: str) -> QueryTemplate:
+            parts = sample_table_subset(rng, universe, n_tables=3, fraction=0.8)
+            return QueryTemplate(
+                name=name,
+                base_work_seconds=float(rng.uniform(*base_work_range)),
+                scale_exponent=float(rng.uniform(0.85, 1.0)),
+                bytes_scanned=template_bytes(parts),
+                partitions=parts,
+                cold_multiplier=float(rng.uniform(1.1, 1.3)),
+            )
+
+        return cls(
+            rng,
+            daily_reports=[make(f"{name_prefix}.daily{i}") for i in range(n_daily)],
+            weekly_reports=[make(f"{name_prefix}.weekly{i}") for i in range(n_weekly)],
+            **kwargs,
+        )
+
+    def generate(self, window: Window) -> list[QueryRequest]:
+        requests: list[QueryRequest] = []
+        first_day = day_index(window.start)
+        last_day = day_index(max(window.start, window.end - 1e-9))
+        for day in range(first_day, last_day + 1):
+            day_start = day * DAY
+            requests.extend(
+                self._emit(self.daily_reports, day_start + self.daily_at_hour * HOUR, window, day)
+            )
+            if day % 7 == self.weekly_weekday:
+                requests.extend(
+                    self._emit(
+                        self.weekly_reports, day_start + self.weekly_at_hour * HOUR, window, day
+                    )
+                )
+        return self._sorted(requests)
+
+    def _emit(
+        self, reports: list[QueryTemplate], at: float, window: Window, day: int
+    ) -> list[QueryRequest]:
+        out = []
+        for template in reports:
+            t = at + float(self.rng.uniform(0.0, self.submit_spread_seconds))
+            if window.contains(t):
+                out.append(
+                    QueryRequest(
+                        template=template,
+                        arrival_time=t,
+                        # The same report re-runs the same SQL every schedule.
+                        instance_key=f"day{day}",
+                    )
+                )
+        return out

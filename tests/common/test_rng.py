@@ -1,0 +1,61 @@
+"""Tests for the named random stream registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream_values(self):
+        a = RngRegistry(seed=7).stream("x").random(5)
+        b = RngRegistry(seed=7).stream("x").random(5)
+        assert np.array_equal(a, b)
+
+    def test_different_names_are_independent(self):
+        registry = RngRegistry(seed=7)
+        a = registry.stream("a").random(5)
+        b = registry.stream("b").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(seed=1).stream("x").random(5)
+        b = RngRegistry(seed=2).stream("x").random(5)
+        assert not np.array_equal(a, b)
+
+    def test_stream_is_cached(self):
+        registry = RngRegistry(seed=0)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_creation_order_does_not_matter(self):
+        r1 = RngRegistry(seed=3)
+        r1.stream("a")  # consume nothing, just create
+        v1 = r1.stream("b").random()
+        r2 = RngRegistry(seed=3)
+        v2 = r2.stream("b").random()
+        assert v1 == v2
+
+    def test_fork_derives_new_registry(self):
+        root = RngRegistry(seed=5)
+        child = root.fork("customer1")
+        assert isinstance(child, RngRegistry)
+        assert child.seed != root.seed
+        # Forks are deterministic.
+        assert RngRegistry(seed=5).fork("customer1").seed == child.seed
+
+    def test_forks_with_different_names_differ(self):
+        root = RngRegistry(seed=5)
+        assert root.fork("a").seed != root.fork("b").seed
+
+    def test_spawn_seed_deterministic(self):
+        assert RngRegistry(9).spawn_seed("env") == RngRegistry(9).spawn_seed("env")
+        assert RngRegistry(9).spawn_seed("env") != RngRegistry(9).spawn_seed("env2")
+
+    def test_non_integer_seed_rejected(self):
+        with pytest.raises(TypeError):
+            RngRegistry(seed="abc")
+
+    def test_repr_lists_streams(self):
+        registry = RngRegistry(seed=0)
+        registry.stream("zeta")
+        assert "zeta" in repr(registry)

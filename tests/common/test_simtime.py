@@ -1,0 +1,89 @@
+"""Tests for simulation time helpers."""
+
+import pytest
+
+from repro.common.simtime import (
+    DAY,
+    HOUR,
+    MINUTE,
+    WEEK,
+    Window,
+    day_index,
+    day_of_week,
+    format_time,
+    hour_index,
+    hour_of_day,
+    minute_of_day,
+)
+
+
+class TestTimeHelpers:
+    def test_constants(self):
+        assert MINUTE == 60
+        assert HOUR == 3600
+        assert DAY == 24 * HOUR
+        assert WEEK == 7 * DAY
+
+    def test_epoch_is_monday_midnight(self):
+        assert day_of_week(0.0) == 0
+        assert hour_of_day(0.0) == 0.0
+
+    def test_hour_of_day_fractional(self):
+        assert hour_of_day(90 * MINUTE) == pytest.approx(1.5)
+
+    def test_minute_of_day(self):
+        assert minute_of_day(2 * HOUR) == pytest.approx(120.0)
+
+    def test_day_of_week_wraps(self):
+        assert day_of_week(6 * DAY) == 6  # Sunday
+        assert day_of_week(7 * DAY) == 0  # Monday again
+
+    def test_day_and_hour_index(self):
+        assert day_index(3 * DAY + HOUR) == 3
+        assert hour_index(3 * DAY + HOUR) == 73
+
+    def test_format_time(self):
+        text = format_time(3 * DAY + 14 * HOUR + 5 * MINUTE + 9)
+        assert text == "day 3 (Thu) 14:05:09"
+
+
+class TestWindow:
+    def test_duration(self):
+        assert Window(10, 30).duration == 20
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            Window(5, 4)
+
+    def test_contains_half_open(self):
+        w = Window(10, 20)
+        assert w.contains(10)
+        assert w.contains(19.999)
+        assert not w.contains(20)
+        assert not w.contains(9.999)
+
+    def test_overlap(self):
+        assert Window(0, 10).overlap(Window(5, 20)) == 5
+        assert Window(0, 10).overlap(Window(10, 20)) == 0
+        assert Window(0, 10).overlap(Window(-5, 3)) == 3
+
+    def test_clamp(self):
+        w = Window(10, 20)
+        assert w.clamp(5) == 10
+        assert w.clamp(25) == 20
+        assert w.clamp(15) == 15
+
+    def test_split_hours_aligned(self):
+        pieces = Window(0, 2 * HOUR).split_hours()
+        assert len(pieces) == 2
+        assert pieces[0] == Window(0, HOUR)
+        assert pieces[1] == Window(HOUR, 2 * HOUR)
+
+    def test_split_hours_unaligned(self):
+        pieces = Window(HOUR / 2, 2.25 * HOUR).split_hours()
+        assert [p.duration for p in pieces] == [HOUR / 2, HOUR, HOUR / 4]
+        assert sum(p.duration for p in pieces) == pytest.approx(1.75 * HOUR)
+
+    def test_split_hours_within_one_hour(self):
+        pieces = Window(100, 200).split_hours()
+        assert pieces == [Window(100, 200)]

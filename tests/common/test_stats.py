@@ -1,0 +1,91 @@
+"""Tests for statistics helpers."""
+
+import math
+
+import pytest
+
+from repro.common.stats import StreamingStats, ewma, percentile, summarize
+
+
+class TestPercentile:
+    def test_empty_is_zero(self):
+        assert percentile([], 99) == 0.0
+
+    def test_single_value(self):
+        assert percentile([5.0], 50) == 5.0
+
+    def test_median(self):
+        assert percentile([1, 2, 3, 4, 5], 50) == 3.0
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -1)
+
+    def test_p99_close_to_max(self):
+        values = list(range(1000))
+        assert percentile(values, 99) == pytest.approx(989.01)
+
+
+class TestEwma:
+    def test_empty_is_zero(self):
+        assert ewma([], 0.5) == 0.0
+
+    def test_single_value_is_itself(self):
+        assert ewma([42.0], 0.3) == 42.0
+
+    def test_alpha_one_returns_last(self):
+        assert ewma([1.0, 2.0, 3.0], 1.0) == 3.0
+
+    def test_weighting(self):
+        # out = 0.5*2 + 0.5*(0.5*1 + 0.5*... ) for [1, 2] with alpha .5
+        assert ewma([1.0, 2.0], 0.5) == pytest.approx(1.5)
+
+    def test_invalid_alpha(self):
+        with pytest.raises(ValueError):
+            ewma([1.0], 0.0)
+        with pytest.raises(ValueError):
+            ewma([1.0], 1.5)
+
+
+class TestStreamingStats:
+    def test_mean_and_variance(self):
+        stats = StreamingStats()
+        for v in [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]:
+            stats.add(v)
+        assert stats.mean == pytest.approx(5.0)
+        assert stats.std == pytest.approx(math.sqrt(32 / 8), rel=0.1)
+        assert stats.minimum == 2.0
+        assert stats.maximum == 9.0
+
+    def test_zscore_zero_for_constant_stream(self):
+        stats = StreamingStats()
+        for _ in range(10):
+            stats.add(3.0)
+        assert stats.zscore(100.0) == 0.0
+
+    def test_zscore_detects_outlier(self):
+        stats = StreamingStats()
+        for v in range(20):
+            stats.add(float(v % 3))
+        assert stats.zscore(50.0) > 3.0
+
+    def test_zscore_needs_two_samples(self):
+        stats = StreamingStats()
+        stats.add(1.0)
+        assert stats.zscore(99.0) == 0.0
+
+
+class TestSummarize:
+    def test_empty(self):
+        s = summarize([])
+        assert s["count"] == 0
+        assert s["p99"] == 0.0
+
+    def test_basic(self):
+        s = summarize([1.0, 2.0, 3.0])
+        assert s["count"] == 3
+        assert s["mean"] == pytest.approx(2.0)
+        assert s["p50"] == pytest.approx(2.0)
+        assert s["max"] == 3.0

@@ -1,0 +1,109 @@
+"""Tests for the warehouse consolidation advisor."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.consolidation import ConsolidationAdvisor
+from repro.warehouse.account import Account
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import make_requests, make_template
+
+
+def build_account(rate_a_minutes=6.0, rate_b_minutes=6.0, size=WarehouseSize.M):
+    """Two same-size warehouses, each with queries every ~6 minutes.
+
+    Individually each warehouse idles just past its 5-minute auto-suspend
+    between queries (paying a full suspend tail per query); interleaved on
+    one warehouse the 3-minute gaps keep it continuously warm — the classic
+    consolidation win.
+    """
+    account = Account(seed=13)
+    for name in ("TEAM_A", "TEAM_B"):
+        account.create_warehouse(
+            name, WarehouseConfig(size=size, auto_suspend_seconds=300.0, max_clusters=2)
+        )
+    tpl_a = make_template("a", base_work_seconds=20.0, n_partitions=2)
+    tpl_b = make_template("b", base_work_seconds=15.0, n_partitions=2)
+    times_a = [10.0 + i * rate_a_minutes * 60 for i in range(int(2 * DAY / (rate_a_minutes * 60)))]
+    # Offset B's arrivals so the workloads interleave rather than collide.
+    times_b = [
+        rate_b_minutes * 30 + i * rate_b_minutes * 60
+        for i in range(int(2 * DAY / (rate_b_minutes * 60)))
+    ]
+    account.schedule_workload("TEAM_A", make_requests(tpl_a, times_a))
+    account.schedule_workload("TEAM_B", make_requests(tpl_b, times_b))
+    account.run_until(2 * DAY + HOUR)
+    return account, CloudWarehouseClient(account, actor="keebo")
+
+
+class TestConsolidationAdvisor:
+    def test_needs_two_warehouses(self):
+        account, client = build_account()
+        with pytest.raises(ConfigurationError):
+            ConsolidationAdvisor(client).analyze(["TEAM_A"], Window(0, DAY))
+
+    def test_sparse_same_size_warehouses_are_merge_candidates(self):
+        account, client = build_account()
+        advisor = ConsolidationAdvisor(client, max_latency_factor=1.3)
+        recommendations = advisor.analyze(["TEAM_A", "TEAM_B"], Window(0, 2 * DAY))
+        assert len(recommendations) == 1
+        rec = recommendations[0]
+        assert set(rec.warehouses) == {"TEAM_A", "TEAM_B"}
+        assert rec.savings_credits > 0
+        assert rec.savings_fraction > 0.1  # two sets of idle tails collapse to one
+        assert rec.worst_latency_factor <= 1.3
+
+    def test_description_readable(self):
+        account, client = build_account()
+        advisor = ConsolidationAdvisor(client, max_latency_factor=1.3)
+        rec = advisor.analyze(["TEAM_A", "TEAM_B"], Window(0, 2 * DAY))[0]
+        text = rec.describe()
+        assert "TEAM_A" in text and "TEAM_B" in text
+        assert "credits" in text
+
+    def test_latency_tolerance_filters(self):
+        account, client = build_account()
+        strict = ConsolidationAdvisor(client, max_latency_factor=1.0001)
+        loose = ConsolidationAdvisor(client, max_latency_factor=2.0)
+        strict_recs = strict.analyze(["TEAM_A", "TEAM_B"], Window(0, 2 * DAY))
+        loose_recs = loose.analyze(["TEAM_A", "TEAM_B"], Window(0, 2 * DAY))
+        assert len(loose_recs) >= len(strict_recs)
+
+    def test_empty_warehouse_not_recommended(self):
+        account = Account(seed=14)
+        account.create_warehouse("BUSY", WarehouseConfig())
+        account.create_warehouse("EMPTY", WarehouseConfig())
+        tpl = make_template("x", base_work_seconds=10.0)
+        account.schedule_workload("BUSY", make_requests(tpl, [i * 600.0 for i in range(100)]))
+        account.run_until(DAY)
+        client = CloudWarehouseClient(account)
+        advisor = ConsolidationAdvisor(client)
+        assert advisor.analyze(["BUSY", "EMPTY"], Window(0, DAY)) == []
+
+    def test_min_savings_threshold(self):
+        account, client = build_account()
+        greedy = ConsolidationAdvisor(client, max_latency_factor=1.3, min_savings_fraction=0.99)
+        assert greedy.analyze(["TEAM_A", "TEAM_B"], Window(0, 2 * DAY)) == []
+
+    def test_three_way_returns_sorted_pairs(self):
+        account, client = build_account()
+        account2 = account  # add a third warehouse to the same account
+        account2.create_warehouse(
+            "TEAM_C", WarehouseConfig(size=WarehouseSize.M, auto_suspend_seconds=300.0)
+        )
+        tpl_c = make_template("c", base_work_seconds=10.0, n_partitions=1)
+        start = account2.sim.now
+        account2.schedule_workload(
+            "TEAM_C", make_requests(tpl_c, [start + 600.0 + i * 1800.0 for i in range(50)])
+        )
+        account2.run_until(start + DAY)
+        advisor = ConsolidationAdvisor(client, max_latency_factor=1.5)
+        recommendations = advisor.analyze(
+            ["TEAM_A", "TEAM_B", "TEAM_C"], Window(start, start + DAY)
+        )
+        savings = [r.savings_credits for r in recommendations]
+        assert savings == sorted(savings, reverse=True)

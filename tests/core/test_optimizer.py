@@ -1,0 +1,178 @@
+"""Tests for the WarehouseOptimizer loop and KeeboService facade."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, UnknownWarehouseError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.optimizer import KeeboService, OptimizerConfig, WarehouseOptimizer
+from repro.core.sliders import SliderPosition
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+def small_config(**kw) -> OptimizerConfig:
+    defaults = dict(
+        training_window=12 * HOUR,
+        onboarding_episodes=2,
+        episode_length=6 * HOUR,
+        retrain_interval=12 * HOUR,
+        retrain_episodes=0,
+        decision_interval=900.0,
+        confidence_tau=0.0,
+    )
+    defaults.update(kw)
+    return OptimizerConfig(**defaults)
+
+
+def seeded_account(hours=12.0):
+    account, wh = make_account(
+        seed=21, size=WarehouseSize.M, auto_suspend_seconds=600.0, max_clusters=2
+    )
+    template = make_template("opt", base_work_seconds=15.0, n_partitions=2)
+    times = [10.0 + i * 400.0 for i in range(int(hours * 9))]
+    account.schedule_workload(wh, make_requests(template, times))
+    account.run_until(hours * HOUR)
+    return account, wh
+
+
+class TestOnboarding:
+    def test_onboard_trains_and_registers(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        report = optimizer.onboard()
+        assert optimizer.onboarded
+        assert len(report.episodes) == 2
+        assert optimizer.cost_model is not None
+        events = account.telemetry.warehouse_events(wh, kind="keebo_onboarded")
+        assert len(events) == 1
+
+    def test_onboard_without_telemetry_fails(self):
+        account, wh = make_account()
+        account.run_until(DAY)
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        with pytest.raises(ConfigurationError):
+            optimizer.onboard()
+
+    def test_decisions_happen_after_onboarding(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        optimizer.onboard()
+        # Keep the workload flowing so the loop has something to see.
+        template = make_template("opt", base_work_seconds=15.0, n_partitions=2)
+        more = make_requests(template, [12 * HOUR + 10 + i * 400.0 for i in range(50)])
+        account.schedule_workload(wh, more)
+        account.run_until(18 * HOUR)
+        assert len(optimizer.decisions) > 10
+        counts = optimizer.decision_counts()
+        assert sum(counts.values()) == len(optimizer.decisions)
+
+    def test_savings_estimate_available(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        optimizer.onboard()
+        account.run_until(14 * HOUR)
+        estimate = optimizer.estimate_savings(Window(12 * HOUR, 14 * HOUR))
+        assert estimate.without_keebo_credits >= 0.0
+
+    def test_estimate_before_onboard_fails(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        with pytest.raises(ConfigurationError):
+            optimizer.estimate_savings(Window(0, HOUR))
+
+
+class TestExternalConflict:
+    def test_pauses_on_external_change(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        optimizer.onboard()
+        template = make_template("opt", base_work_seconds=15.0, n_partitions=2)
+        account.schedule_workload(
+            wh, make_requests(template, [12 * HOUR + 10 + i * 400.0 for i in range(100)])
+        )
+        account.run_until(13 * HOUR)
+        # An admin changes the warehouse behind Keebo's back.
+        CloudWarehouseClient(account, actor="customer").alter_warehouse(
+            wh, size=WarehouseSize.XL
+        )
+        account.run_until(15 * HOUR)
+        assert optimizer.paused
+        pauses = account.telemetry.warehouse_events(wh, kind="keebo_paused")
+        assert len(pauses) == 1
+        # While paused, Keebo leaves the external setting alone.
+        assert CloudWarehouseClient(account).current_config(wh).size == WarehouseSize.XL
+
+    def test_resume_optimizations(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        optimizer.onboard()
+        account.run_until(13 * HOUR)
+        CloudWarehouseClient(account, actor="customer").alter_warehouse(
+            wh, auto_suspend_seconds=120.0
+        )
+        account.run_until(14 * HOUR)
+        assert optimizer.paused
+        optimizer.resume_optimizations()
+        assert not optimizer.paused
+        n_before = len(optimizer.decisions)
+        account.run_until(15 * HOUR)
+        assert len(optimizer.decisions) > n_before
+
+
+class TestRetraining:
+    def test_periodic_retrain_updates_models(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(
+            account, wh, config=small_config(retrain_interval=2 * HOUR, retrain_episodes=1)
+        )
+        optimizer.onboard()
+        template = make_template("opt", base_work_seconds=15.0, n_partitions=2)
+        account.schedule_workload(
+            wh, make_requests(template, [12 * HOUR + 10 + i * 400.0 for i in range(100)])
+        )
+        account.run_until(17 * HOUR)
+        # Onboarding report plus at least one retrain report.
+        assert len(optimizer.training_reports) >= 2
+
+
+class TestKeeboService:
+    def test_onboard_unknown_warehouse(self):
+        account, wh = seeded_account()
+        service = KeeboService(account)
+        with pytest.raises(UnknownWarehouseError):
+            service.onboard_warehouse("NOPE")
+
+    def test_double_onboard_rejected(self):
+        account, wh = seeded_account()
+        service = KeeboService(account)
+        service.onboard_warehouse(wh, config=small_config())
+        with pytest.raises(ConfigurationError):
+            service.onboard_warehouse(wh, config=small_config())
+
+    def test_invoice_flow(self):
+        account, wh = seeded_account()
+        service = KeeboService(account, fee_fraction=0.3)
+        service.onboard_warehouse(wh, config=small_config())
+        account.run_until(16 * HOUR)
+        invoice = service.invoice(wh, Window(12 * HOUR, 16 * HOUR))
+        assert invoice.warehouse == wh
+        assert invoice.fee_dollars >= 0.0
+        assert service.invoices(Window(12 * HOUR, 16 * HOUR)) == [invoice]
+
+    def test_set_slider_delegates(self):
+        account, wh = seeded_account()
+        service = KeeboService(account)
+        service.onboard_warehouse(wh, config=small_config())
+        service.set_slider(wh, SliderPosition.LOWEST_COST)
+        assert service.optimizer(wh).params.position == SliderPosition.LOWEST_COST
+
+    def test_shutdown_stops_controllers(self):
+        account, wh = seeded_account()
+        service = KeeboService(account)
+        optimizer = service.onboard_warehouse(wh, config=small_config())
+        service.shutdown()
+        n = len(optimizer.decisions)
+        account.run_until(20 * HOUR)
+        assert len(optimizer.decisions) == n

@@ -1,0 +1,105 @@
+"""Tests for the STANDARD/ECONOMY scaling policy advisor."""
+
+import pytest
+
+from repro.core.monitoring import RealTimeFeedback
+from repro.core.policy_advisor import (
+    POLICY_DWELL_SECONDS,
+    QUIET_STREAK_REQUIRED,
+    ScalingPolicyAdvisor,
+)
+from repro.core.sliders import SliderPosition, slider_params
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import ScalingPolicy
+
+
+def feedback(queue_length=0, mean_queue=0.0) -> RealTimeFeedback:
+    return RealTimeFeedback(
+        time=0.0,
+        queue_length=queue_length,
+        running_queries=0,
+        recent_queries=10,
+        recent_p99=5.0,
+        latency_ratio=1.0,
+        mean_queue_seconds=mean_queue,
+        arrival_zscore=0.0,
+        unseen_template_fraction=0.0,
+        external_change=False,
+    )
+
+
+def config(policy=ScalingPolicy.STANDARD, max_clusters=4) -> WarehouseConfig:
+    return WarehouseConfig(max_clusters=max_clusters, scaling_policy=policy)
+
+
+def quiet_advisor(slider=SliderPosition.BALANCED) -> ScalingPolicyAdvisor:
+    return ScalingPolicyAdvisor(slider_params(slider))
+
+
+class TestScalingPolicyAdvisor:
+    def test_single_cluster_left_alone(self):
+        advisor = quiet_advisor()
+        for _ in range(50):
+            assert advisor.recommend(0.0, config(max_clusters=1), feedback()) is None
+
+    def test_economy_after_sustained_quiet(self):
+        advisor = quiet_advisor()
+        result = None
+        for i in range(QUIET_STREAK_REQUIRED + 1):
+            result = advisor.recommend(i * 600.0, config(), feedback())
+            if result is not None:
+                break
+        assert result == ScalingPolicy.ECONOMY
+
+    def test_no_economy_before_streak(self):
+        advisor = quiet_advisor()
+        for i in range(QUIET_STREAK_REQUIRED - 1):
+            assert advisor.recommend(i * 600.0, config(), feedback()) is None
+
+    def test_queueing_resets_streak(self):
+        advisor = quiet_advisor()
+        t = 0.0
+        for _ in range(QUIET_STREAK_REQUIRED - 1):
+            advisor.recommend(t, config(), feedback())
+            t += 600.0
+        advisor.recommend(t, config(), feedback(queue_length=3))  # reset
+        t += 600.0
+        for _ in range(QUIET_STREAK_REQUIRED - 1):
+            assert advisor.recommend(t, config(), feedback()) is None
+            t += 600.0
+
+    def test_snap_back_to_standard_on_queueing(self):
+        advisor = quiet_advisor()
+        economy = config(policy=ScalingPolicy.ECONOMY)
+        result = advisor.recommend(0.0, economy, feedback(queue_length=2, mean_queue=3.0))
+        assert result == ScalingPolicy.STANDARD
+
+    def test_snap_back_ignores_dwell(self):
+        advisor = quiet_advisor()
+        # Flip to ECONOMY just happened...
+        advisor._last_flip = 1000.0
+        economy = config(policy=ScalingPolicy.ECONOMY)
+        # ...but queueing appears immediately: must still revert.
+        result = advisor.recommend(1600.0, economy, feedback(mean_queue=5.0))
+        assert result == ScalingPolicy.STANDARD
+
+    def test_dwell_blocks_rapid_economy_flips(self):
+        advisor = quiet_advisor()
+        advisor._last_flip = 0.0
+        advisor._quiet_streak = QUIET_STREAK_REQUIRED
+        assert advisor.recommend(POLICY_DWELL_SECONDS / 2, config(), feedback()) is None
+
+    def test_performance_sliders_force_standard(self):
+        for slider in (SliderPosition.GOOD_PERFORMANCE, SliderPosition.BEST_PERFORMANCE):
+            advisor = quiet_advisor(slider)
+            economy = config(policy=ScalingPolicy.ECONOMY)
+            assert advisor.recommend(0.0, economy, feedback()) == ScalingPolicy.STANDARD
+            # Already standard: nothing to do, ever.
+            for i in range(30):
+                assert advisor.recommend(i * 600.0, config(), feedback()) is None
+
+    def test_set_slider_resets_state(self):
+        advisor = quiet_advisor()
+        advisor._quiet_streak = QUIET_STREAK_REQUIRED
+        advisor.set_slider(slider_params(SliderPosition.LOWEST_COST))
+        assert advisor._quiet_streak == 0

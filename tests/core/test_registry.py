@@ -1,0 +1,125 @@
+"""Tests for the smart-model checkpoint registry."""
+
+import numpy as np
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.core.registry import CheckpointInfo, ModelRegistry
+from repro.learning.agent import DQNAgent, DQNConfig
+from repro.learning.buffer import Transition
+
+
+def make_agent(state_dim=6, n_actions=4, seed=0) -> DQNAgent:
+    return DQNAgent(
+        state_dim,
+        n_actions,
+        DQNConfig(warmup=4, batch_size=4),
+        np.random.default_rng(seed),
+    )
+
+
+def train_a_little(agent: DQNAgent, steps: int = 20) -> None:
+    for _ in range(steps):
+        agent.observe(
+            Transition(
+                state=np.ones(agent.online.input_dim),
+                action=0,
+                reward=1.0,
+                next_state=np.ones(agent.online.input_dim),
+                done=True,
+                next_mask=np.ones(agent.n_actions, dtype=bool),
+            )
+        )
+
+
+class TestModelRegistry:
+    def test_save_load_roundtrip(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        agent = make_agent()
+        train_a_little(agent)
+        registry.save("acme", "WH", agent, slider_position=4)
+        fresh = make_agent(seed=99)
+        info = registry.load_into("acme", "WH", fresh)
+        x = np.linspace(-1, 1, 6)
+        assert np.allclose(agent.q_values(x), fresh.q_values(x))
+        assert info.slider_position == 4
+        assert info.train_steps == agent.train_steps
+
+    def test_target_network_also_restored(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        agent = make_agent()
+        train_a_little(agent)
+        registry.save("acme", "WH", agent)
+        fresh = make_agent(seed=99)
+        registry.load_into("acme", "WH", fresh)
+        x = np.ones(6)
+        assert np.allclose(fresh.target.forward(x), fresh.online.forward(x))
+
+    def test_missing_checkpoint_raises(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        with pytest.raises(ConfigurationError):
+            registry.load_into("acme", "WH", make_agent())
+
+    def test_info_none_when_absent(self, tmp_path):
+        assert ModelRegistry(tmp_path).info("acme", "WH") is None
+
+    def test_shape_mismatch_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme", "WH", make_agent(state_dim=6, n_actions=4))
+        with pytest.raises(ConfigurationError):
+            registry.load_into("acme", "WH", make_agent(state_dim=8, n_actions=4))
+        with pytest.raises(ConfigurationError):
+            registry.load_into("acme", "WH", make_agent(state_dim=6, n_actions=9))
+
+    def test_account_isolation(self, tmp_path):
+        """Models are never shared across customers (paper §4.2)."""
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme", "WH", make_agent())
+        assert registry.warehouses("acme") == ["WH"]
+        assert registry.warehouses("globex") == []
+        with pytest.raises(ConfigurationError):
+            registry.load_into("globex", "WH", make_agent())
+
+    def test_listing_multiple_warehouses(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme", "ETL_WH", make_agent())
+        registry.save("acme", "BI_WH", make_agent())
+        assert registry.warehouses("acme") == ["BI_WH", "ETL_WH"]
+
+    def test_delete(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme", "WH", make_agent())
+        assert registry.delete("acme", "WH")
+        assert registry.info("acme", "WH") is None
+        assert not registry.delete("acme", "WH")
+
+    def test_overwrite_updates_metadata(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        agent = make_agent()
+        registry.save("acme", "WH", agent, slider_position=1)
+        train_a_little(agent)
+        registry.save("acme", "WH", agent, slider_position=5)
+        info = registry.info("acme", "WH")
+        assert info.slider_position == 5
+        assert info.train_steps > 0
+
+    def test_weird_names_slugged(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme corp!", "MY WH/1", make_agent())
+        assert registry.info("acme corp!", "MY WH/1") is not None
+
+    def test_many_layers_order_preserved(self, tmp_path):
+        """More than 10 arrays: 'arr_10' must not sort before 'arr_2'."""
+        registry = ModelRegistry(tmp_path)
+        agent = DQNAgent(
+            6, 4, DQNConfig(hidden=(8, 8, 8, 8, 8)), np.random.default_rng(1)
+        )
+        registry.save("acme", "WH", agent)
+        fresh = DQNAgent(6, 4, DQNConfig(hidden=(8, 8, 8, 8, 8)), np.random.default_rng(9))
+        registry.load_into("acme", "WH", fresh)
+        x = np.linspace(0, 1, 6)
+        assert np.allclose(agent.q_values(x), fresh.q_values(x))
+
+    def test_checkpoint_info_json_roundtrip(self):
+        info = CheckpointInfo("a", "w", 6, 4, 100, 3, 123.0)
+        assert CheckpointInfo.from_json(info.to_json()) == info

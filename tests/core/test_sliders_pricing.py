@@ -1,0 +1,74 @@
+"""Tests for slider mapping and value-based pricing."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import Window
+from repro.core.pricing import ValueBasedPricing
+from repro.core.sliders import SliderPosition, slider_params
+from repro.costmodel.model import SavingsEstimate
+
+
+class TestSliders:
+    def test_all_positions_defined(self):
+        for position in SliderPosition:
+            params = slider_params(position)
+            assert params.position == position
+
+    def test_accepts_ints(self):
+        assert slider_params(3).position == SliderPosition.BALANCED
+
+    def test_latency_weight_monotone(self):
+        weights = [slider_params(p).latency_weight for p in SliderPosition]
+        assert weights == sorted(weights)
+
+    def test_latency_ceiling_monotone_decreasing(self):
+        ceilings = [slider_params(p).max_latency_factor for p in SliderPosition]
+        assert ceilings == sorted(ceilings, reverse=True)
+
+    def test_cost_leaning_never_pays_more(self):
+        for p in (SliderPosition.LOWEST_COST, SliderPosition.LOW_COST, SliderPosition.BALANCED):
+            assert slider_params(p).cost_increase_tolerance == 0.0
+            assert slider_params(p).max_upsize_steps == 0
+
+    def test_best_performance_never_downsizes(self):
+        assert slider_params(SliderPosition.BEST_PERFORMANCE).max_downsize_steps == 0
+
+    def test_reward_config_scales_with_weight(self):
+        balanced = slider_params(SliderPosition.BALANCED).reward_config()
+        lowest = slider_params(SliderPosition.LOWEST_COST).reward_config()
+        assert balanced.latency_weight > lowest.latency_weight
+        assert balanced.queue_weight > lowest.queue_weight
+
+    def test_labels(self):
+        assert SliderPosition.LOWEST_COST.label == "Lowest Cost"
+        assert SliderPosition.BEST_PERFORMANCE.label == "Best Performance"
+
+
+class TestValueBasedPricing:
+    def estimate(self, without=100.0, with_=60.0):
+        return SavingsEstimate(Window(0, 1), without, with_)
+
+    def test_fee_is_fraction_of_savings(self):
+        pricing = ValueBasedPricing(fee_fraction=0.3, price_per_credit=2.0)
+        invoice = pricing.invoice("WH", self.estimate())
+        assert invoice.savings_credits == 40.0
+        assert invoice.fee_dollars == pytest.approx(40 * 2 * 0.3)
+
+    def test_no_savings_no_charge(self):
+        pricing = ValueBasedPricing()
+        invoice = pricing.invoice("WH", self.estimate(without=50.0, with_=60.0))
+        assert invoice.savings_credits == -10.0
+        assert invoice.billable_savings_credits == 0.0
+        assert invoice.fee_dollars == 0.0
+
+    def test_customer_net_benefit(self):
+        pricing = ValueBasedPricing(fee_fraction=0.25, price_per_credit=1.0)
+        invoice = pricing.invoice("WH", self.estimate())
+        assert invoice.customer_net_benefit_dollars == pytest.approx(40 - 10)
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            ValueBasedPricing(fee_fraction=1.5)
+        with pytest.raises(ConfigurationError):
+            ValueBasedPricing(price_per_credit=0.0)

@@ -1,0 +1,108 @@
+"""Tests for the bytes-scanned (on-demand) cost model extension."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.costmodel.bytes_billed import (
+    TIB,
+    BytesBilledModel,
+    compare_engines,
+)
+from repro.warehouse.queries import QueryRecord
+
+
+def rec(arrival: float, gib: float) -> QueryRecord:
+    return QueryRecord(
+        query_id=int(arrival),
+        warehouse="WH",
+        text_hash="x",
+        template_hash="t",
+        arrival_time=arrival,
+        start_time=arrival,
+        end_time=arrival + 1,
+        execution_seconds=1.0,
+        bytes_scanned=gib * 2**30,
+        completed=True,
+    )
+
+
+class TestBytesBilledModel:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            BytesBilledModel(dollars_per_tib=0)
+        with pytest.raises(ConfigurationError):
+            BytesBilledModel(min_bytes_per_query=-1)
+
+    def test_simple_estimate(self):
+        model = BytesBilledModel(dollars_per_tib=5.0, min_bytes_per_query=0)
+        estimate = model.estimate([rec(0.0, 1024.0)], Window(0, HOUR))  # 1 TiB
+        assert estimate.dollars == pytest.approx(5.0)
+        assert estimate.n_queries == 1
+        assert estimate.minimum_uplift_fraction == 0.0
+
+    def test_per_query_minimum(self):
+        model = BytesBilledModel(dollars_per_tib=5.0, min_bytes_per_query=10 * 2**20)
+        tiny = [rec(float(i), 0.001) for i in range(100)]  # ~1 MiB each
+        estimate = model.estimate(tiny, Window(0, HOUR))
+        assert estimate.billable_bytes == pytest.approx(100 * 10 * 2**20)
+        assert estimate.minimum_uplift_fraction > 0.8
+
+    def test_window_filtering(self):
+        model = BytesBilledModel()
+        records = [rec(0.0, 10.0), rec(2 * HOUR, 10.0)]
+        estimate = model.estimate(records, Window(0, HOUR))
+        assert estimate.n_queries == 1
+
+    def test_empty_window(self):
+        estimate = BytesBilledModel().estimate([], Window(0, HOUR))
+        assert estimate.dollars == 0.0
+        assert estimate.minimum_uplift_fraction == 0.0
+
+
+class TestEngineComparison:
+    def test_scan_light_workload_favours_ondemand(self):
+        # A warehouse that idles 24/7 for a handful of tiny scans.
+        records = [rec(i * HOUR, 0.1) for i in range(24)]
+        comparison = compare_engines(
+            records,
+            warehouse_credits=24.0,  # an XS running all day
+            window=Window(0, DAY),
+            price_per_credit=3.0,
+        )
+        assert comparison.cheaper_engine == "on-demand"
+        assert comparison.savings_fraction > 0.9
+
+    def test_scan_heavy_workload_favours_warehouse(self):
+        # Rescanning a fat table continuously: 2 TiB per query, every 10 min.
+        records = [rec(i * 600.0, 2048.0) for i in range(144)]
+        comparison = compare_engines(
+            records,
+            warehouse_credits=4 * 24.0,  # a Medium running all day
+            window=Window(0, DAY),
+            price_per_credit=3.0,
+        )
+        assert comparison.cheaper_engine == "warehouse"
+
+    def test_savings_fraction_symmetric(self):
+        records = [rec(0.0, 1024.0)]
+        comparison = compare_engines(records, 1.0, Window(0, HOUR), price_per_credit=6.25)
+        # 1 TiB at 6.25 vs 1 credit at 6.25: equal -> warehouse wins ties.
+        assert comparison.cheaper_engine == "warehouse"
+        assert comparison.savings_fraction == pytest.approx(0.0)
+
+    def test_on_simulated_telemetry(self):
+        """End-to-end: price a real simulated warehouse's telemetry."""
+        from tests.conftest import drive, make_account, make_requests, make_template
+
+        account, wh = make_account(seed=17)
+        template = make_template("scan", base_work_seconds=5.0, n_partitions=4)
+        drive(account, wh, make_requests(template, [i * 900.0 for i in range(40)]), 12 * HOUR)
+        records = account.telemetry.query_history(wh)
+        credits = account.warehouse(wh).meter.total_credits(account.sim.now)
+        comparison = compare_engines(
+            records, credits, Window(0, 12 * HOUR), account.price_per_credit
+        )
+        assert comparison.warehouse_dollars > 0
+        assert comparison.ondemand_dollars > 0
+        assert comparison.cheaper_engine in ("warehouse", "on-demand")

@@ -1,0 +1,133 @@
+"""Tests for the analytical query replay."""
+
+import pytest
+
+from repro.common.simtime import HOUR, Window
+from repro.costmodel.clusters import ClusterCountPredictor
+from repro.costmodel.gaps import GapModel
+from repro.costmodel.latency import LatencyScalingModel
+from repro.costmodel.replay import QueryReplay
+from repro.warehouse.billing import MINIMUM_BILLED_SECONDS
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.types import WarehouseSize
+
+
+def rec(arrival: float, dur: float, template="t", size=WarehouseSize.S, chained=False):
+    return QueryRecord(
+        query_id=int(arrival * 1000) % 10**9,
+        warehouse="WH",
+        text_hash=template + str(arrival),
+        template_hash=template,
+        arrival_time=arrival,
+        start_time=arrival,
+        end_time=arrival + dur,
+        execution_seconds=dur,
+        warehouse_size=size,
+        cache_hit_ratio=1.0,
+        cluster_number=1,
+        chained=chained,
+        completed=True,
+    )
+
+
+@pytest.fixture
+def replay() -> QueryReplay:
+    return QueryReplay(LatencyScalingModel(), GapModel(), ClusterCountPredictor())
+
+
+def config(**kw) -> WarehouseConfig:
+    defaults = dict(size=WarehouseSize.S, auto_suspend_seconds=300.0)
+    defaults.update(kw)
+    return WarehouseConfig(**defaults)
+
+
+class TestReplayBasics:
+    def test_empty_records_zero_cost(self, replay):
+        result = replay.replay([], config(), Window(0, HOUR))
+        assert result.credits == 0.0
+        assert result.cost_is_zero
+
+    def test_single_query_burst(self, replay):
+        result = replay.replay([rec(100.0, 60.0)], config(), Window(0, HOUR))
+        # Busy 60s + 300s suspend tail at 2 credits/hour.
+        expected = (60 + 300) / HOUR * 2.0
+        assert result.credits == pytest.approx(expected, rel=0.05)
+        assert result.n_bursts == 1
+
+    def test_bursts_merge_within_suspend_gap(self, replay):
+        records = [rec(0.0, 60.0), rec(200.0, 60.0)]  # gap 140 < 300
+        result = replay.replay(records, config(), Window(0, HOUR))
+        assert result.n_bursts == 1
+
+    def test_bursts_split_beyond_suspend_gap(self, replay):
+        records = [rec(0.0, 60.0), rec(2000.0, 60.0)]  # gap >> 300
+        result = replay.replay(records, config(), Window(0, HOUR))
+        assert result.n_bursts == 2
+
+    def test_zero_suspend_means_always_on(self, replay):
+        records = [rec(0.0, 10.0)]
+        result = replay.replay(records, config(auto_suspend_seconds=0.0), Window(0, HOUR))
+        assert result.active_seconds == pytest.approx(HOUR)
+
+    def test_minimum_billing_for_tiny_burst(self, replay):
+        tiny = config(auto_suspend_seconds=1.0)
+        result = replay.replay([rec(0.0, 5.0)], tiny, Window(0, HOUR))
+        assert result.credits >= MINIMUM_BILLED_SECONDS / HOUR * 2.0
+
+    def test_hourly_credits_sum_close_to_total(self, replay):
+        records = [rec(i * 600.0, 120.0) for i in range(20)]
+        result = replay.replay(records, config(), Window(0, 4 * HOUR))
+        assert sum(result.hourly_credits.values()) == pytest.approx(result.credits, rel=0.05)
+
+    def test_latency_stats_reported(self, replay):
+        records = [rec(0.0, 10.0), rec(1000.0, 30.0)]
+        result = replay.replay(records, config(), Window(0, HOUR))
+        assert result.avg_latency == pytest.approx(20.0)
+        assert result.n_queries == 2
+
+
+class TestWhatIfSizes:
+    def _scaled_history(self):
+        # Template observed on two sizes so gamma is fit to 1.0.
+        records = []
+        for i in range(6):
+            records.append(rec(i * 4000.0, 40.0, size=WarehouseSize.S))
+            records.append(rec(i * 4000.0 + 2000.0, 20.0, size=WarehouseSize.M))
+        return records
+
+    def test_bigger_size_costs_more_for_idle_dominated(self, replay):
+        records = self._scaled_history()
+        replay.latency_model.fit(records)
+        window = Window(0, 8 * HOUR)
+        small = replay.replay(records, config(size=WarehouseSize.S), window)
+        large = replay.replay(records, config(size=WarehouseSize.XL), window)
+        # Idle-tail dominated workload: doubling rates dominates the saving.
+        assert large.credits > small.credits
+
+    def test_counterfactual_latency_scales(self, replay):
+        records = self._scaled_history()
+        replay.latency_model.fit(records)
+        window = Window(0, 8 * HOUR)
+        small = replay.replay(records, config(size=WarehouseSize.S), window)
+        large = replay.replay(records, config(size=WarehouseSize.XL), window)
+        assert large.avg_latency < small.avg_latency
+
+
+class TestChainedReplays:
+    def test_chained_arrivals_shift_with_latency(self, replay):
+        # Chain: A at 0 for 100s, B arrives 5s after A ends, repeatedly.
+        records = []
+        for i in range(5):
+            t = i * 3600.0
+            records.append(rec(t, 100.0, template="A", size=WarehouseSize.M))
+            records.append(rec(t + 105.0, 50.0, template="B", size=WarehouseSize.M, chained=True))
+        replay.gap_model.fit(records)
+        replay.latency_model.fit(records)
+        window = Window(0, 5 * 3600.0)
+        # Replaying on XS (4x slower at default gamma ~0.7 -> ~2.6x) should
+        # stretch the chain: B's counterfactual arrival moves later.
+        slow = replay.replay(records, config(size=WarehouseSize.XS, auto_suspend_seconds=60.0), window)
+        fast = replay.replay(records, config(size=WarehouseSize.M, auto_suspend_seconds=60.0), window)
+        assert slow.active_seconds > fast.active_seconds
+        assert slow.avg_latency > fast.avg_latency

@@ -1,0 +1,129 @@
+"""Tests for experiment scenarios and runner protocols (fast variants).
+
+The full protocols live in benchmarks/; these tests shrink horizons so the
+suite stays quick while still exercising every code path end-to-end.
+"""
+
+import pytest
+
+from repro.common.simtime import DAY, HOUR
+from repro.core.optimizer import OptimizerConfig
+from repro.core.sliders import SliderPosition
+from repro.experiments.runner import (
+    OnboardingCurve,
+    run_before_after,
+    run_cost_model_accuracy,
+    run_overhead,
+)
+from repro.experiments.scenarios import (
+    fig4a_scenario,
+    fig4b_scenario,
+    fig5_scenarios,
+    fig6_scenario,
+    fig7_scenario,
+    fleet_scenarios,
+    onboarding_scenario,
+)
+
+
+def shrink(scenario, total_days=4, keebo_day=2):
+    """Make a scenario cheap enough for unit testing."""
+    scenario.total_days = total_days
+    scenario.keebo_day = keebo_day
+    scenario.optimizer_config = OptimizerConfig(
+        training_window=1 * DAY,
+        onboarding_episodes=2,
+        episode_length=12 * HOUR,
+        retrain_interval=2 * DAY,
+        retrain_episodes=0,
+        confidence_tau=0.0,
+    )
+    return scenario
+
+
+class TestScenarioBuilders:
+    @pytest.mark.parametrize(
+        "builder", [fig4a_scenario, fig4b_scenario, fig6_scenario, onboarding_scenario]
+    )
+    def test_builders_wire_accounts(self, builder):
+        scenario = builder()
+        assert scenario.warehouse in scenario.account.warehouses
+        assert scenario.keebo_day is not None
+        assert scenario.keebo_day < scenario.total_days
+
+    def test_fig5_has_four_warehouses(self):
+        scenarios = fig5_scenarios()
+        assert len(scenarios) == 4
+        assert all(s.keebo_day is None for s in scenarios)
+
+    def test_fig7_scenarios_share_workload_shape(self):
+        a = fig7_scenario(SliderPosition.LOWEST_COST)
+        b = fig7_scenario(SliderPosition.BEST_PERFORMANCE)
+        reqs_a = a.workload.generate.__self__.generate  # noqa: just sanity
+        assert a.warehouse == b.warehouse
+        assert a.slider != b.slider
+
+    def test_fleet_scenarios_distinct_accounts(self):
+        fleet = fleet_scenarios(n_customers=3)
+        assert len({id(s.account) for s in fleet}) == 3
+
+    def test_schedule_returns_request_count(self):
+        scenario = shrink(fig4a_scenario())
+        n = scenario.schedule()
+        assert n > 100
+
+
+class TestProtocols:
+    def test_before_after_protocol(self):
+        scenario = shrink(fig4a_scenario(seed=1401))
+        result, optimizer = run_before_after(scenario)
+        assert result.pre_daily > 0
+        assert result.post_daily > 0
+        assert len(result.dashboard.days) == 4
+        assert result.dashboard.keebo_active == [False, False, True, True]
+        assert sum(result.decision_counts.values()) > 0
+
+    def test_before_after_needs_keebo_day(self):
+        scenario = fig5_scenarios()[0]
+        with pytest.raises(ValueError):
+            run_before_after(scenario)
+
+    def test_cost_model_accuracy_protocol(self):
+        scenarios = fig5_scenarios(seed=1500)
+        for s in scenarios:
+            s.total_days = 3
+        rows = run_cost_model_accuracy(scenarios, train_days=1.5)
+        assert len(rows) == 4
+        busy = [r for r in rows if r.warehouse != "Warehouse3"]
+        assert all(r.relative_error < 0.35 for r in busy)
+        assert all(r.actual_credits > 0 for r in rows)
+
+    def test_overhead_protocol(self):
+        scenario = shrink(fig6_scenario(seed=1600), total_days=4, keebo_day=2)
+        result = run_overhead(scenario)
+        assert 0.0 < result.overhead_fraction < 0.2
+        assert len(result.dashboard.hours) == 24
+
+
+class TestOnboardingCurve:
+    def test_hours_to_reach(self):
+        curve = OnboardingCurve(
+            hours=[4, 8, 12, 16, 20, 24, 28, 32],
+            savings_rate=[0.0, 0.1, 0.2, 0.3, 0.38, 0.4, 0.41, 0.40],
+        )
+        assert curve.eventual_rate == pytest.approx(0.405, abs=0.01)
+        # 50% of 0.405 = 0.2025: first sustained crossing is at hour 16.
+        assert curve.hours_to_reach(0.5) == 16
+        assert curve.hours_to_reach(0.95) == 24
+
+    def test_no_savings_returns_none(self):
+        curve = OnboardingCurve(hours=[4, 8], savings_rate=[0.0, -0.1])
+        assert curve.hours_to_reach(0.5) is None
+
+    def test_requires_sustained_crossing(self):
+        # A one-bucket blip above target does not count.
+        curve = OnboardingCurve(
+            hours=[4, 8, 12, 16],
+            savings_rate=[0.5, 0.05, 0.45, 0.5],
+        )
+        assert curve.hours_to_reach(0.9) == 12

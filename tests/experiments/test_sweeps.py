@@ -1,0 +1,120 @@
+"""Tests for the configuration what-if sweep helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import HOUR, Window
+from repro.costmodel.model import WarehouseCostModel
+from repro.experiments.sweeps import (
+    SweepPoint,
+    cheapest_within_latency,
+    pareto_frontier,
+    sweep_configs,
+)
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+@pytest.fixture(scope="module")
+def fitted():
+    account, wh = make_account(seed=28, size=WarehouseSize.M, auto_suspend_seconds=300.0)
+    template = make_template("sw", base_work_seconds=20.0, n_partitions=2)
+    drive(account, wh, make_requests(template, [10.0 + i * 600.0 for i in range(72)]), 12 * HOUR)
+    client = CloudWarehouseClient(account, actor="keebo")
+    window = Window(0, 12 * HOUR)
+    model = WarehouseCostModel(client, wh).fit(window)
+    return model, window, client.current_config(wh)
+
+
+class TestSweepConfigs:
+    def test_grid_size(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(
+            model,
+            window,
+            reference,
+            sizes=(WarehouseSize.S, WarehouseSize.M),
+            suspends=(60.0, 300.0),
+        )
+        # 4 grid points, one of which coincides with the reference.
+        assert len(points) == 4
+        assert points[0].config == reference
+        assert points[0].latency_factor == 1.0
+
+    def test_empty_grid_rejected(self, fitted):
+        model, window, reference = fitted
+        with pytest.raises(ConfigurationError):
+            sweep_configs(model, window, reference, sizes=())
+
+    def test_latency_factors_ordered_by_size(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(
+            model, window, reference, sizes=(WarehouseSize.XS, WarehouseSize.L), suspends=(300.0,)
+        )
+        by_size = {p.config.size: p for p in points if p.config.auto_suspend_seconds == 300.0}
+        assert by_size[WarehouseSize.XS].latency_factor > 1.0
+        assert by_size[WarehouseSize.L].latency_factor < 1.0
+
+    def test_cluster_grid(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(
+            model,
+            window,
+            reference,
+            sizes=(WarehouseSize.M,),
+            suspends=(300.0,),
+            max_clusters=[1, 2],
+        )
+        assert {p.config.max_clusters for p in points} >= {1, 2}
+
+
+class TestSelectionHelpers:
+    def test_cheapest_within_latency(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(model, window, reference)
+        pick = cheapest_within_latency(points, max_latency_factor=1.2)
+        assert pick.latency_factor <= 1.2
+        cheaper = [p for p in points if p.credits < pick.credits]
+        assert all(p.latency_factor > 1.2 for p in cheaper)
+
+    def test_impossible_budget_raises(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(model, window, reference)
+        with pytest.raises(ConfigurationError):
+            cheapest_within_latency(points, max_latency_factor=0.0)
+
+    def test_pareto_frontier_is_nondominated(self, fitted):
+        model, window, reference = fitted
+        points = sweep_configs(model, window, reference)
+        frontier = pareto_frontier(points)
+        assert frontier
+        credits = [p.credits for p in frontier]
+        latencies = [p.latency_factor for p in frontier]
+        # Sorted by credits; latency strictly improves along the frontier.
+        assert credits == sorted(credits)
+        assert latencies == sorted(latencies, reverse=True)
+        # No point in the full set dominates a frontier point.
+        for f in frontier:
+            for p in points:
+                dominates = (
+                    p.credits <= f.credits
+                    and p.latency_factor <= f.latency_factor
+                    and (p.credits < f.credits or p.latency_factor < f.latency_factor)
+                )
+                assert not dominates
+
+    def test_pareto_frontier_synthetic(self):
+        def pt(credits, factor):
+            result = type("R", (), {"credits": credits, "avg_latency": 0.0})()
+            return SweepPoint(WarehouseConfig(), result, factor)
+
+        points = [pt(10, 1.0), pt(5, 2.0), pt(7, 1.5), pt(6, 3.0)]
+        frontier = pareto_frontier(points)
+        assert [(p.credits, p.latency_factor) for p in frontier] == [
+            (5, 2.0),
+            (7, 1.5),
+            (10, 1.0),
+        ]

@@ -1,0 +1,159 @@
+"""End-to-end integration tests: the full product loop on one account.
+
+These are the invariants the paper sells (§2's design criteria):
+
+* C1 zero downside — on an idle-heavy workload KWO must reduce the bill;
+* C4 performance first — p99 must not collapse while doing so;
+* constraints are never violated by any applied action;
+* determinism — the same seed reproduces the same run bit-for-bit.
+"""
+
+import pytest
+
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, HOUR, Window
+from repro.common.stats import percentile
+from repro.core.constraints import ConstraintRule, ConstraintSet
+from repro.core.optimizer import KeeboService, OptimizerConfig
+from repro.core.sliders import SliderPosition
+from repro.warehouse.account import Account
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+from repro.workloads.mixed import make_unpredictable_workload
+
+
+def run_scenario(seed=42, constraints=None, slider=SliderPosition.BALANCED, days=4):
+    account = Account(seed=seed)
+    account.create_warehouse(
+        "WH",
+        WarehouseConfig(size=WarehouseSize.L, auto_suspend_seconds=1800.0, max_clusters=3),
+    )
+    workload = make_unpredictable_workload(RngRegistry(seed + 1))
+    account.schedule_workload("WH", workload.generate(Window(0, days * DAY)))
+    half = days * DAY / 2
+    account.run_until(half)
+    service = KeeboService(account)
+    optimizer = service.onboard_warehouse(
+        "WH",
+        slider=slider,
+        constraints=constraints,
+        config=OptimizerConfig(
+            training_window=half,
+            onboarding_episodes=4,
+            episode_length=1 * DAY,
+            retrain_episodes=0,
+            confidence_tau=0.0,
+        ),
+    )
+    account.run_until(days * DAY)
+    return account, optimizer, half, days * DAY
+
+
+class TestHeadlineBehaviour:
+    def test_kwo_reduces_cost_on_idle_heavy_workload(self):
+        account, optimizer, half, end = run_scenario()
+        meter = account.warehouse("WH").meter
+        pre = meter.credits_in_window(Window(0, half), as_of=end)
+        post = meter.credits_in_window(Window(half, end), as_of=end)
+        assert post < pre
+
+    def test_p99_does_not_collapse(self):
+        """Compare with-KWO against a no-KWO control on the *same* window —
+        a pre/post comparison would be confounded by workload drift (spike
+        days land in the measurement window)."""
+        account, optimizer, half, end = run_scenario(seed=42)
+        with_kwo = [
+            r.total_seconds
+            for r in account.telemetry.query_history("WH", Window(half, end))
+        ]
+        control = Account(seed=42)
+        control.create_warehouse(
+            "WH",
+            WarehouseConfig(
+                size=WarehouseSize.L, auto_suspend_seconds=1800.0, max_clusters=3
+            ),
+        )
+        workload = make_unpredictable_workload(RngRegistry(43))
+        control.schedule_workload("WH", workload.generate(Window(0, end)))
+        control.run_until(end)
+        without_kwo = [
+            r.total_seconds
+            for r in control.telemetry.query_history("WH", Window(half, end))
+        ]
+        assert percentile(with_kwo, 99) < 1.2 * percentile(without_kwo, 99)
+
+    def test_every_query_is_served(self):
+        account, optimizer, half, end = run_scenario()
+        account.run_until(end + HOUR)  # drain stragglers
+        warehouse = account.warehouse("WH")
+        assert warehouse.queue_length == 0
+        assert warehouse.running_query_count == 0
+
+    def test_estimated_savings_positive(self):
+        account, optimizer, half, end = run_scenario()
+        estimate = optimizer.estimate_savings(Window(half, end))
+        assert estimate.savings_credits > 0
+
+    def test_overhead_negligible(self):
+        account, optimizer, half, end = run_scenario()
+        overhead = account.overhead.total_credits(Window(half, end))
+        actual = account.warehouse("WH").meter.credits_in_window(
+            Window(half, end), as_of=end
+        )
+        assert overhead < 0.05 * actual
+
+
+class TestConstraintsRespected:
+    def test_no_downsize_rule_always_honored(self):
+        rules = ConstraintSet([ConstraintRule("nodown", allow_downsize=False)])
+        account, optimizer, half, end = run_scenario(constraints=rules)
+        for snap in account.telemetry.config_history("WH"):
+            if snap.initiator == "keebo":
+                assert snap.config.size >= WarehouseSize.L
+
+    def test_size_floor_rule_honored(self):
+        rules = ConstraintSet([ConstraintRule("floor", min_size=WarehouseSize.M)])
+        account, optimizer, half, end = run_scenario(constraints=rules)
+        for snap in account.telemetry.config_history("WH"):
+            if snap.initiator == "keebo":
+                assert snap.config.size >= WarehouseSize.M
+
+    def test_suspend_floor_rule_honored(self):
+        rules = ConstraintSet([ConstraintRule("warm", min_auto_suspend=300.0)])
+        account, optimizer, half, end = run_scenario(constraints=rules)
+        for snap in account.telemetry.config_history("WH"):
+            if snap.initiator == "keebo":
+                assert snap.config.auto_suspend_seconds >= 300.0
+
+
+class TestDeterminism:
+    def test_identical_seeds_identical_outcomes(self):
+        a_account, a_opt, half, end = run_scenario(seed=77)
+        b_account, b_opt, _, _ = run_scenario(seed=77)
+        a_credits = a_account.warehouse("WH").meter.total_credits(end)
+        b_credits = b_account.warehouse("WH").meter.total_credits(end)
+        assert a_credits == b_credits
+        a_kinds = [d.kind for d in a_opt.decisions]
+        b_kinds = [d.kind for d in b_opt.decisions]
+        assert a_kinds == b_kinds
+
+    def test_different_seeds_differ(self):
+        a_account, _, half, end = run_scenario(seed=77)
+        b_account, _, _, _ = run_scenario(seed=78)
+        assert a_account.warehouse("WH").meter.total_credits(end) != b_account.warehouse(
+            "WH"
+        ).meter.total_credits(end)
+
+
+class TestSliderBehaviour:
+    def test_lowest_cost_saves_at_least_as_much_as_best_performance(self):
+        def post_credits(slider):
+            account, optimizer, half, end = run_scenario(seed=90, slider=slider)
+            return account.warehouse("WH").meter.credits_in_window(
+                Window(half, end), as_of=end
+            )
+
+        cheap = post_credits(SliderPosition.LOWEST_COST)
+        fast = post_credits(SliderPosition.BEST_PERFORMANCE)
+        assert cheap <= fast

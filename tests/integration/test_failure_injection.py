@@ -1,0 +1,101 @@
+"""Failure injection: the optimizer must degrade gracefully, never crash.
+
+§4.5: the actuator "keeps a record of all actions taken and reports any
+errors it encounters."  These tests inject vendor-API failures and verify
+the loop survives, logs the error, and keeps optimizing.
+"""
+
+import pytest
+
+from repro.common.errors import WarehouseError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.actuator import Actuator
+from repro.core.monitoring import Monitor
+from repro.core.optimizer import OptimizerConfig, WarehouseOptimizer
+from repro.learning.features import WorkloadBaseline
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+class FlakyClient(CloudWarehouseClient):
+    """A client whose ALTER WAREHOUSE fails on demand."""
+
+    def __init__(self, account, fail_next: int = 0):
+        super().__init__(account, actor="keebo")
+        self.fail_next = fail_next
+        self.failures_injected = 0
+
+    def alter_warehouse(self, name, **changes):
+        if self.fail_next > 0:
+            self.fail_next -= 1
+            self.failures_injected += 1
+            raise WarehouseError("injected: transient vendor API failure")
+        return super().alter_warehouse(name, **changes)
+
+
+class TestActuatorFailureHandling:
+    def build(self):
+        account, wh = make_account()
+        client = FlakyClient(account)
+        monitor = Monitor(client, wh, WorkloadBaseline())
+        return account, wh, client, Actuator(client, wh, monitor)
+
+    def test_failure_logged_not_raised(self):
+        account, wh, client, actuator = self.build()
+        client.fail_next = 1
+        target = client.current_config(wh).with_changes(size=WarehouseSize.L)
+        entry = actuator.apply(target, reason="test")
+        assert not entry.succeeded
+        assert "injected" in entry.error
+        assert actuator.errors == 1
+        # The warehouse is untouched.
+        assert client.current_config(wh).size != WarehouseSize.L
+
+    def test_recovers_after_failure(self):
+        account, wh, client, actuator = self.build()
+        client.fail_next = 1
+        target = client.current_config(wh).with_changes(size=WarehouseSize.L)
+        actuator.apply(target, reason="first (fails)")
+        entry = actuator.apply(target, reason="second (succeeds)")
+        assert entry.succeeded
+        assert client.current_config(wh).size == WarehouseSize.L
+
+    def test_failed_actions_excluded_from_actions_taken(self):
+        account, wh, client, actuator = self.build()
+        client.fail_next = 1
+        target = client.current_config(wh).with_changes(size=WarehouseSize.M)
+        actuator.apply(target, reason="fails")
+        assert actuator.actions_taken() == []
+
+
+class TestOptimizerSurvivesFlakyVendor:
+    def test_loop_continues_through_failures(self):
+        account, wh = make_account(seed=44, size=WarehouseSize.M, auto_suspend_seconds=900.0)
+        template = make_template("fi", base_work_seconds=10.0)
+        drive(
+            account, wh, make_requests(template, [10.0 + i * 400.0 for i in range(250)]), DAY
+        )
+        optimizer = WarehouseOptimizer(
+            account,
+            wh,
+            config=OptimizerConfig(
+                training_window=1 * DAY,
+                onboarding_episodes=1,
+                episode_length=12 * HOUR,
+                retrain_episodes=0,
+                confidence_tau=0.0,
+            ),
+        )
+        optimizer.onboard()
+        # Swap the optimizer's client surface for a flaky one mid-flight.
+        flaky = FlakyClient(account, fail_next=5)
+        optimizer.actuator.client = flaky
+        account.run_until(DAY + 6 * HOUR)
+        # Decisions kept flowing; some actuations failed; none crashed.
+        assert len(optimizer.decisions) > 20
+        if flaky.failures_injected:
+            assert optimizer.actuator.errors == flaky.failures_injected
+        # Post-failure the optimizer still applies successful changes.
+        assert any(a.succeeded and a.changed for a in optimizer.actuator.log)

@@ -1,0 +1,119 @@
+"""Integration: one KeeboService over several warehouses of one account.
+
+§4.2: "we train a separate warehouse optimization model for each of the
+customer's warehouses" — these tests pin down that the models, sliders and
+constraints of concurrent optimizers are fully independent, and that
+per-warehouse accounting stays separable.
+"""
+
+import pytest
+
+from repro.common.rng import RngRegistry
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.constraints import ConstraintRule, ConstraintSet
+from repro.core.optimizer import KeeboService, OptimizerConfig
+from repro.core.sliders import SliderPosition
+from repro.warehouse.account import Account
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize
+from repro.workloads.mixed import make_bi_workload, make_unpredictable_workload
+
+
+def small_config():
+    return OptimizerConfig(
+        training_window=1 * DAY,
+        onboarding_episodes=2,
+        episode_length=12 * HOUR,
+        retrain_episodes=0,
+        confidence_tau=0.0,
+    )
+
+
+@pytest.fixture(scope="module")
+def dual_service():
+    account = Account(seed=301)
+    account.create_warehouse(
+        "ADHOC_WH",
+        WarehouseConfig(size=WarehouseSize.L, auto_suspend_seconds=1800.0, max_clusters=3),
+    )
+    account.create_warehouse(
+        "BI_WH",
+        WarehouseConfig(size=WarehouseSize.M, auto_suspend_seconds=600.0, max_clusters=2),
+    )
+    horizon = 3 * DAY
+    account.schedule_workload(
+        "ADHOC_WH", make_unpredictable_workload(RngRegistry(302)).generate(Window(0, horizon))
+    )
+    account.schedule_workload(
+        "BI_WH", make_bi_workload(RngRegistry(303)).generate(Window(0, horizon))
+    )
+    account.run_until(1 * DAY)
+    service = KeeboService(account)
+    service.onboard_warehouse("ADHOC_WH", slider=SliderPosition.LOWEST_COST, config=small_config())
+    service.onboard_warehouse(
+        "BI_WH",
+        slider=SliderPosition.BEST_PERFORMANCE,
+        constraints=ConstraintSet([ConstraintRule("keep-warm", min_auto_suspend=600.0)]),
+        config=small_config(),
+    )
+    account.run_until(horizon)
+    return account, service
+
+
+class TestMultiWarehouse:
+    def test_separate_models_per_warehouse(self, dual_service):
+        account, service = dual_service
+        a = service.optimizer("ADHOC_WH")
+        b = service.optimizer("BI_WH")
+        assert a.agent is not b.agent
+        assert a.smart_model is not b.smart_model
+        assert a.cost_model is not b.cost_model
+
+    def test_both_loops_ran(self, dual_service):
+        account, service = dual_service
+        assert len(service.optimizer("ADHOC_WH").decisions) > 50
+        assert len(service.optimizer("BI_WH").decisions) > 50
+
+    def test_sliders_independent(self, dual_service):
+        account, service = dual_service
+        assert service.optimizer("ADHOC_WH").params.position == SliderPosition.LOWEST_COST
+        assert service.optimizer("BI_WH").params.position == SliderPosition.BEST_PERFORMANCE
+
+    def test_constraints_scoped_to_their_warehouse(self, dual_service):
+        account, service = dual_service
+        # BI_WH has a 600 s suspend floor; its Keebo changes must respect it.
+        for snap in account.telemetry.config_history("BI_WH"):
+            if snap.initiator == "keebo":
+                assert snap.config.auto_suspend_seconds >= 600.0
+        # ADHOC_WH has no such rule; the Lowest Cost optimizer is free to
+        # suspend aggressively (and on this idle-heavy workload it does).
+        adhoc_suspends = {
+            snap.config.auto_suspend_seconds
+            for snap in account.telemetry.config_history("ADHOC_WH")
+            if snap.initiator == "keebo"
+        }
+        assert any(s < 600.0 for s in adhoc_suspends)
+
+    def test_per_warehouse_invoices_sum(self, dual_service):
+        account, service = dual_service
+        window = Window(1 * DAY, 3 * DAY)
+        invoices = service.invoices(window)
+        assert [i.warehouse for i in invoices] == ["ADHOC_WH", "BI_WH"]
+        total_fee = sum(i.fee_dollars for i in invoices)
+        assert total_fee >= 0.0
+
+    def test_telemetry_separation(self, dual_service):
+        account, service = dual_service
+        adhoc = account.telemetry.query_history("ADHOC_WH", Window(0, 3 * DAY))
+        bi = account.telemetry.query_history("BI_WH", Window(0, 3 * DAY))
+        assert {r.warehouse for r in adhoc} == {"ADHOC_WH"}
+        assert {r.warehouse for r in bi} == {"BI_WH"}
+        assert {r.query_id for r in adhoc}.isdisjoint({r.query_id for r in bi})
+
+    def test_per_warehouse_metering_separable(self, dual_service):
+        account, service = dual_service
+        window = Window(0, 3 * DAY)
+        a = account.warehouse("ADHOC_WH").meter.credits_in_window(window, as_of=account.sim.now)
+        b = account.warehouse("BI_WH").meter.credits_in_window(window, as_of=account.sim.now)
+        total = account.total_credits(window, include_overhead=False)
+        assert total == pytest.approx(a + b)

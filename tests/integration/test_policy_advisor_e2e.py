@@ -1,0 +1,71 @@
+"""Integration: the scaling-policy advisor inside the live optimizer loop."""
+
+import pytest
+
+from repro.common.simtime import DAY, HOUR, Window
+from repro.core.optimizer import OptimizerConfig, WarehouseOptimizer
+from repro.core.sliders import SliderPosition
+from repro.warehouse.types import ScalingPolicy
+
+from tests.conftest import make_account, make_requests, make_template
+
+
+def run_with_slider(slider: SliderPosition, initial_policy: ScalingPolicy):
+    """Multi-cluster warehouse with smooth no-queue traffic, KWO attached."""
+    account, wh = make_account(
+        seed=51,
+        max_clusters=3,
+        auto_suspend_seconds=600.0,
+        scaling_policy=initial_policy,
+    )
+    template = make_template("pa", base_work_seconds=5.0, n_partitions=2)
+    times = [10.0 + i * 300.0 for i in range(int(2 * DAY / 300.0))]
+    account.schedule_workload(wh, make_requests(template, times))
+    account.run_until(1 * DAY)
+    optimizer = WarehouseOptimizer(
+        account,
+        wh,
+        slider=slider,
+        config=OptimizerConfig(
+            training_window=1 * DAY,
+            onboarding_episodes=1,
+            episode_length=12 * HOUR,
+            retrain_episodes=0,
+            confidence_tau=0.0,
+        ),
+    )
+    optimizer.onboard()
+    account.run_until(2 * DAY)
+    return account, wh, optimizer
+
+
+class TestPolicyAdvisorEndToEnd:
+    def test_cost_slider_moves_quiet_warehouse_to_economy(self):
+        account, wh, optimizer = run_with_slider(
+            SliderPosition.LOWEST_COST, ScalingPolicy.STANDARD
+        )
+        assert account.warehouse(wh).config.scaling_policy == ScalingPolicy.ECONOMY
+        flips = [
+            a
+            for a in optimizer.actuator.actions_taken()
+            if "policy advisor" in a.reason
+        ]
+        assert len(flips) >= 1
+
+    def test_performance_slider_restores_standard(self):
+        account, wh, optimizer = run_with_slider(
+            SliderPosition.BEST_PERFORMANCE, ScalingPolicy.ECONOMY
+        )
+        assert account.warehouse(wh).config.scaling_policy == ScalingPolicy.STANDARD
+
+    def test_policy_changes_recorded_in_telemetry(self):
+        account, wh, optimizer = run_with_slider(
+            SliderPosition.LOWEST_COST, ScalingPolicy.STANDARD
+        )
+        alters = account.telemetry.warehouse_events(wh, kind="alter")
+        keebo_policy_changes = [
+            e
+            for e in alters
+            if e.initiator == "keebo" and "scaling_policy" in e.detail.get("changes", {})
+        ]
+        assert len(keebo_policy_changes) >= 1

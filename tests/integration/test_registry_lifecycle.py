@@ -1,0 +1,90 @@
+"""Integration: smart-model persistence across service restarts."""
+
+import pytest
+
+from repro.common.simtime import DAY, HOUR
+from repro.core.optimizer import KeeboService, OptimizerConfig, WarehouseOptimizer
+from repro.core.registry import ModelRegistry
+
+from tests.conftest import make_account, make_requests, make_template
+
+
+def seeded_account(seed=27):
+    account, wh = make_account(seed=seed)
+    template = make_template("rg", base_work_seconds=10.0)
+    account.schedule_workload(
+        wh, make_requests(template, [10.0 + i * 400.0 for i in range(200)])
+    )
+    account.run_until(12 * HOUR)
+    return account, wh
+
+
+def config(**kw) -> OptimizerConfig:
+    defaults = dict(
+        training_window=12 * HOUR,
+        onboarding_episodes=3,
+        episode_length=6 * HOUR,
+        retrain_episodes=1,
+        confidence_tau=0.0,
+    )
+    defaults.update(kw)
+    return OptimizerConfig(**defaults)
+
+
+class TestRegistryLifecycle:
+    def test_onboarding_saves_checkpoint(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=config(), registry=registry)
+        optimizer.onboard()
+        info = registry.info(account.name, wh)
+        assert info is not None
+        assert info.train_steps == optimizer.agent.train_steps
+
+    def test_restart_restores_instead_of_retraining(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        account, wh = seeded_account()
+        first = WarehouseOptimizer(account, wh, config=config(), registry=registry)
+        first.onboard()
+        first.shutdown()
+        first_episodes = len(first.training_reports[0].episodes)
+        assert first_episodes == 3  # full onboarding run
+
+        # "Service restart": a new optimizer over the same account/registry.
+        second = WarehouseOptimizer(account, wh, config=config(), registry=registry)
+        second.onboard()
+        second.shutdown()
+        # Restored checkpoint -> only the fine-tune episode count runs.
+        assert len(second.training_reports[0].episodes) == 1
+        # Weights continued from the checkpoint (training steps accumulated).
+        assert second.agent.train_steps >= first.agent.train_steps
+
+    def test_service_plumbs_registry(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        account, wh = seeded_account()
+        service = KeeboService(account, registry=registry)
+        service.onboard_warehouse(wh, config=config())
+        assert registry.warehouses(account.name) == [wh]
+
+    def test_incompatible_checkpoint_falls_back_to_training(self, tmp_path):
+        import numpy as np
+
+        from repro.learning.agent import DQNAgent, DQNConfig
+
+        registry = ModelRegistry(tmp_path)
+        account, wh = seeded_account()
+        # Plant a checkpoint with alien shapes under this warehouse's key.
+        alien = DQNAgent(3, 2, DQNConfig(), np.random.default_rng(0))
+        registry.save(account.name, wh, alien)
+        optimizer = WarehouseOptimizer(account, wh, config=config(), registry=registry)
+        optimizer.onboard()
+        # Fell back to a full onboarding run and overwrote the checkpoint.
+        assert len(optimizer.training_reports[0].episodes) == 3
+        info = registry.info(account.name, wh)
+        assert info.state_dim == optimizer.agent.online.input_dim
+
+    def test_no_registry_still_works(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=config())
+        optimizer.onboard()
+        assert optimizer.onboarded

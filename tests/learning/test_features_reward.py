@@ -1,0 +1,148 @@
+"""Tests for featurization, baselines and reward shaping."""
+
+import numpy as np
+import pytest
+
+from repro.common.simtime import HOUR, Window
+from repro.learning.features import (
+    FEATURE_DIM,
+    FeatureExtractor,
+    WorkloadBaseline,
+    interval_windows,
+)
+from repro.learning.reward import RewardConfig, interval_reward
+from repro.warehouse.api import WarehouseInfo
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.types import WarehouseSize, WarehouseState
+
+
+def rec(arrival: float, exec_s: float = 5.0, queued: float = 0.0, hit: float = 1.0):
+    return QueryRecord(
+        query_id=int(arrival),
+        warehouse="WH",
+        text_hash="x",
+        template_hash="t",
+        arrival_time=arrival,
+        start_time=arrival + queued,
+        end_time=arrival + queued + exec_s,
+        queued_seconds=queued,
+        execution_seconds=exec_s,
+        cache_hit_ratio=hit,
+        completed=True,
+    )
+
+
+def info(config=None, state=WarehouseState.RUNNING, queue=0, running=0, clusters=1):
+    return WarehouseInfo(
+        name="WH",
+        state=state,
+        config=config or WarehouseConfig(),
+        queue_length=queue,
+        running_queries=running,
+        active_clusters=clusters,
+    )
+
+
+class TestWorkloadBaseline:
+    def test_empty_defaults(self):
+        baseline = WorkloadBaseline.fit([])
+        assert baseline.p99_latency > 0
+        assert baseline.expected_arrivals_per_hour(0.0) == 0.0
+
+    def test_p99_from_history(self):
+        records = [rec(i * 60.0, exec_s=1.0) for i in range(95)] + [
+            rec(6000.0 + i, exec_s=100.0) for i in range(5)
+        ]
+        baseline = WorkloadBaseline.fit(records)
+        assert baseline.p99_latency > 50.0
+        assert baseline.avg_latency < 10.0
+
+    def test_hourly_arrival_profile(self):
+        # All arrivals in hour 9 over 2 days.
+        records = [rec(day * 24 * HOUR + 9 * HOUR + i) for day in range(2) for i in range(10)]
+        baseline = WorkloadBaseline.fit(records)
+        assert baseline.expected_arrivals_per_hour(9.5 * HOUR) > 0
+        assert baseline.expected_arrivals_per_hour(3 * HOUR) == 0.0
+
+    def test_window_ratio_captures_volatility(self):
+        steady = [rec(i * 30.0, exec_s=5.0) for i in range(200)]
+        # Two extreme outliers concentrated in one 15-minute window: that
+        # window's p99 far exceeds the diluted global p99.
+        spiky = [rec(i * 30.0, exec_s=100.0 if i in (40, 41) else 5.0) for i in range(200)]
+        assert (
+            WorkloadBaseline.fit(spiky).window_p99_ratio_q99
+            > WorkloadBaseline.fit(steady).window_p99_ratio_q99
+        )
+
+
+class TestFeatureExtractor:
+    def test_feature_vector_shape_and_finiteness(self):
+        baseline = WorkloadBaseline.fit([rec(i * 60.0) for i in range(50)])
+        extractor = FeatureExtractor(baseline, WarehouseConfig())
+        state = extractor.extract(HOUR, [rec(100.0)], [], info())
+        assert state.shape == (FEATURE_DIM,)
+        assert np.isfinite(state).all()
+
+    def test_empty_windows_ok(self):
+        extractor = FeatureExtractor(WorkloadBaseline(), WarehouseConfig())
+        state = extractor.extract(0.0, [], [], info(state=WarehouseState.SUSPENDED))
+        assert np.isfinite(state).all()
+
+    def test_suspended_flag(self):
+        extractor = FeatureExtractor(WorkloadBaseline(), WarehouseConfig())
+        suspended = extractor.extract(0.0, [], [], info(state=WarehouseState.SUSPENDED))
+        running = extractor.extract(0.0, [], [], info(state=WarehouseState.RUNNING))
+        assert (suspended != running).any()
+
+    def test_interval_windows(self):
+        recent, previous = interval_windows(1000.0, 300.0)
+        assert recent == Window(700.0, 1000.0)
+        assert previous == Window(400.0, 700.0)
+
+    def test_interval_windows_clamped_at_zero(self):
+        recent, previous = interval_windows(100.0, 300.0)
+        assert recent.start == 0.0
+        assert previous.duration == 0.0
+
+
+class TestReward:
+    def setup_method(self):
+        self.baseline = WorkloadBaseline(p99_latency=10.0, avg_latency=5.0)
+        self.original = WarehouseConfig(size=WarehouseSize.S)
+        self.weights = RewardConfig(latency_weight=4.0)
+
+    def reward(self, credits, records):
+        return interval_reward(credits, 600.0, records, self.baseline, self.original, self.weights)
+
+    def test_cheaper_is_better(self):
+        records = [rec(0.0, exec_s=5.0)]
+        assert self.reward(0.1, records) > self.reward(0.3, records)
+
+    def test_latency_penalty_beyond_tolerance(self):
+        ok = [rec(0.0, exec_s=10.0)]  # at baseline p99
+        slow = [rec(0.0, exec_s=40.0)]  # 4x baseline p99
+        assert self.reward(0.1, ok) > self.reward(0.1, slow)
+
+    def test_no_queries_no_penalty(self):
+        assert self.reward(0.0, []) == 0.0
+
+    def test_queueing_penalized(self):
+        smooth = [rec(0.0, exec_s=5.0, queued=0.0)]
+        queued = [rec(0.0, exec_s=5.0, queued=20.0)]
+        assert self.reward(0.1, smooth) > self.reward(0.1, queued)
+
+    def test_cold_reads_penalized(self):
+        warm = [rec(0.0, hit=1.0)]
+        cold = [rec(0.0, hit=0.0)]
+        assert self.reward(0.1, warm) > self.reward(0.1, cold)
+
+    def test_cost_normalized_by_original_rate(self):
+        # The same absolute credits hurt a small warehouse more.
+        small = interval_reward(
+            1.0, 600.0, [], WorkloadBaseline(), WarehouseConfig(size=WarehouseSize.XS), RewardConfig()
+        )
+        large = interval_reward(
+            1.0, 600.0, [], WorkloadBaseline(), WarehouseConfig(size=WarehouseSize.XL), RewardConfig()
+        )
+        assert small < large

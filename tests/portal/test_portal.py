@@ -1,0 +1,103 @@
+"""Tests for KPI computation, dashboards and text rendering."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, Window
+from repro.portal.dashboards import SavingsDashboard, savings_dashboard
+from repro.portal.kpis import daily_credits, daily_p99_latency, kpi_series, total_spend
+from repro.portal.reports import render_actions, render_savings
+from repro.warehouse.api import CloudWarehouseClient
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+def two_day_account():
+    account, wh = make_account(seed=4)
+    template = make_template("kpi", base_work_seconds=10.0)
+    times = [i * 1800.0 for i in range(96)]  # every 30 min for 2 days
+    drive(account, wh, make_requests(template, times), 2 * DAY)
+    return account, wh, CloudWarehouseClient(account)
+
+
+class TestKpis:
+    def test_invalid_granularity(self):
+        account, wh, client = two_day_account()
+        with pytest.raises(ConfigurationError):
+            kpi_series(client, wh, Window(0, DAY), "minutely")
+
+    def test_daily_bucket_count(self):
+        account, wh, client = two_day_account()
+        buckets = kpi_series(client, wh, Window(0, 2 * DAY), "daily")
+        assert len(buckets) == 2
+        assert all(b.n_queries == 48 for b in buckets)
+
+    def test_hourly_bucket_count(self):
+        account, wh, client = two_day_account()
+        buckets = kpi_series(client, wh, Window(0, DAY), "hourly")
+        assert len(buckets) == 24
+
+    def test_bucket_credits_sum_to_total(self):
+        account, wh, client = two_day_account()
+        window = Window(0, 2 * DAY)
+        buckets = kpi_series(client, wh, window, "daily")
+        assert sum(b.credits for b in buckets) == pytest.approx(
+            total_spend(client, wh, window), rel=0.01
+        )
+
+    def test_cost_per_query(self):
+        account, wh, client = two_day_account()
+        bucket = kpi_series(client, wh, Window(0, DAY), "daily")[0]
+        assert bucket.cost_per_query == pytest.approx(bucket.credits / bucket.n_queries)
+
+    def test_latency_stats_populated(self):
+        account, wh, client = two_day_account()
+        bucket = kpi_series(client, wh, Window(0, DAY), "daily")[0]
+        assert bucket.avg_latency > 0
+        assert bucket.p99_latency >= bucket.avg_latency
+
+    def test_daily_series_helpers(self):
+        account, wh, client = two_day_account()
+        window = Window(0, 2 * DAY)
+        assert len(daily_credits(client, wh, window)) == 2
+        assert len(daily_p99_latency(client, wh, window)) == 2
+
+
+class TestSavingsDashboard:
+    def test_split_by_keebo_start(self):
+        account, wh, client = two_day_account()
+        dashboard = savings_dashboard(client, wh, Window(0, 2 * DAY), keebo_enabled_at=DAY)
+        assert dashboard.keebo_active == [False, True]
+        assert dashboard.pre_keebo_daily_mean > 0
+        assert dashboard.with_keebo_daily_mean > 0
+
+    def test_savings_fraction(self):
+        dashboard = SavingsDashboard(
+            warehouse="WH",
+            days=[0, 1],
+            daily_credits=[10.0, 6.0],
+            daily_p99=[5.0, 5.0],
+            keebo_active=[False, True],
+        )
+        assert dashboard.savings_fraction == pytest.approx(0.4)
+
+    def test_render_savings_text(self):
+        dashboard = SavingsDashboard(
+            warehouse="WH",
+            days=[0, 1],
+            daily_credits=[10.0, 6.0],
+            daily_p99=[5.0, 4.0],
+            keebo_active=[False, True],
+        )
+        text = render_savings(dashboard)
+        assert "WH" in text
+        assert "savings=40.0%" in text
+        assert "#" in text and "=" in text  # pre vs keebo bars
+
+
+class TestActionsRendering:
+    def test_render_actions_empty(self):
+        from repro.portal.dashboards import ActionsDashboard
+
+        text = render_actions(ActionsDashboard(warehouse="WH", actions=[]))
+        assert "no configuration changes" in text

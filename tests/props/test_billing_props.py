@@ -1,0 +1,87 @@
+"""Property-based tests for billing invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.simtime import HOUR, Window
+from repro.warehouse.billing import MINIMUM_BILLED_SECONDS, BillingMeter
+from repro.warehouse.types import WarehouseSize
+
+sizes = st.sampled_from(list(WarehouseSize))
+# (start, duration) pairs for sequential segments on one cluster.
+segment_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=1000.0),
+        st.floats(min_value=0.1, max_value=5000.0),
+        sizes,
+    ),
+    min_size=1,
+    max_size=20,
+)
+
+
+def build_meter(segments) -> tuple[BillingMeter, float]:
+    """Sequential open/close cycles; returns the meter and the end time."""
+    meter = BillingMeter("WH")
+    t = 0.0
+    for gap, duration, size in segments:
+        t += gap
+        meter.open_segment(1, t, size)
+        t += duration
+        meter.close_segment(1, t)
+    return meter, t
+
+
+class TestBillingProperties:
+    @given(segment_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_credits_non_negative(self, segments):
+        meter, _ = build_meter(segments)
+        assert meter.total_credits() >= 0.0
+
+    @given(segment_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_minimum_charge_floor(self, segments):
+        """Every fresh start bills at least the 60 s minimum."""
+        meter, _ = build_meter(segments)
+        floor = sum(
+            MINIMUM_BILLED_SECONDS / HOUR * size.credits_per_hour
+            for _, __, size in segments
+        )
+        assert meter.total_credits() >= floor - 1e-9
+
+    @given(segment_lists)
+    @settings(max_examples=100, deadline=None)
+    def test_hourly_rollup_conserves_credits(self, segments):
+        """Rolling up hourly must neither create nor destroy credits."""
+        meter, end = build_meter(segments)
+        window = Window(0.0, end + MINIMUM_BILLED_SECONDS + 1.0)
+        rollup = meter.hourly_rollup(window)
+        assert sum(rollup.values()) == pytest.approx(meter.total_credits(), rel=1e-9)
+
+    @given(segment_lists, st.floats(min_value=1.0, max_value=20000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_window_split_conserves_credits(self, segments, split):
+        """Credits split across adjacent windows sum to the whole."""
+        meter, end = build_meter(segments)
+        horizon = end + MINIMUM_BILLED_SECONDS + 1.0
+        split = min(split, horizon - 0.5)
+        left = meter.credits_in_window(Window(0.0, split))
+        right = meter.credits_in_window(Window(split, horizon))
+        whole = meter.credits_in_window(Window(0.0, horizon))
+        assert left + right == pytest.approx(whole, rel=1e-9, abs=1e-12)
+
+    @given(segment_lists)
+    @settings(max_examples=50, deadline=None)
+    def test_bigger_sizes_cost_more(self, segments):
+        """Re-running the same schedule one size up at least doubles cost
+        for every non-maxed size (rates double, minimums double)."""
+        meter, _ = build_meter(segments)
+        upsized = [
+            (gap, dur, WarehouseSize(min(size.value + 1, WarehouseSize.SIZE_6XL.value)))
+            for gap, dur, size in segments
+        ]
+        meter_up, _ = build_meter(upsized)
+        if all(size != WarehouseSize.SIZE_6XL for _, __, size in segments):
+            assert meter_up.total_credits() == pytest.approx(2 * meter.total_credits())

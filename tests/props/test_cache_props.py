@@ -1,0 +1,69 @@
+"""Property-based tests for the partition cache."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.warehouse.cache import PARTITION_BYTES, PartitionCache
+
+partition_names = st.text(alphabet="abcdef", min_size=1, max_size=3)
+access_sequences = st.lists(
+    st.lists(partition_names, min_size=0, max_size=8), min_size=1, max_size=30
+)
+capacities = st.integers(min_value=0, max_value=12)
+
+
+class TestCacheProperties:
+    @given(capacities, access_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_never_exceeds_capacity(self, capacity, accesses):
+        cache = PartitionCache(capacity * PARTITION_BYTES)
+        for access in accesses:
+            cache.access(access)
+            assert len(cache) <= capacity
+
+    @given(capacities, access_sequences)
+    @settings(max_examples=200, deadline=None)
+    def test_hit_ratio_bounds(self, capacity, accesses):
+        cache = PartitionCache(capacity * PARTITION_BYTES)
+        for access in accesses:
+            ratio = cache.access(access)
+            assert 0.0 <= ratio <= 1.0
+
+    @given(access_sequences)
+    @settings(max_examples=100, deadline=None)
+    def test_unbounded_cache_repeated_access_warm(self, accesses):
+        """With enough capacity, re-touching any previous access set hits."""
+        cache = PartitionCache(10**15)
+        for access in accesses:
+            cache.access(access)
+        for access in accesses:
+            assert cache.access(access) == 1.0
+
+    @given(capacities, access_sequences)
+    @settings(max_examples=100, deadline=None)
+    def test_peek_matches_access_ratio(self, capacity, accesses):
+        cache = PartitionCache(capacity * PARTITION_BYTES)
+        for access in accesses:
+            predicted = cache.peek_hit_ratio(access)
+            actual = cache.access(access)
+            assert predicted == actual
+
+    @given(capacities, access_sequences)
+    @settings(max_examples=100, deadline=None)
+    def test_hits_plus_misses_equals_touches(self, capacity, accesses):
+        cache = PartitionCache(capacity * PARTITION_BYTES)
+        touches = 0
+        for access in accesses:
+            cache.access(access)
+            # A query's footprint is a set: duplicates collapse.
+            touches += len(set(access))
+        assert cache.hits + cache.misses == touches
+
+    @given(capacities, access_sequences)
+    @settings(max_examples=100, deadline=None)
+    def test_clear_resets_contents(self, capacity, accesses):
+        cache = PartitionCache(capacity * PARTITION_BYTES)
+        for access in accesses:
+            cache.access(access)
+        cache.clear()
+        assert len(cache) == 0

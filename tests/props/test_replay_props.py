@@ -1,0 +1,119 @@
+"""Property-based tests for the query replay's cost-model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.simtime import HOUR, Window
+from repro.costmodel.clusters import ClusterCountPredictor
+from repro.costmodel.gaps import GapModel
+from repro.costmodel.latency import LatencyScalingModel
+from repro.costmodel.replay import QueryReplay
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.types import WarehouseSize
+
+HORIZON = 8 * HOUR
+
+# Random telemetry: (arrival, duration) pairs.
+record_lists = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=HORIZON - 600.0),
+        st.floats(min_value=0.5, max_value=500.0),
+    ),
+    min_size=1,
+    max_size=40,
+)
+suspend_choices = st.sampled_from([60.0, 300.0, 600.0, 1800.0])
+
+
+def to_records(pairs) -> list[QueryRecord]:
+    return [
+        QueryRecord(
+            query_id=i,
+            warehouse="WH",
+            text_hash=f"x{i}",
+            template_hash="t",
+            arrival_time=arrival,
+            start_time=arrival,
+            end_time=arrival + duration,
+            execution_seconds=duration,
+            warehouse_size=WarehouseSize.S,
+            cache_hit_ratio=1.0,
+            cluster_number=1,
+            completed=True,
+        )
+        for i, (arrival, duration) in enumerate(sorted(pairs))
+    ]
+
+
+def fresh_replay() -> QueryReplay:
+    return QueryReplay(LatencyScalingModel(), GapModel(), ClusterCountPredictor())
+
+
+class TestReplayProperties:
+    @given(record_lists, suspend_choices)
+    @settings(max_examples=80, deadline=None)
+    def test_credits_non_negative_and_finite(self, pairs, suspend):
+        replay = fresh_replay()
+        config = WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=suspend)
+        result = replay.replay(to_records(pairs), config, Window(0, HORIZON))
+        assert result.credits >= 0.0
+        assert result.active_seconds <= HORIZON + 1e-6
+
+    @given(record_lists)
+    @settings(max_examples=80, deadline=None)
+    def test_longer_suspend_never_cheaper(self, pairs):
+        """Keeping the warehouse up longer can only add billed time (at the
+        same size, with independent arrivals)."""
+        replay = fresh_replay()
+        records = to_records(pairs)
+        window = Window(0, HORIZON)
+        short = replay.replay(
+            records, WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=60.0), window
+        )
+        long = replay.replay(
+            records, WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=1800.0), window
+        )
+        assert long.credits >= short.credits - 1e-6
+
+    @given(record_lists, suspend_choices)
+    @settings(max_examples=80, deadline=None)
+    def test_active_time_covers_busy_time(self, pairs, suspend):
+        """The warehouse must be active at least as long as the union of
+        query executions (clipped to the window)."""
+        replay = fresh_replay()
+        records = to_records(pairs)
+        config = WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=suspend)
+        result = replay.replay(records, config, Window(0, HORIZON))
+        spans = sorted((r.arrival_time, min(r.end_time, HORIZON)) for r in records)
+        merged_end, busy = 0.0, 0.0
+        for start, end in spans:
+            start = max(start, merged_end)
+            if end > start:
+                busy += end - start
+                merged_end = end
+        assert result.active_seconds >= busy - 1e-6
+
+    @given(record_lists)
+    @settings(max_examples=60, deadline=None)
+    def test_burst_count_monotone_in_suspend(self, pairs):
+        """A longer suspend interval merges bursts, never splits them."""
+        replay = fresh_replay()
+        records = to_records(pairs)
+        window = Window(0, HORIZON)
+        short = replay.replay(
+            records, WarehouseConfig(auto_suspend_seconds=60.0), window
+        )
+        long = replay.replay(
+            records, WarehouseConfig(auto_suspend_seconds=1800.0), window
+        )
+        assert long.n_bursts <= short.n_bursts
+
+    @given(record_lists, suspend_choices)
+    @settings(max_examples=60, deadline=None)
+    def test_hourly_rollup_never_exceeds_total(self, pairs, suspend):
+        replay = fresh_replay()
+        config = WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=suspend)
+        result = replay.replay(to_records(pairs), config, Window(0, HORIZON))
+        assert sum(result.hourly_credits.values()) <= result.credits + 1e-6

@@ -1,0 +1,127 @@
+"""Property-based tests on the whole warehouse simulator.
+
+Random small workloads against a random configuration must preserve the
+global invariants the rest of the system builds on: no query is ever lost,
+telemetry is internally consistent, billing matches its own rollups, and
+billed time covers execution time.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.common.simtime import HOUR, Window
+from repro.warehouse.account import Account
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRequest, QueryTemplate
+from repro.warehouse.types import WarehouseSize
+
+workload_strategy = st.lists(
+    st.tuples(
+        st.floats(min_value=0.0, max_value=2 * HOUR),  # arrival
+        st.floats(min_value=0.5, max_value=300.0),  # base work
+        st.integers(min_value=0, max_value=4),  # template id
+    ),
+    min_size=1,
+    max_size=25,
+)
+config_strategy = st.builds(
+    WarehouseConfig,
+    size=st.sampled_from([WarehouseSize.XS, WarehouseSize.S, WarehouseSize.M]),
+    auto_suspend_seconds=st.sampled_from([0.0, 60.0, 300.0, 900.0]),
+    max_clusters=st.integers(min_value=1, max_value=3),
+    max_concurrency=st.integers(min_value=1, max_value=4),
+)
+
+
+def run_workload(config: WarehouseConfig, workload) -> Account:
+    account = Account(seed=5)
+    account.create_warehouse("WH", config)
+    templates = {
+        i: QueryTemplate(
+            name=f"t{i}",
+            base_work_seconds=10.0 + 5 * i,
+            partitions=tuple(f"t{i}.p{j}" for j in range(3)),
+        )
+        for i in range(5)
+    }
+    requests = []
+    for arrival, base_work, tpl in workload:
+        template = QueryTemplate(
+            name=f"t{tpl}",
+            base_work_seconds=base_work,
+            partitions=templates[tpl].partitions,
+        )
+        requests.append(QueryRequest(template, arrival, instance_key=str(arrival)))
+    account.schedule_workload("WH", requests)
+    # Generous horizon: every query must complete.
+    account.run_until(8 * HOUR)
+    account.sim.run_all(hard_stop=24 * HOUR)
+    return account
+
+
+class TestWarehouseInvariants:
+    @given(config_strategy, workload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_no_query_is_lost(self, config, workload):
+        account = run_workload(config, workload)
+        records = account.telemetry.query_history("WH")
+        assert len(records) == len(workload)
+        warehouse = account.warehouse("WH")
+        assert warehouse.queue_length == 0
+        assert warehouse.running_query_count == 0
+
+    @given(config_strategy, workload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_telemetry_time_consistency(self, config, workload):
+        account = run_workload(config, workload)
+        for r in account.telemetry.query_history("WH"):
+            assert r.start_time >= r.arrival_time
+            assert r.end_time > r.start_time
+            assert r.queued_seconds == pytest.approx(r.start_time - r.arrival_time)
+            assert r.execution_seconds == pytest.approx(r.end_time - r.start_time)
+            assert 0.0 <= r.cache_hit_ratio <= 1.0
+            assert 1 <= r.cluster_number <= config.max_clusters
+
+    @given(config_strategy, workload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_billing_covers_busy_wall_time(self, config, workload):
+        """Billed cluster-seconds must cover the *union* of execution spans
+        (queries only run on billing clusters; summed execution seconds can
+        exceed billed time because one cluster runs several queries at
+        once)."""
+        account = run_workload(config, workload)
+        spans = sorted(
+            (r.start_time, r.end_time) for r in account.telemetry.query_history("WH")
+        )
+        busy, merged_end = 0.0, 0.0
+        for start, end in spans:
+            start = max(start, merged_end)
+            if end > start:
+                busy += end - start
+                merged_end = end
+        window = Window(0, 30 * HOUR)
+        billed = account.warehouse("WH").meter.active_cluster_seconds(
+            window, as_of=account.sim.now
+        )
+        assert billed >= busy - 1e-6
+
+    @given(config_strategy, workload_strategy)
+    @settings(max_examples=60, deadline=None)
+    def test_rollup_matches_window_credits(self, config, workload):
+        account = run_workload(config, workload)
+        window = Window(0, 30 * HOUR)
+        meter = account.warehouse("WH").meter
+        rollup = meter.hourly_rollup(window, as_of=account.sim.now)
+        assert sum(rollup.values()) == pytest.approx(
+            meter.credits_in_window(window, as_of=account.sim.now), rel=1e-9, abs=1e-12
+        )
+
+    @given(config_strategy, workload_strategy)
+    @settings(max_examples=40, deadline=None)
+    def test_deterministic_replay(self, config, workload):
+        a = run_workload(config, workload)
+        b = run_workload(config, workload)
+        credits_a = a.warehouse("WH").meter.total_credits(a.sim.now)
+        credits_b = b.warehouse("WH").meter.total_credits(b.sim.now)
+        assert credits_a == credits_b

@@ -1,0 +1,119 @@
+"""Tests for the account container and the vendor-style client API."""
+
+import pytest
+
+from repro.common.errors import UnknownWarehouseError, WarehouseError
+from repro.common.simtime import HOUR, Window
+from repro.warehouse.account import Account, OverheadMeter
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import WarehouseSize, WarehouseState
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+class TestAccount:
+    def test_duplicate_warehouse_rejected(self):
+        account = Account()
+        account.create_warehouse("WH")
+        with pytest.raises(WarehouseError):
+            account.create_warehouse("WH")
+
+    def test_unknown_warehouse(self):
+        with pytest.raises(UnknownWarehouseError):
+            Account().warehouse("NOPE")
+
+    def test_total_credits_across_warehouses(self):
+        account = Account(seed=1)
+        account.create_warehouse("A", WarehouseConfig(size=WarehouseSize.XS, auto_suspend_seconds=60))
+        account.create_warehouse("B", WarehouseConfig(size=WarehouseSize.XS, auto_suspend_seconds=60))
+        template = make_template(base_work_seconds=5.0)
+        account.schedule_workload("A", make_requests(template, [1.0]))
+        account.schedule_workload("B", make_requests(template, [1.0]))
+        account.run_until(HOUR)
+        total = account.total_credits(Window(0, HOUR))
+        a = account.warehouse("A").meter.credits_in_window(Window(0, HOUR))
+        b = account.warehouse("B").meter.credits_in_window(Window(0, HOUR))
+        assert total == pytest.approx(a + b)
+
+    def test_spend_dollars_uses_price(self):
+        account = Account(price_per_credit=2.5)
+        account.create_warehouse("WH")
+        assert account.total_spend_dollars() == 0.0
+        account.overhead.record(0.0, 4.0, "test")
+        assert account.total_spend_dollars() == pytest.approx(10.0)
+
+
+class TestOverheadMeter:
+    def test_negative_credits_rejected(self):
+        with pytest.raises(WarehouseError):
+            OverheadMeter().record(0.0, -1.0, "x")
+
+    def test_window_totals(self):
+        meter = OverheadMeter()
+        meter.record(10.0, 1.0, "a")
+        meter.record(5000.0, 2.0, "b")
+        assert meter.total_credits() == 3.0
+        assert meter.total_credits(Window(0, 100)) == 1.0
+
+    def test_hourly_rollup(self):
+        meter = OverheadMeter()
+        meter.record(10.0, 1.0, "a")
+        meter.record(HOUR + 5, 2.0, "b")
+        rollup = meter.hourly_rollup(Window(0, 2 * HOUR))
+        assert rollup == {0: 1.0, 1: 2.0}
+
+
+class TestCloudWarehouseClient:
+    def test_keebo_actor_is_metered(self):
+        account, wh = make_account()
+        client = CloudWarehouseClient(account, actor="keebo")
+        client.query_history(wh)
+        client.show_warehouses()
+        assert account.overhead.total_credits() > 0
+
+    def test_customer_actor_is_free(self):
+        account, wh = make_account()
+        client = CloudWarehouseClient(account, actor="customer")
+        client.query_history(wh)
+        client.alter_warehouse(wh, size=WarehouseSize.L)
+        assert account.overhead.total_credits() == 0.0
+
+    def test_alter_warehouse_records_initiator(self):
+        account, wh = make_account()
+        CloudWarehouseClient(account, actor="keebo").alter_warehouse(
+            wh, size=WarehouseSize.L
+        )
+        snaps = account.telemetry.config_history(wh)
+        assert snaps[-1].initiator == "keebo"
+
+    def test_show_warehouses_reports_state(self):
+        account, wh = make_account()
+        rows = CloudWarehouseClient(account).show_warehouses()
+        assert rows[0].name == wh
+        assert rows[0].state == WarehouseState.SUSPENDED
+
+    def test_describe_reflects_live_queue(self):
+        account, wh = make_account(max_concurrency=1, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=100.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [1.0, 1.0, 1.0]), 30.0)
+        info = CloudWarehouseClient(account).describe_warehouse(wh)
+        assert info.running_queries == 1
+        assert info.queue_length == 2
+
+    def test_metering_history_matches_meter(self):
+        account, wh = make_account()
+        drive(account, wh, make_requests(make_template(), [1.0]), HOUR)
+        client = CloudWarehouseClient(account)
+        window = Window(0, HOUR)
+        rollup = client.metering_history(wh, window)
+        assert sum(rollup.values()) == pytest.approx(client.credits_in_window(wh, window))
+
+    def test_suspend_resume_via_client(self):
+        account, wh = make_account()
+        client = CloudWarehouseClient(account)
+        client.resume_warehouse(wh)
+        account.run_until(30.0)
+        assert account.warehouse(wh).state == WarehouseState.RUNNING
+        client.suspend_warehouse(wh)
+        assert account.warehouse(wh).state == WarehouseState.SUSPENDED

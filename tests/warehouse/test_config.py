@@ -1,0 +1,67 @@
+"""Tests for WarehouseConfig validation and helpers."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.warehouse.config import MAX_CLUSTER_COUNT, WarehouseConfig
+from repro.warehouse.types import ScalingPolicy, WarehouseSize
+
+
+class TestWarehouseConfig:
+    def test_defaults_valid(self):
+        config = WarehouseConfig()
+        assert config.size == WarehouseSize.M
+        assert config.min_clusters == config.max_clusters == 1
+
+    def test_negative_suspend_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseConfig(auto_suspend_seconds=-1)
+
+    def test_zero_suspend_allowed(self):
+        assert WarehouseConfig(auto_suspend_seconds=0).auto_suspend_seconds == 0
+
+    def test_min_above_max_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseConfig(min_clusters=3, max_clusters=2)
+
+    def test_zero_min_clusters_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseConfig(min_clusters=0, max_clusters=1)
+
+    def test_cluster_cap(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseConfig(min_clusters=1, max_clusters=MAX_CLUSTER_COUNT + 1)
+
+    def test_max_concurrency_positive(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseConfig(max_concurrency=0)
+
+    def test_is_maximized(self):
+        assert WarehouseConfig(min_clusters=3, max_clusters=3).is_maximized
+        assert not WarehouseConfig(min_clusters=1, max_clusters=3).is_maximized
+
+    def test_with_changes_returns_new_validated_copy(self):
+        config = WarehouseConfig()
+        changed = config.with_changes(size=WarehouseSize.L)
+        assert changed.size == WarehouseSize.L
+        assert config.size == WarehouseSize.M  # original untouched
+        with pytest.raises(ConfigurationError):
+            config.with_changes(min_clusters=5)  # max stays 1
+
+    def test_describe_mentions_key_settings(self):
+        text = WarehouseConfig(
+            size=WarehouseSize.L,
+            auto_suspend_seconds=300,
+            min_clusters=2,
+            max_clusters=4,
+            scaling_policy=ScalingPolicy.ECONOMY,
+        ).describe()
+        assert "Large" in text
+        assert "300" in text
+        assert "2..4" in text
+        assert "economy" in text
+
+    def test_frozen(self):
+        config = WarehouseConfig()
+        with pytest.raises(AttributeError):
+            config.size = WarehouseSize.L

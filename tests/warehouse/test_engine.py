@@ -1,0 +1,133 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+
+from repro.warehouse.engine import Simulation, SimulationError
+
+
+class TestSimulation:
+    def test_events_fire_in_time_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(20.0, lambda: fired.append("b"))
+        sim.schedule(10.0, lambda: fired.append("a"))
+        sim.run_until(30.0)
+        assert fired == ["a", "b"]
+
+    def test_ties_fire_in_insertion_order(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(2))
+        sim.run_until(10.0)
+        assert fired == [1, 2]
+
+    def test_now_advances_to_end_time(self):
+        sim = Simulation()
+        sim.run_until(42.0)
+        assert sim.now == 42.0
+
+    def test_scheduling_in_past_rejected(self):
+        sim = Simulation(start_time=100.0)
+        with pytest.raises(SimulationError):
+            sim.schedule(50.0, lambda: None)
+
+    def test_run_until_backwards_rejected(self):
+        sim = Simulation(start_time=100.0)
+        with pytest.raises(SimulationError):
+            sim.run_until(50.0)
+
+    def test_schedule_in_delay(self):
+        sim = Simulation(start_time=10.0)
+        times = []
+        sim.schedule_in(5.0, lambda: times.append(sim.now))
+        sim.run_until(20.0)
+        assert times == [15.0]
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().schedule_in(-1.0, lambda: None)
+
+    def test_cancellation(self):
+        sim = Simulation()
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append("x"))
+        handle.cancel()
+        sim.run_until(20.0)
+        assert fired == []
+        assert handle.cancelled
+
+    def test_events_can_schedule_events(self):
+        sim = Simulation()
+        fired = []
+
+        def first():
+            sim.schedule_in(5.0, lambda: fired.append(sim.now))
+
+        sim.schedule(10.0, first)
+        sim.run_until(20.0)
+        assert fired == [15.0]
+
+    def test_events_beyond_horizon_stay_pending(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(100.0, lambda: fired.append("late"))
+        sim.run_until(50.0)
+        assert fired == []
+        assert sim.pending_events == 1
+        sim.run_until(150.0)
+        assert fired == ["late"]
+
+    def test_run_all_drains(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(30.0, lambda: fired.append(2))
+        sim.run_all()
+        assert fired == [1, 2]
+        assert sim.now == 30.0
+
+    def test_run_all_with_hard_stop(self):
+        sim = Simulation()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(1))
+        sim.schedule(30.0, lambda: fired.append(2))
+        sim.run_all(hard_stop=20.0)
+        assert fired == [1]
+        assert sim.now == 20.0
+
+    def test_processed_event_count(self):
+        sim = Simulation()
+        for t in range(5):
+            sim.schedule(float(t), lambda: None)
+        sim.run_until(10.0)
+        assert sim.processed_events == 5
+
+
+class TestPeriodicController:
+    def test_fires_every_interval(self):
+        sim = Simulation()
+        ticks = []
+        sim.add_controller(10.0, ticks.append)
+        sim.run_until(35.0)
+        assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+    def test_custom_start(self):
+        sim = Simulation()
+        ticks = []
+        sim.add_controller(10.0, ticks.append, start=5.0)
+        sim.run_until(30.0)
+        assert ticks == [5.0, 15.0, 25.0]
+
+    def test_stop_halts_future_fires(self):
+        sim = Simulation()
+        ticks = []
+        controller = sim.add_controller(10.0, ticks.append)
+        sim.run_until(15.0)
+        controller.stop()
+        sim.run_until(100.0)
+        assert ticks == [0.0, 10.0]
+
+    def test_zero_interval_rejected(self):
+        with pytest.raises(SimulationError):
+            Simulation().add_controller(0.0, lambda t: None)

@@ -1,0 +1,127 @@
+"""Edge-case tests for warehouse lifecycle transitions and cluster bounds."""
+
+import pytest
+
+from repro.common.simtime import HOUR, MINUTE
+from repro.warehouse.cluster import ClusterState
+from repro.warehouse.types import WarehouseSize, WarehouseState
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+class TestAlterWhileSuspended:
+    def test_resize_while_suspended_applies_on_resume(self):
+        account, wh = make_account(size=WarehouseSize.S)
+        warehouse = account.warehouse(wh)
+        assert warehouse.state == WarehouseState.SUSPENDED
+        warehouse.alter(size=WarehouseSize.L)
+        template = make_template("x", base_work_seconds=8.0, scale_exponent=1.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [10.0]), 5 * MINUTE)
+        record = account.telemetry.query_history(wh)[0]
+        assert record.warehouse_size == WarehouseSize.L
+
+    def test_suspend_interval_change_while_suspended(self):
+        account, wh = make_account(auto_suspend_seconds=600.0)
+        account.warehouse(wh).alter(auto_suspend_seconds=60.0)
+        template = make_template("x", base_work_seconds=2.0)
+        drive(account, wh, make_requests(template, [10.0]), 10 * MINUTE)
+        # With the new 60s interval, a 10-minute horizon sees a suspend.
+        assert account.warehouse(wh).state == WarehouseState.SUSPENDED
+
+
+class TestResumeEdges:
+    def test_resume_while_resuming_is_noop(self):
+        account, wh = make_account()
+        warehouse = account.warehouse(wh)
+        template = make_template("x", base_work_seconds=2.0)
+        account.schedule_workload(wh, make_requests(template, [10.0]))
+        account.run_until(10.5)  # mid provisioning
+        assert warehouse.state == WarehouseState.RESUMING
+        warehouse.resume()  # explicit resume during RESUMING
+        account.run_until(MINUTE)
+        assert warehouse.state == WarehouseState.RUNNING
+        assert len(warehouse.active_clusters()) == warehouse.config.min_clusters
+
+    def test_suspend_then_resume_drops_then_rebuilds(self):
+        account, wh = make_account()
+        warehouse = account.warehouse(wh)
+        drive(account, wh, make_requests(make_template("x", base_work_seconds=2.0), [5.0]), MINUTE)
+        warehouse.suspend()
+        assert warehouse.clusters == {}
+        warehouse.resume()
+        account.run_until(2 * MINUTE)
+        assert warehouse.state == WarehouseState.RUNNING
+
+    def test_query_arriving_during_resume_waits_for_clusters(self):
+        account, wh = make_account()
+        template = make_template("x", base_work_seconds=2.0)
+        account.schedule_workload(wh, make_requests(template, [10.0, 10.2]))
+        account.run_until(5 * MINUTE)
+        records = account.telemetry.query_history(wh)
+        assert len(records) == 2
+        # Both queries started at or after the warehouse finished resuming.
+        resume = account.telemetry.warehouse_events(wh, kind="resume")[0]
+        assert all(r.start_time >= resume.time for r in records)
+
+
+class TestClusterBoundReconciliation:
+    def test_raising_min_clusters_starts_clusters(self):
+        account, wh = make_account(
+            min_clusters=1, max_clusters=3, auto_suspend_seconds=0.0
+        )
+        warehouse = account.warehouse(wh)
+        drive(account, wh, make_requests(make_template("x", base_work_seconds=2.0), [5.0]), MINUTE)
+        assert len(warehouse.active_clusters()) == 1
+        warehouse.alter(min_clusters=3)
+        assert len(warehouse.active_clusters()) == 3
+
+    def test_lowering_max_clusters_retires_idle_ones(self):
+        account, wh = make_account(
+            min_clusters=3, max_clusters=3, auto_suspend_seconds=0.0
+        )
+        warehouse = account.warehouse(wh)
+        drive(account, wh, make_requests(make_template("x", base_work_seconds=2.0), [5.0]), MINUTE)
+        assert len(warehouse.active_clusters()) == 3
+        warehouse.alter(min_clusters=1, max_clusters=1)
+        assert len(warehouse.active_clusters()) == 1
+
+    def test_lowering_max_below_busy_clusters_drains(self):
+        account, wh = make_account(
+            min_clusters=2, max_clusters=2, max_concurrency=1, auto_suspend_seconds=0.0
+        )
+        warehouse = account.warehouse(wh)
+        template = make_template("long", base_work_seconds=120.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [5.0, 5.0]), 30.0)
+        assert len(warehouse.active_clusters()) == 2
+        assert warehouse.running_query_count == 2
+        warehouse.alter(min_clusters=1, max_clusters=1)
+        # Both clusters busy: one is marked draining, none killed mid-query.
+        assert warehouse.running_query_count == 2
+        assert len(warehouse.draining) == 1
+        account.run_until(HOUR)
+        assert len(warehouse.active_clusters()) == 1
+
+    def test_billing_stops_for_retired_clusters(self):
+        account, wh = make_account(
+            min_clusters=2, max_clusters=2, auto_suspend_seconds=0.0
+        )
+        warehouse = account.warehouse(wh)
+        drive(account, wh, make_requests(make_template("x", base_work_seconds=2.0), [5.0]), MINUTE)
+        warehouse.alter(min_clusters=1, max_clusters=1)
+        t0 = account.sim.now
+        credits_at_change = warehouse.meter.total_credits(t0)
+        account.run_until(t0 + HOUR)
+        delta = warehouse.meter.total_credits(account.sim.now) - credits_at_change
+        # Exactly one Small cluster for one hour.
+        assert delta == pytest.approx(2.0, rel=0.05)
+
+
+class TestShutdown:
+    def test_shutdown_stops_policy_controller(self):
+        account, wh = make_account()
+        warehouse = account.warehouse(wh)
+        before = account.sim.pending_events
+        warehouse.shutdown()
+        account.run_until(2 * HOUR)
+        # No policy ticks keep re-scheduling themselves.
+        assert account.sim.pending_events < before

@@ -1,0 +1,122 @@
+"""Tests for multi-cluster scale-out/in policies."""
+
+import pytest
+
+from repro.common.simtime import HOUR, MINUTE
+from repro.warehouse.types import ScalingPolicy
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+def flood(account, wh, n_queries: int, work: float = 120.0, at: float = 1.0):
+    template = make_template("flood", base_work_seconds=work, n_partitions=0)
+    drive(account, wh, make_requests(template, [at] * n_queries), at + 1.0)
+    return template
+
+
+class TestStandardScaleOut:
+    def test_scales_out_under_queueing(self):
+        account, wh = make_account(
+            max_clusters=3, max_concurrency=2, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 8)
+        peak = 0
+        warehouse = account.warehouse(wh)
+        for _ in range(30):
+            account.run_until(account.sim.now + 10.0)
+            peak = max(peak, len(warehouse.active_clusters()))
+        assert peak > 1
+
+    def test_respects_max_clusters(self):
+        account, wh = make_account(
+            max_clusters=2, max_concurrency=1, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 20, work=500.0)
+        account.run_until(10 * MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) <= 2
+
+    def test_single_cluster_warehouse_never_scales(self):
+        account, wh = make_account(
+            max_clusters=1, max_concurrency=1, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 10)
+        account.run_until(5 * MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) == 1
+
+    def test_scale_in_after_load_drops(self):
+        account, wh = make_account(
+            max_clusters=3, max_concurrency=2, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 8, work=60.0)
+        account.run_until(3 * MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) > 1
+        # After the burst drains, extra clusters retire (policy checks).
+        account.run_until(30 * MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) == 1
+
+    def test_all_queries_complete_despite_queueing(self):
+        account, wh = make_account(
+            max_clusters=2, max_concurrency=2, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 15, work=30.0)
+        account.run_until(2 * HOUR)
+        assert len(account.telemetry.query_history(wh)) == 15
+
+    def test_cluster_ordinals_within_bounds(self):
+        account, wh = make_account(
+            max_clusters=3, max_concurrency=2, auto_suspend_seconds=0.0
+        )
+        flood(account, wh, 12, work=90.0)
+        account.run_until(HOUR)
+        ordinals = {r.cluster_number for r in account.telemetry.query_history(wh)}
+        assert ordinals <= {1, 2, 3}
+        assert 1 in ordinals
+
+
+class TestEconomyScaleOut:
+    def test_economy_scales_later_than_standard(self):
+        def peak_clusters(policy):
+            account, wh = make_account(
+                max_clusters=4,
+                max_concurrency=2,
+                auto_suspend_seconds=0.0,
+                scaling_policy=policy,
+            )
+            template = make_template("burst", base_work_seconds=45.0, n_partitions=0)
+            drive(account, wh, make_requests(template, [1.0] * 10), 2.0)
+            peak = 0
+            warehouse = account.warehouse(wh)
+            for _ in range(60):
+                account.run_until(account.sim.now + 10.0)
+                peak = max(peak, len(warehouse.active_clusters()))
+            return peak
+
+        assert peak_clusters(ScalingPolicy.ECONOMY) <= peak_clusters(ScalingPolicy.STANDARD)
+
+    def test_economy_still_scales_for_sustained_load(self):
+        account, wh = make_account(
+            max_clusters=3,
+            max_concurrency=1,
+            auto_suspend_seconds=0.0,
+            scaling_policy=ScalingPolicy.ECONOMY,
+        )
+        # Long queries -> queued work estimate exceeds the 6-minute bar.
+        flood(account, wh, 12, work=300.0)
+        account.run_until(15 * MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) > 1
+
+
+class TestMaximizedMode:
+    def test_all_clusters_start_with_warehouse(self):
+        account, wh = make_account(
+            min_clusters=3, max_clusters=3, auto_suspend_seconds=0.0
+        )
+        drive(account, wh, make_requests(make_template(), [1.0]), MINUTE)
+        assert len(account.warehouse(wh).active_clusters()) == 3
+
+    def test_maximized_never_scales_in(self):
+        account, wh = make_account(
+            min_clusters=2, max_clusters=2, auto_suspend_seconds=0.0
+        )
+        drive(account, wh, make_requests(make_template(base_work_seconds=2.0), [1.0]), HOUR)
+        assert len(account.warehouse(wh).active_clusters()) == 2

@@ -1,0 +1,75 @@
+"""Tests for memory spilling (§5.2's super-linear downsizing behaviour)."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import MINUTE
+from repro.warehouse.queries import QueryTemplate
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import drive, make_account, make_requests
+
+
+def memory_bound_template(min_size=WarehouseSize.M, spill=2.5) -> QueryTemplate:
+    return QueryTemplate(
+        name="join-heavy",
+        base_work_seconds=64.0,
+        scale_exponent=1.0,
+        partitions=(),
+        min_memory_size=min_size,
+        spill_multiplier=spill,
+    )
+
+
+class TestTemplateSpilling:
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            QueryTemplate(name="x", base_work_seconds=1.0, spill_multiplier=0.5)
+
+    def test_no_spill_at_or_above_threshold(self):
+        t = memory_bound_template()
+        assert t.spill_steps(WarehouseSize.M) == 0
+        assert t.spill_steps(WarehouseSize.XL) == 0
+        assert t.spill_factor(WarehouseSize.L) == 1.0
+
+    def test_spill_steps_below_threshold(self):
+        t = memory_bound_template()
+        assert t.spill_steps(WarehouseSize.S) == 1
+        assert t.spill_steps(WarehouseSize.XS) == 2
+
+    def test_super_linear_latency_below_threshold(self):
+        """Above the knee latency halves per size step (gamma=1); below it
+        each step *worsens* latency by spill_multiplier on top."""
+        t = memory_bound_template(spill=2.5)
+        at_m = t.warm_latency(WarehouseSize.M)  # 16s
+        at_s = t.warm_latency(WarehouseSize.S)  # 32 * 2.5 = 80s
+        at_xs = t.warm_latency(WarehouseSize.XS)  # 64 * 6.25 = 400s
+        assert at_s / at_m == pytest.approx(2 * 2.5)
+        assert at_xs / at_s == pytest.approx(2 * 2.5)
+        # Super-linear: one downsize step more than doubles latency.
+        assert at_s > 2 * at_m
+
+    def test_default_templates_never_spill(self):
+        t = QueryTemplate(name="x", base_work_seconds=10.0)
+        assert t.spill_factor(WarehouseSize.XS) == 1.0
+
+
+class TestSimulatorSpilling:
+    def run_on(self, size: WarehouseSize):
+        account, wh = make_account(seed=19, size=size, auto_suspend_seconds=0.0)
+        template = memory_bound_template()
+        drive(account, wh, make_requests(template, [10.0]), 30 * MINUTE)
+        return account.telemetry.query_history(wh)[0]
+
+    def test_spilled_bytes_recorded(self):
+        record = self.run_on(WarehouseSize.S)
+        assert record.bytes_spilled > 0
+
+    def test_no_spill_recorded_above_threshold(self):
+        record = self.run_on(WarehouseSize.M)
+        assert record.bytes_spilled == 0.0
+
+    def test_latency_blowup_observable(self):
+        fits = self.run_on(WarehouseSize.M)
+        spills = self.run_on(WarehouseSize.S)
+        assert spills.execution_seconds > 3.5 * fits.execution_seconds

@@ -1,0 +1,133 @@
+"""Tests for the telemetry store."""
+
+import pytest
+
+from repro.common.errors import TelemetryError
+from repro.common.simtime import Window
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.telemetry import ConfigSnapshot, TelemetryStore, WarehouseEvent
+from repro.warehouse.types import WarehouseSize
+
+
+def record(arrival: float, warehouse="WH", overhead=False, **kw) -> QueryRecord:
+    r = QueryRecord(
+        query_id=int(arrival * 1000),
+        warehouse=warehouse,
+        text_hash="t",
+        template_hash="tpl",
+        arrival_time=arrival,
+        start_time=arrival,
+        end_time=arrival + 1,
+        execution_seconds=1.0,
+        is_overhead=overhead,
+        completed=True,
+    )
+    for k, v in kw.items():
+        setattr(r, k, v)
+    return r
+
+
+class TestQueryHistory:
+    def test_incomplete_record_rejected(self):
+        store = TelemetryStore()
+        r = record(1.0)
+        r.completed = False
+        with pytest.raises(TelemetryError):
+            store.record_query(r)
+
+    def test_sorted_by_arrival_regardless_of_insert_order(self):
+        store = TelemetryStore()
+        store.record_query(record(5.0))
+        store.record_query(record(1.0))
+        store.record_query(record(3.0))
+        arrivals = [r.arrival_time for r in store.query_history("WH")]
+        assert arrivals == [1.0, 3.0, 5.0]
+
+    def test_window_filtering(self):
+        store = TelemetryStore()
+        for t in [1.0, 2.0, 3.0, 4.0]:
+            store.record_query(record(t))
+        got = store.query_history("WH", Window(2.0, 4.0))
+        assert [r.arrival_time for r in got] == [2.0, 3.0]
+
+    def test_overhead_filtered_by_default(self):
+        store = TelemetryStore()
+        store.record_query(record(1.0))
+        store.record_query(record(2.0, overhead=True))
+        assert len(store.query_history("WH")) == 1
+        assert len(store.query_history("WH", include_overhead=True)) == 2
+
+    def test_unknown_warehouse_empty(self):
+        assert TelemetryStore().query_history("NOPE") == []
+
+    def test_warehouses_listing(self):
+        store = TelemetryStore()
+        store.record_query(record(1.0, warehouse="B"))
+        store.record_event(WarehouseEvent(0.0, "A", "create", "customer"))
+        assert store.warehouses() == ["A", "B"]
+
+
+class TestEvents:
+    def test_kind_filter(self):
+        store = TelemetryStore()
+        store.record_event(WarehouseEvent(1.0, "WH", "resize", "keebo"))
+        store.record_event(WarehouseEvent(2.0, "WH", "suspend", "system"))
+        assert len(store.warehouse_events("WH", kind="resize")) == 1
+
+    def test_window_filter(self):
+        store = TelemetryStore()
+        store.record_event(WarehouseEvent(1.0, "WH", "resize", "keebo"))
+        store.record_event(WarehouseEvent(10.0, "WH", "resize", "keebo"))
+        assert len(store.warehouse_events("WH", Window(0, 5))) == 1
+
+
+class TestConfigHistory:
+    def _store_with_history(self) -> TelemetryStore:
+        store = TelemetryStore()
+        store.record_config(
+            "WH", ConfigSnapshot(0.0, WarehouseConfig(size=WarehouseSize.L), "customer")
+        )
+        store.record_config(
+            "WH", ConfigSnapshot(10.0, WarehouseConfig(size=WarehouseSize.M), "keebo")
+        )
+        store.record_config(
+            "WH", ConfigSnapshot(20.0, WarehouseConfig(size=WarehouseSize.S), "keebo")
+        )
+        return store
+
+    def test_config_at(self):
+        store = self._store_with_history()
+        assert store.config_at("WH", 5.0).size == WarehouseSize.L
+        assert store.config_at("WH", 15.0).size == WarehouseSize.M
+        assert store.config_at("WH", 100.0).size == WarehouseSize.S
+
+    def test_config_before_creation_returns_first(self):
+        store = self._store_with_history()
+        assert store.config_at("WH", -5.0).size == WarehouseSize.L
+
+    def test_original_config_skips_keebo_changes(self):
+        store = self._store_with_history()
+        assert store.original_config("WH").size == WarehouseSize.L
+
+    def test_original_config_tracks_customer_changes(self):
+        store = self._store_with_history()
+        store.record_config(
+            "WH", ConfigSnapshot(30.0, WarehouseConfig(size=WarehouseSize.XL), "customer")
+        )
+        assert store.original_config("WH").size == WarehouseSize.XL
+        # Bounded lookups still see the earlier customer config.
+        assert store.original_config("WH", before=25.0).size == WarehouseSize.L
+
+    def test_out_of_order_snapshot_rejected(self):
+        store = self._store_with_history()
+        with pytest.raises(TelemetryError):
+            store.record_config(
+                "WH", ConfigSnapshot(5.0, WarehouseConfig(), "customer")
+            )
+
+    def test_missing_history_raises(self):
+        with pytest.raises(TelemetryError):
+            TelemetryStore().config_at("WH", 0.0)
+        with pytest.raises(TelemetryError):
+            TelemetryStore().original_config("WH")

@@ -1,0 +1,62 @@
+"""Tests for sizes, policies and state enums."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.warehouse.types import ScalingPolicy, WarehouseSize
+
+
+class TestWarehouseSize:
+    def test_credit_rates_double(self):
+        assert WarehouseSize.XS.credits_per_hour == 1.0
+        assert WarehouseSize.S.credits_per_hour == 2.0
+        assert WarehouseSize.M.credits_per_hour == 4.0
+        assert WarehouseSize.SIZE_6XL.credits_per_hour == 512.0
+
+    def test_speedup_matches_rate(self):
+        for size in WarehouseSize:
+            assert size.speedup == size.credits_per_hour
+
+    def test_cache_capacity_doubles(self):
+        assert WarehouseSize.S.cache_capacity_bytes == 2 * WarehouseSize.XS.cache_capacity_bytes
+
+    def test_labels(self):
+        assert WarehouseSize.XS.label == "X-Small"
+        assert WarehouseSize.M.label == "Medium"
+        assert WarehouseSize.SIZE_2XL.label == "2X-Large"
+        assert WarehouseSize.SIZE_6XL.label == "6X-Large"
+
+    def test_step_clamps_at_ends(self):
+        assert WarehouseSize.XS.step(-1) == WarehouseSize.XS
+        assert WarehouseSize.SIZE_6XL.step(5) == WarehouseSize.SIZE_6XL
+        assert WarehouseSize.M.step(2) == WarehouseSize.XL
+        assert WarehouseSize.M.step(-2) == WarehouseSize.XS
+
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("XS", WarehouseSize.XS),
+            ("X-Small", WarehouseSize.XS),
+            ("xsmall", WarehouseSize.XS),
+            ("Medium", WarehouseSize.M),
+            ("XL", WarehouseSize.XL),
+            ("2X-Large", WarehouseSize.SIZE_2XL),
+            ("4XL", WarehouseSize.SIZE_4XL),
+            ("6xlarge", WarehouseSize.SIZE_6XL),
+        ],
+    )
+    def test_parse(self, text, expected):
+        assert WarehouseSize.parse(text) == expected
+
+    def test_parse_unknown_raises(self):
+        with pytest.raises(ConfigurationError):
+            WarehouseSize.parse("gigantic")
+
+    def test_ordering(self):
+        assert WarehouseSize.XS < WarehouseSize.S < WarehouseSize.SIZE_6XL
+
+
+class TestScalingPolicy:
+    def test_values(self):
+        assert ScalingPolicy.STANDARD.value == "standard"
+        assert ScalingPolicy.ECONOMY.value == "economy"

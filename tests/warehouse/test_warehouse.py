@@ -1,0 +1,186 @@
+"""Behavioural tests for the virtual warehouse state machine."""
+
+import pytest
+
+from repro.common.simtime import HOUR, MINUTE, Window
+from repro.warehouse.types import WarehouseSize, WarehouseState
+
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+class TestAutoSuspendResume:
+    def test_starts_suspended(self):
+        account, wh = make_account()
+        assert account.warehouse(wh).state == WarehouseState.SUSPENDED
+
+    def test_query_resumes_warehouse(self):
+        account, wh = make_account()
+        template = make_template()
+        drive(account, wh, make_requests(template, [10.0]), 60.0)
+        records = account.telemetry.query_history(wh)
+        assert len(records) == 1
+        # Resume delay means the query started after its arrival.
+        assert records[0].start_time > records[0].arrival_time
+
+    def test_suspends_after_idle_interval(self):
+        account, wh = make_account(auto_suspend_seconds=120.0)
+        drive(account, wh, make_requests(make_template(), [10.0]), 10 * MINUTE)
+        assert account.warehouse(wh).state == WarehouseState.SUSPENDED
+        events = account.telemetry.warehouse_events(wh, kind="suspend")
+        assert len(events) == 1
+
+    def test_suspension_is_lazy_but_bounded(self):
+        account, wh = make_account(auto_suspend_seconds=120.0)
+        drive(account, wh, make_requests(make_template(base_work_seconds=5.0), [10.0]), 10 * MINUTE)
+        suspend = account.telemetry.warehouse_events(wh, kind="suspend")[0]
+        records = account.telemetry.query_history(wh)
+        idle_start = records[0].end_time
+        lag = suspend.time - (idle_start + 120.0)
+        assert 0.0 <= lag <= 60.0  # sweep granularity
+
+    def test_stays_up_between_close_queries(self):
+        account, wh = make_account(auto_suspend_seconds=300.0)
+        template = make_template(base_work_seconds=2.0)
+        drive(account, wh, make_requests(template, [10.0, 100.0, 200.0]), 200.0)
+        assert account.telemetry.warehouse_events(wh, kind="suspend") == []
+        # One resume for three queries: the warehouse stayed warm.
+        resumes = account.telemetry.warehouse_events(wh, kind="resume")
+        assert len(resumes) == 1
+
+    def test_zero_auto_suspend_never_suspends(self):
+        account, wh = make_account(auto_suspend_seconds=0.0)
+        drive(account, wh, make_requests(make_template(), [10.0]), 4 * HOUR)
+        assert account.warehouse(wh).state == WarehouseState.RUNNING
+
+    def test_billing_stops_on_suspend(self):
+        account, wh = make_account(auto_suspend_seconds=120.0)
+        drive(account, wh, make_requests(make_template(base_work_seconds=5.0), [10.0]), 2 * HOUR)
+        credits_at_2h = account.warehouse(wh).meter.total_credits(2 * HOUR)
+        account.run_until(4 * HOUR)
+        assert account.warehouse(wh).meter.total_credits(4 * HOUR) == credits_at_2h
+
+    def test_cache_dropped_on_suspend(self):
+        account, wh = make_account(auto_suspend_seconds=60.0)
+        template = make_template(n_partitions=4)
+        # Two queries far enough apart that the warehouse suspends between.
+        drive(account, wh, make_requests(template, [10.0, HOUR]), 2 * HOUR)
+        records = account.telemetry.query_history(wh)
+        assert records[0].cache_hit_ratio == 0.0
+        assert records[1].cache_hit_ratio == 0.0  # cold again after suspend
+
+    def test_cache_warm_without_suspend(self):
+        account, wh = make_account(auto_suspend_seconds=600.0)
+        template = make_template(n_partitions=4)
+        drive(account, wh, make_requests(template, [10.0, 120.0]), HOUR)
+        records = account.telemetry.query_history(wh)
+        assert records[1].cache_hit_ratio == 1.0
+
+    def test_cold_query_slower_than_warm(self):
+        account, wh = make_account(auto_suspend_seconds=600.0)
+        template = make_template(n_partitions=8, cold_multiplier=3.0)
+        drive(account, wh, make_requests(template, [10.0, 300.0]), HOUR)
+        cold, warm = account.telemetry.query_history(wh)
+        assert cold.execution_seconds > 1.5 * warm.execution_seconds
+
+    def test_manual_suspend_and_resume(self):
+        account, wh = make_account()
+        warehouse = account.warehouse(wh)
+        drive(account, wh, make_requests(make_template(base_work_seconds=2.0), [5.0]), 60.0)
+        warehouse.suspend(initiator="customer")
+        assert warehouse.state == WarehouseState.SUSPENDED
+        warehouse.resume(initiator="customer")
+        account.run_until(120.0)
+        assert warehouse.state == WarehouseState.RUNNING
+
+    def test_cannot_suspend_with_running_queries(self):
+        from repro.common.errors import WarehouseError
+
+        account, wh = make_account()
+        drive(account, wh, make_requests(make_template(base_work_seconds=500.0), [5.0]), 30.0)
+        warehouse = account.warehouse(wh)
+        assert warehouse.running_query_count == 1
+        with pytest.raises(WarehouseError):
+            warehouse.suspend()
+
+
+class TestResize:
+    def test_resize_changes_new_query_latency(self):
+        account, wh = make_account(size=WarehouseSize.XS, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=16.0, scale_exponent=1.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [10.0]), 5 * MINUTE)
+        account.warehouse(wh).alter(size=WarehouseSize.M)
+        drive(account, wh, make_requests(template, [6 * MINUTE]), 10 * MINUTE)
+        first, second = account.telemetry.query_history(wh)
+        assert second.warehouse_size == WarehouseSize.M
+        assert second.execution_seconds < 0.5 * first.execution_seconds
+
+    def test_resize_drops_cache(self):
+        account, wh = make_account(auto_suspend_seconds=0.0)
+        template = make_template(n_partitions=4)
+        drive(account, wh, make_requests(template, [10.0]), MINUTE)
+        account.warehouse(wh).alter(size=WarehouseSize.M)
+        drive(account, wh, make_requests(template, [2 * MINUTE]), 3 * MINUTE)
+        records = account.telemetry.query_history(wh)
+        assert records[1].cache_hit_ratio == 0.0
+
+    def test_resize_reprices_billing(self):
+        account, wh = make_account(size=WarehouseSize.XS, auto_suspend_seconds=0.0)
+        drive(account, wh, make_requests(make_template(base_work_seconds=1.0), [1.0]), 10.0)
+        t_resize = account.sim.now
+        account.warehouse(wh).alter(size=WarehouseSize.M)
+        account.run_until(t_resize + HOUR)
+        window = Window(t_resize, t_resize + HOUR)
+        credits = account.warehouse(wh).meter.credits_in_window(window, as_of=account.sim.now)
+        assert credits == pytest.approx(4.0, rel=0.05)
+
+    def test_resize_event_recorded_with_initiator(self):
+        account, wh = make_account()
+        account.warehouse(wh).alter(initiator="keebo", size=WarehouseSize.L)
+        events = account.telemetry.warehouse_events(wh, kind="resize")
+        assert events[0].initiator == "keebo"
+        assert events[0].detail["size"] == "Large"
+
+    def test_inflight_query_keeps_old_duration(self):
+        account, wh = make_account(size=WarehouseSize.XS, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=300.0, scale_exponent=1.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [5.0]), 30.0)
+        account.warehouse(wh).alter(size=WarehouseSize.XL)
+        account.run_until(HOUR)
+        record = account.telemetry.query_history(wh)[0]
+        # Started on XS; duration reflects XS speed even though XL arrived.
+        assert record.warehouse_size == WarehouseSize.XS
+        assert record.execution_seconds > 200.0
+
+    def test_alter_noop_records_nothing(self):
+        account, wh = make_account()
+        before = len(account.telemetry.warehouse_events(wh))
+        account.warehouse(wh).alter()  # no changes
+        assert len(account.telemetry.warehouse_events(wh)) == before
+
+
+class TestQueueingAndConcurrency:
+    def test_queries_queue_beyond_slots(self):
+        account, wh = make_account(max_concurrency=2, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=100.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [1.0, 1.0, 1.0, 1.0]), 10.0)
+        warehouse = account.warehouse(wh)
+        assert warehouse.running_query_count == 2
+        assert warehouse.queue_length == 2
+
+    def test_queued_seconds_recorded(self):
+        account, wh = make_account(max_concurrency=1, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=30.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [1.0, 1.0]), HOUR)
+        records = sorted(account.telemetry.query_history(wh), key=lambda r: r.start_time)
+        assert records[0].queued_seconds < 10.0
+        assert records[1].queued_seconds > 20.0
+
+    def test_contention_slows_queries(self):
+        account, wh = make_account(max_concurrency=8, auto_suspend_seconds=0.0)
+        template = make_template(base_work_seconds=60.0, n_partitions=0)
+        drive(account, wh, make_requests(template, [1.0] * 8), HOUR)
+        crowded = [r.execution_seconds for r in account.telemetry.query_history(wh)]
+        account2, wh2 = make_account(max_concurrency=8, auto_suspend_seconds=0.0)
+        drive(account2, wh2, make_requests(template, [1.0]), HOUR)
+        solo = account2.telemetry.query_history(wh2)[0].execution_seconds
+        assert max(crowded) > solo

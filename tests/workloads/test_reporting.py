@@ -1,0 +1,59 @@
+"""Tests for the reporting workload archetype."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import DAY, HOUR, Window, day_of_week, hour_of_day
+from repro.workloads.reporting import ReportingWorkload
+
+
+class TestReportingWorkload:
+    def test_requires_some_reports(self, rng):
+        with pytest.raises(ConfigurationError):
+            ReportingWorkload(rng, daily_reports=[], weekly_reports=[])
+
+    def test_weekday_validation(self, rng):
+        workload = ReportingWorkload.synthesize(rng)
+        with pytest.raises(ConfigurationError):
+            ReportingWorkload(
+                rng,
+                daily_reports=workload.daily_reports,
+                weekly_reports=[],
+                weekly_weekday=8,
+            )
+
+    def test_daily_count(self, rng):
+        workload = ReportingWorkload.synthesize(rng, n_daily=4, n_weekly=0)
+        requests = workload.generate(Window(0, 7 * DAY))
+        assert len(requests) == 7 * 4
+
+    def test_weekly_runs_once_per_week(self, rng):
+        workload = ReportingWorkload.synthesize(rng, n_daily=0, n_weekly=2, weekly_weekday=2)
+        requests = workload.generate(Window(0, 14 * DAY))
+        assert len(requests) == 2 * 2  # two Wednesdays
+        assert all(day_of_week(r.arrival_time) == 2 for r in requests)
+
+    def test_schedule_hour_respected(self, rng):
+        workload = ReportingWorkload.synthesize(rng, n_daily=3, n_weekly=0, daily_at_hour=6.0)
+        requests = workload.generate(Window(0, 3 * DAY))
+        for r in requests:
+            assert 6.0 <= hour_of_day(r.arrival_time) < 6.1
+
+    def test_same_report_same_text_hash_within_day(self, rng):
+        workload = ReportingWorkload.synthesize(rng, n_daily=2, n_weekly=0)
+        day1 = [r for r in workload.generate(Window(0, DAY))]
+        day2 = [r for r in workload.generate(Window(DAY, 2 * DAY))]
+        # Different days re-run with different constants (date predicates).
+        assert {r.template_hash for r in day1} == {r.template_hash for r in day2}
+        assert {r.text_hash for r in day1}.isdisjoint({r.text_hash for r in day2})
+
+    def test_reports_are_latency_tolerant_templates(self, rng):
+        workload = ReportingWorkload.synthesize(rng)
+        for template in workload.daily_reports + workload.weekly_reports:
+            assert template.cold_multiplier <= 1.3
+            assert template.scale_exponent >= 0.85
+
+    def test_window_boundaries(self, rng):
+        workload = ReportingWorkload.synthesize(rng, n_daily=2, n_weekly=0, daily_at_hour=6.0)
+        # A window that excludes the 6am slot yields nothing.
+        assert workload.generate(Window(8 * HOUR, 20 * HOUR)) == []
