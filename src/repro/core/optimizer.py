@@ -137,7 +137,9 @@ class WarehouseOptimizer:
             FEATURE_DIM,
             len(self.action_space),
             self.config.agent,
-            self.account.rngs.stream(f"keebo.agent.{self.warehouse}"),
+            # One exploration stream per optimized warehouse (warehouse names
+            # are unique per account, so these streams cannot collide).
+            self.account.rngs.stream(f"keebo.agent.{self.warehouse}"),  # repro-lint: disable=R003
         )
         features = FeatureExtractor(self.baseline, original)
         self.smart_model = SmartModel(
@@ -192,6 +194,7 @@ class WarehouseOptimizer:
                 self.warehouse,
                 self.agent,
                 slider_position=int(self.params.position),
+                saved_at=self.account.sim.now,
             )
 
     def _train(self, records, history: Window, episodes: int) -> TrainingReport:

@@ -18,7 +18,6 @@ from __future__ import annotations
 
 import json
 import pathlib
-import time
 from dataclasses import dataclass
 
 import numpy as np
@@ -37,7 +36,10 @@ class CheckpointInfo:
     n_actions: int
     train_steps: int
     slider_position: int
-    saved_at_unix: float
+    #: Simulation timestamp of the save (float seconds since the scenario
+    #: epoch), supplied by the caller.  Wall-clock stamps would make two
+    #: replays of the same scenario produce different checkpoint metadata.
+    saved_at: float
 
     def to_json(self) -> str:
         return json.dumps(self.__dict__, sort_keys=True)
@@ -73,8 +75,14 @@ class ModelRegistry:
         warehouse: str,
         agent: DQNAgent,
         slider_position: int = 3,
+        saved_at: float = 0.0,
     ) -> CheckpointInfo:
-        """Checkpoint ``agent``'s online weights (atomically per file pair)."""
+        """Checkpoint ``agent``'s online weights (atomically per file pair).
+
+        ``saved_at`` is the simulation time of the save; callers inside a
+        running scenario pass ``sim.now`` so checkpoint metadata stays a
+        pure function of (scenario, seed).
+        """
         weights_path, meta_path = self._paths(account, warehouse)
         weights_path.parent.mkdir(parents=True, exist_ok=True)
         params = agent.snapshot()
@@ -86,7 +94,7 @@ class ModelRegistry:
             n_actions=agent.n_actions,
             train_steps=agent.train_steps,
             slider_position=slider_position,
-            saved_at_unix=time.time(),
+            saved_at=saved_at,
         )
         meta_path.write_text(info.to_json())
         return info
