@@ -21,6 +21,7 @@ and self-corrects.
 
 import numpy as np
 
+from repro.common.rng import fallback_rng
 from repro.common.simtime import DAY, HOUR, Window
 from repro.common.stats import percentile
 from repro.core.optimizer import KeeboService, OptimizerConfig
@@ -58,7 +59,7 @@ def _workload():
         )
         for i in range(8)
     ]
-    rng = np.random.default_rng(321)
+    rng = fallback_rng(321)
     requests = []
     t = 0.0
     while t < TOTAL:

@@ -60,3 +60,15 @@ class RngRegistry:
 
     def __repr__(self) -> str:
         return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"
+
+
+def fallback_rng(seed: int = 0) -> np.random.Generator:
+    """A fixed-seed generator for components constructed without an explicit
+    stream (direct unit-test construction, tiny examples).
+
+    Centralised here so generator construction stays confined to this module
+    (lint rule R002): components default to ``rng or fallback_rng()`` instead
+    of calling ``np.random.default_rng`` themselves.  Bit-identical to
+    ``np.random.default_rng(seed)``.
+    """
+    return np.random.default_rng(seed)

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import fallback_rng
 from repro.learning.buffer import ReplayBuffer, Transition
 from repro.learning.network import MLP
 
@@ -52,7 +53,7 @@ class DQNAgent:
         if n_actions < 2:
             raise ConfigurationError("need at least two actions")
         self.config = config or DQNConfig()
-        self.rng = rng or np.random.default_rng(0)
+        self.rng = rng or fallback_rng()
         self.n_actions = n_actions
         self.online = MLP(
             state_dim, n_actions, self.config.hidden, self.rng, self.config.learning_rate

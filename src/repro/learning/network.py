@@ -11,6 +11,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import fallback_rng
 
 
 class MLP:
@@ -29,7 +30,7 @@ class MLP:
         self.input_dim = input_dim
         self.output_dim = output_dim
         self.learning_rate = learning_rate
-        rng = rng or np.random.default_rng(0)
+        rng = rng or fallback_rng()
         dims = [input_dim, *hidden, output_dim]
         self.weights: list[np.ndarray] = []
         self.biases: list[np.ndarray] = []

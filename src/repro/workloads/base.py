@@ -15,6 +15,7 @@ from typing import Sequence
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.common.rng import fallback_rng
 from repro.common.simtime import DAY, Window
 from repro.warehouse.queries import QueryRequest, QueryTemplate
 
@@ -41,7 +42,7 @@ class CompositeWorkload(Workload):
         if not parts:
             raise ConfigurationError("composite workload needs at least one part")
         # No rng of its own: parts carry their own streams.
-        super().__init__(np.random.default_rng(0))
+        super().__init__(fallback_rng())
         self.parts = list(parts)
 
     def generate(self, window: Window) -> list[QueryRequest]:
