@@ -33,7 +33,8 @@ def main() -> None:
     # Teams A and B: light all-day dashboards/queries that interleave.
     for team, stream in (("TEAM_A_WH", "a"), ("TEAM_B_WH", "b")):
         light = AdhocWorkload.synthesize(
-            registry.stream(f"workload.{stream}"),
+            # One stream per team; the loop tuple guarantees distinct suffixes.
+            registry.stream(f"workload.{stream}"),  # repro-lint: disable=R003
             n_templates=10,
             peak_rate_per_hour=12.0,
             base_rate_per_hour=4.0,

@@ -9,16 +9,20 @@ Usage::
     python -m repro.cli fig7
     python -m repro.cli onboarding [--days 12]
     python -m repro.cli fleet [--customers 6]
+    python -m repro.cli lint [paths ...] [--format json]
 
-Each command runs the corresponding §7 protocol and prints the same
-rows/series the paper's figure reports (the benchmarks wrap these same
-protocols with timing and assertions).
+Each experiment command runs the corresponding §7 protocol and prints the
+same rows/series the paper's figure reports (the benchmarks wrap these same
+protocols with timing and assertions).  ``lint`` runs the determinism &
+invariant checker (see docs/INVARIANTS.md).
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+
+import repro.lint.cli as lint_cli
 
 from repro.experiments.runner import (
     run_before_after,
@@ -111,14 +115,18 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.cli",
         description="Regenerate the paper's experiments (SIGMOD-Companion '23 Keebo KWO).",
     )
-    parser.add_argument(
-        "command",
-        choices=sorted(_COMMANDS) + ["list"],
-        help="experiment to run, or 'list' to enumerate them",
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    for name in sorted(_COMMANDS) + ["list"]:
+        sub = subparsers.add_parser(
+            name, help="enumerate the experiments" if name == "list" else f"run the {name} protocol"
+        )
+        sub.add_argument("--seed", type=int, default=None, help="override the scenario seed")
+        sub.add_argument("--days", type=int, default=12, help="horizon for 'onboarding'")
+        sub.add_argument("--customers", type=int, default=6, help="fleet size for 'fleet'")
+    lint = subparsers.add_parser(
+        "lint", help="run the determinism & invariant linter (docs/INVARIANTS.md)"
     )
-    parser.add_argument("--seed", type=int, default=None, help="override the scenario seed")
-    parser.add_argument("--days", type=int, default=12, help="horizon for 'onboarding'")
-    parser.add_argument("--customers", type=int, default=6, help="fleet size for 'fleet'")
+    lint_cli.configure_parser(lint)
     return parser
 
 
@@ -128,6 +136,8 @@ def main(argv: list[str] | None = None) -> int:
         for name in sorted(_COMMANDS):
             print(name)
         return 0
+    if args.command == "lint":
+        return lint_cli.run(args)
     _COMMANDS[args.command](args)
     return 0
 

@@ -1,0 +1,31 @@
+"""repro.lint — AST-based determinism & invariant linter.
+
+Machine-checks the conventions the reproduction's bit-reproducibility
+rests on (named RNG streams, simulated time, no swallowed failures, unit
+annotations at package boundaries).  See ``docs/INVARIANTS.md`` for the
+rule catalogue and the suppression syntax.
+
+Programmatic use::
+
+    from repro.lint import lint_paths, lint_source
+    result = lint_paths(["src"])        # LintResult
+    findings = lint_source(snippet)     # list[Finding]
+"""
+
+from repro.lint.context import FileContext
+from repro.lint.engine import LintResult, lint_paths, lint_source
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.rules import Rule, all_rules, get_rules, register
+
+__all__ = [
+    "FileContext",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "SEVERITIES",
+    "all_rules",
+    "get_rules",
+    "lint_paths",
+    "lint_source",
+    "register",
+]

@@ -1,0 +1,123 @@
+"""Command-line front-end for the repro-lint invariant checker.
+
+Invocations (all equivalent)::
+
+    python -m repro.lint src/
+    python -m repro.cli lint src/
+    repro-lint src/                  # console script
+
+Exit codes: 0 clean, 1 findings, 2 unparseable files or bad usage.
+The ``--format=json`` schema is versioned and documented in
+``docs/INVARIANTS.md``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import IO
+
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.findings import SEVERITIES
+from repro.lint.rules import iter_rule_docs
+
+#: Bumped whenever the JSON output shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach repro-lint's arguments (shared with ``repro.cli lint``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="R001,R002,...",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--min-severity",
+        choices=SEVERITIES,
+        default="warning",
+        help="drop findings below this severity (default: warning, i.e. keep all)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="AST-based determinism & invariant linter for the repro codebase.",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def render_human(result: LintResult, out: IO[str]) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for error in result.errors:
+        print(f"error: {error}", file=out)
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_scanned} file(s)"
+        + (f", {result.suppressed} suppressed" if result.suppressed else "")
+        + (f", {len(result.errors)} file error(s)" if result.errors else "")
+    )
+    print(summary, file=out)
+
+
+def render_json(result: LintResult, out: IO[str]) -> None:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "suppressed": result.suppressed,
+        "findings": [f.to_dict() for f in result.findings],
+        "errors": list(result.errors),
+        "exit_code": result.exit_code(),
+    }
+    json.dump(payload, out, indent=2, sort_keys=True)
+    out.write("\n")
+
+
+def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
+    """Execute a parsed lint invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        for rule_id, name, severity, summary in iter_rule_docs():
+            print(f"{rule_id}  {name:<32} [{severity}] {summary}", file=out)
+        return 0
+    select = [s.strip() for s in args.select.split(",")] if args.select else None
+    try:
+        result = lint_paths(args.paths, select=select, min_severity=args.min_severity)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.format == "json":
+        render_json(result, out)
+    else:
+        render_human(result, out)
+    return result.exit_code()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,91 @@
+"""Per-file analysis context shared by every rule.
+
+A ``FileContext`` is built once per file (parse, import resolution,
+suppression scan) and handed to each rule, so rules stay small: they walk
+``ctx.tree`` and call ``ctx.finding(...)``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """Render an attribute chain (``np.random.default_rng``) as a dotted
+    string; ``None`` for anything that is not a plain Name/Attribute chain."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def collect_imports(tree: ast.Module) -> dict[str, str]:
+    """Map local names to fully qualified import targets.
+
+    ``import numpy as np``          -> {"np": "numpy"}
+    ``from time import time``       -> {"time": "time.time"}
+    ``from datetime import datetime as dt`` -> {"dt": "datetime.datetime"}
+    """
+    mapping: dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.partition(".")[0]] = (
+                    alias.name if alias.asname else alias.name.partition(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+@dataclass
+class FileContext:
+    """Everything a rule may inspect about one source file."""
+
+    path: str  # as reported in findings (POSIX separators)
+    source: str
+    tree: ast.Module
+    imports: dict[str, str] = field(default_factory=dict)
+
+    @classmethod
+    def from_source(cls, source: str, path: str = "<snippet>") -> "FileContext":
+        tree = ast.parse(source, filename=path)
+        return cls(
+            path=pathlib.PurePath(path).as_posix(),
+            source=source,
+            tree=tree,
+            imports=collect_imports(tree),
+        )
+
+    def qualified(self, node: ast.AST) -> str | None:
+        """Dotted name of ``node`` with the leading alias resolved through
+        this file's imports (``np.random.seed`` -> ``numpy.random.seed``)."""
+        name = dotted_name(node)
+        if name is None:
+            return None
+        head, dot, rest = name.partition(".")
+        resolved = self.imports.get(head, head)
+        return f"{resolved}{dot}{rest}" if dot else resolved
+
+    def finding(
+        self, rule: "object", node: ast.AST, message: str, severity: str | None = None
+    ) -> Finding:
+        return Finding(
+            file=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            rule_id=rule.rule_id,  # type: ignore[attr-defined]
+            severity=severity or rule.severity,  # type: ignore[attr-defined]
+            message=message,
+        )

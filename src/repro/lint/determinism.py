@@ -1,0 +1,355 @@
+"""Determinism rules: the invariants that keep replay bit-reproducible.
+
+The cost model's savings estimates (§5) and the smart model's audit trail
+are only trustworthy because a run is a pure function of ``(scenario,
+seed)``.  These rules reject the constructs that silently break that:
+wall-clock reads, unregistered randomness, colliding RNG stream names,
+float-equality on simulated time, and iteration order leaking out of sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register
+
+
+def _walk_source_order(tree: ast.AST) -> Iterator[ast.AST]:
+    """``ast.walk`` is breadth-first; sort by position so 'first occurrence'
+    semantics (R003) and output order match the file's reading order."""
+    nodes = [n for n in ast.walk(tree) if hasattr(n, "lineno")]
+    nodes.sort(key=lambda n: (n.lineno, n.col_offset))
+    return iter(nodes)
+
+
+@register
+class WallClockRule(Rule):
+    """R001: no wall-clock time.
+
+    All simulation time is float seconds from ``repro.common.simtime``; a
+    single ``time.time()`` makes two replays of the same scenario diverge.
+    """
+
+    rule_id = "R001"
+    name = "no-wall-clock"
+    severity = "error"
+    summary = (
+        "wall-clock reads (time.time, time.monotonic, datetime.now/utcnow, ...) "
+        "are forbidden; use simulation time from repro.common.simtime"
+    )
+
+    FORBIDDEN = frozenset(
+        {
+            "time.time",
+            "time.time_ns",
+            "time.monotonic",
+            "time.monotonic_ns",
+            "time.perf_counter",
+            "time.perf_counter_ns",
+            "time.process_time",
+            "time.process_time_ns",
+            "time.localtime",
+            "time.gmtime",
+            "datetime.datetime.now",
+            "datetime.datetime.utcnow",
+            "datetime.datetime.today",
+            "datetime.date.today",
+        }
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified(node.func)
+            if qualified in self.FORBIDDEN:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to {qualified}() reads the wall clock; simulated "
+                    "components must take time as a parameter "
+                    "(repro.common.simtime float seconds)",
+                )
+
+
+@register
+class RngSourceRule(Rule):
+    """R002: all randomness flows through ``RngRegistry`` named streams.
+
+    A module-level ``random``/``np.random`` draw consumes hidden global
+    state: adding one draw anywhere reshuffles every later draw, which is
+    exactly the cross-component coupling named streams exist to prevent.
+    ``repro/common/rng.py`` is the one legitimate construction site.
+    """
+
+    rule_id = "R002"
+    name = "rng-via-registry"
+    severity = "error"
+    summary = (
+        "no `import random`, np.random.default_rng/seed/RandomState, or other "
+        "ambient entropy (uuid4, os.urandom) outside repro/common/rng.py; "
+        "draw from RngRegistry.stream(name)"
+    )
+
+    EXEMPT_SUFFIXES = ("repro/common/rng.py",)
+    FORBIDDEN_CALLS = frozenset({"uuid.uuid1", "uuid.uuid4", "os.urandom"})
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.path.endswith(self.EXEMPT_SUFFIXES):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.name.partition(".")[0] in ("random", "secrets"):
+                        yield ctx.finding(
+                            self,
+                            node,
+                            f"`import {alias.name}` pulls ambient global randomness; "
+                            "use RngRegistry.stream(name) from repro.common.rng",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.level == 0 and (node.module or "").partition(".")[0] in (
+                    "random",
+                    "secrets",
+                ):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"`from {node.module} import ...` pulls ambient global "
+                        "randomness; use RngRegistry.stream(name)",
+                    )
+            elif isinstance(node, ast.Call):
+                qualified = ctx.qualified(node.func)
+                if qualified is None:
+                    continue
+                if qualified.startswith("numpy.random.") or qualified in self.FORBIDDEN_CALLS:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"direct call to {qualified}() bypasses the seed registry; "
+                        "obtain a generator via RngRegistry.stream(name) "
+                        "(constructed only in repro/common/rng.py)",
+                    )
+
+
+@register
+class StreamNameRule(Rule):
+    """R003: RNG stream names are string literals, unique per file.
+
+    ``stream("workload.bi")`` copy-pasted under a second component silently
+    *correlates* two supposedly independent streams — the draws interleave
+    on one generator.  Dynamic names hide that collision from review, so
+    names must be literals, and a literal may appear at only one call-site
+    per file (deliberate per-entity f-strings carry a suppression).
+    """
+
+    rule_id = "R003"
+    name = "stream-name-literal-unique"
+    severity = "error"
+    summary = (
+        "RngRegistry.stream(...) names must be string literals and appear at "
+        "only one call-site per file (collisions correlate streams)"
+    )
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        first_site: dict[str, int] = {}
+        for node in _walk_source_order(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if not (isinstance(func, ast.Attribute) and func.attr == "stream"):
+                continue
+            if not node.args:
+                continue
+            arg = node.args[0]
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str):
+                name = arg.value
+                if name in first_site and first_site[name] != node.lineno:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"stream name {name!r} already used on line "
+                        f"{first_site[name]}; reusing a name correlates the "
+                        "two call-sites' draws — pick a distinct name",
+                    )
+                else:
+                    first_site.setdefault(name, node.lineno)
+            else:
+                kind = "f-string" if isinstance(arg, ast.JoinedStr) else "non-literal"
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"stream name is a {kind} expression; names must be string "
+                    "literals so collisions are visible in review (suppress "
+                    "deliberate per-entity names with a justification)",
+                )
+
+
+@register
+class SimtimeEqualityRule(Rule):
+    """R004: no ``==``/``!=`` between simulated-time floats.
+
+    Simulated timestamps are sums of float durations; equality comparisons
+    are representation-dependent and break replay the moment an arithmetic
+    reordering changes the last ulp.  Compare with an explicit tolerance
+    (``abs(a - b) <= eps``, ``math.isclose``) or use ordering operators.
+    """
+
+    rule_id = "R004"
+    name = "no-simtime-float-equality"
+    severity = "warning"
+    summary = (
+        "==/!= on simulated-time floats (*_time names, simtime MINUTE/HOUR/"
+        "DAY/WEEK/MONTH constants) is ulp-fragile; compare with a tolerance"
+    )
+
+    _CONSTANTS = frozenset(
+        f"repro.common.simtime.{name}" for name in ("MINUTE", "HOUR", "DAY", "WEEK", "MONTH")
+    )
+
+    def _is_timelike(self, ctx: FileContext, expr: ast.AST) -> bool:
+        for node in ast.walk(expr):
+            terminal: str | None = None
+            if isinstance(node, ast.Name):
+                terminal = node.id
+            elif isinstance(node, ast.Attribute):
+                terminal = node.attr
+            if terminal is not None and terminal.endswith("_time"):
+                return True
+            if isinstance(node, (ast.Name, ast.Attribute)):
+                if ctx.qualified(node) in self._CONSTANTS:
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, left, right in zip(node.ops, operands, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                # `x == None`-style sentinel checks are not float equality.
+                if any(
+                    isinstance(side, ast.Constant) and not isinstance(side.value, (int, float))
+                    for side in (left, right)
+                ):
+                    continue
+                if self._is_timelike(ctx, left) or self._is_timelike(ctx, right):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "equality comparison on a simulated-time value; use "
+                        "`abs(a - b) <= tol`, math.isclose, or ordering "
+                        "comparisons instead",
+                    )
+                    break  # one finding per Compare node
+
+
+@register
+class SetIterationRule(Rule):
+    """R008: set iteration order must not feed ordered outputs.
+
+    ``for x in set(...)`` order depends on hash seeding and insertion
+    history; any telemetry row, ledger line, or report built from it is
+    nondeterministic across runs.  Wrap in ``sorted(...)`` before iterating.
+    """
+
+    rule_id = "R008"
+    name = "no-unordered-set-iteration"
+    severity = "error"
+    summary = (
+        "iterating a set (for/comprehension/list()/tuple()/join) leaks hash "
+        "order into outputs; wrap in sorted(...) first"
+    )
+
+    _MATERIALIZERS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+    def _is_set_expr(self, ctx: FileContext, node: ast.AST, set_vars: set[str]) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name) and node.id in set_vars:
+            return True
+        if isinstance(node, ast.Call):
+            qualified = ctx.qualified(node.func)
+            if qualified in ("set", "frozenset"):
+                return True
+            # set.union / intersection / difference chains
+            if isinstance(node.func, ast.Attribute) and node.func.attr in (
+                "union",
+                "intersection",
+                "difference",
+                "symmetric_difference",
+            ):
+                return self._is_set_expr(ctx, node.func.value, set_vars)
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(ctx, node.left, set_vars) or self._is_set_expr(
+                ctx, node.right, set_vars
+            )
+        return False
+
+    def _scope_set_vars(self, ctx: FileContext, body: list[ast.stmt]) -> set[str]:
+        """Names assigned a set-valued expression anywhere in this scope."""
+        names: set[str] = set()
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) and node in body:
+                    continue  # nested scopes are visited separately
+                if isinstance(node, ast.Assign) and self._is_set_expr(ctx, node.value, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name):
+                            names.add(target.id)
+                elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                    if self._is_set_expr(ctx, node.value, names) and isinstance(
+                        node.target, ast.Name
+                    ):
+                        names.add(node.target.id)
+        return names
+
+    def _check_scope(self, ctx: FileContext, body: list[ast.stmt]) -> Iterator[Finding]:
+        set_vars = self._scope_set_vars(ctx, body)
+
+        def flag(node: ast.AST, what: str) -> Finding:
+            return ctx.finding(
+                self,
+                node,
+                f"{what} iterates a set in hash order — nondeterministic "
+                "across runs; wrap the set in sorted(...)",
+            )
+
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.For) and self._is_set_expr(ctx, node.iter, set_vars):
+                    yield flag(node, "for-loop")
+                elif isinstance(node, (ast.ListComp, ast.GeneratorExp, ast.DictComp, ast.SetComp)):
+                    for gen in node.generators:
+                        if isinstance(node, ast.SetComp) or isinstance(node, ast.DictComp):
+                            continue  # building another unordered container is fine
+                        if self._is_set_expr(ctx, gen.iter, set_vars):
+                            yield flag(node, "comprehension")
+                elif isinstance(node, ast.Call):
+                    qualified = ctx.qualified(node.func)
+                    is_join = isinstance(node.func, ast.Attribute) and node.func.attr == "join"
+                    if (qualified in self._MATERIALIZERS or is_join) and node.args:
+                        if self._is_set_expr(ctx, node.args[0], set_vars):
+                            what = "str.join" if is_join else f"{qualified}()"
+                            yield flag(node, what)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        # Each function body is its own tracking scope; module level too.
+        scopes: list[list[ast.stmt]] = [ctx.tree.body]
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                scopes.append(node.body)
+        seen: set[tuple[int, int, str]] = set()
+        for scope in scopes:
+            for finding in self._check_scope(ctx, scope):
+                key = (finding.line, finding.col, finding.message)
+                if key not in seen:  # nested scopes overlap via ast.walk
+                    seen.add(key)
+                    yield finding

@@ -1,0 +1,125 @@
+"""Lint driver: file discovery, per-file rule runs, suppression filtering.
+
+The engine is import-light and pure: ``lint_paths`` returns a
+:class:`LintResult`; rendering and exit codes live in ``repro.lint.cli``.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+from repro.lint.context import FileContext
+from repro.lint.findings import SEVERITIES, Finding
+from repro.lint.rules import Rule, get_rules
+from repro.lint.suppressions import scan_suppressions
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({".git", "__pycache__", ".pytest_cache", ".venv", "node_modules", "results"})
+
+
+@dataclass
+class LintResult:
+    """Outcome of one lint run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  # unparseable files etc.
+    files_scanned: int = 0
+    suppressed: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings else 0
+
+
+def iter_python_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: set[pathlib.Path] = set()
+    for raw in paths:
+        path = pathlib.Path(raw)
+        if path.is_dir():
+            for sub in path.rglob("*.py"):
+                if not _SKIP_DIRS.intersection(sub.parts):
+                    out.add(sub)
+        elif path.suffix == ".py":
+            out.add(path)
+    return sorted(out)
+
+
+def lint_context(ctx: FileContext, rules: Sequence[Rule]) -> tuple[list[Finding], int]:
+    """Run ``rules`` over one prepared file context.
+
+    Returns (kept findings, suppressed count); malformed suppression
+    directives are reported as R000 findings and cannot be suppressed.
+    """
+    table = scan_suppressions(ctx.source, ctx.path)
+    kept: list[Finding] = list(table.malformed)
+    suppressed = 0
+    for rule in rules:
+        for finding in rule.check(ctx):
+            if table.is_suppressed(finding.line, finding.rule_id):
+                suppressed += 1
+            else:
+                kept.append(finding)
+    return kept, suppressed
+
+
+def lint_source(
+    source: str,
+    path: str = "<snippet>",
+    select: Iterable[str] | None = None,
+    rules: Sequence[Rule] | None = None,
+) -> list[Finding]:
+    """Lint a source string (the unit-test entry point).
+
+    ``path`` participates in path-scoped rules (R002's rng.py exemption,
+    R007's package scopes), so fixtures can opt in by naming themselves
+    accordingly.
+    """
+    rule_objs = list(rules) if rules is not None else get_rules(select)
+    ctx = FileContext.from_source(source, path)
+    findings, _ = lint_context(ctx, rule_objs)
+    for rule in rule_objs:
+        findings.extend(rule.finalize())
+    findings.sort(key=Finding.sort_key)
+    return findings
+
+
+def lint_paths(
+    paths: Sequence[str | pathlib.Path],
+    select: Iterable[str] | None = None,
+    min_severity: str = "warning",
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` (the CLI entry point)."""
+    rules = get_rules(select)
+    result = LintResult()
+    threshold = SEVERITIES.index(min_severity)
+    for raw in paths:
+        # A typo'd path must not produce a vacuous "0 findings" pass.
+        if not pathlib.Path(raw).exists():
+            result.errors.append(f"{pathlib.Path(raw).as_posix()}: no such file or directory")
+    for path in iter_python_files(paths):
+        result.files_scanned += 1
+        try:
+            source = path.read_text(encoding="utf-8")
+            ctx = FileContext.from_source(source, path.as_posix())
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            result.errors.append(f"{path.as_posix()}: {exc}")
+            continue
+        findings, suppressed = lint_context(ctx, rules)
+        result.findings.extend(findings)
+        result.suppressed += suppressed
+    for rule in rules:
+        result.findings.extend(rule.finalize())
+    result.findings = [
+        f for f in result.findings if SEVERITIES.index(f.severity) >= threshold
+    ]
+    result.findings.sort(key=Finding.sort_key)
+    return result

@@ -1,0 +1,44 @@
+"""The unit of linter output: one invariant violation at a source location."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Severities, weakest first.  ``error`` findings gate CI; ``warning``
+#: findings still fail the default run (the repo is kept warning-clean) but
+#: can be filtered with ``--min-severity=error`` during triage.
+SEVERITIES = ("warning", "error")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """A single rule violation.
+
+    ``file`` is a POSIX-style path as given to the linter (relative when the
+    scanned root was relative), ``line``/``col`` are 1-based / 0-based like
+    CPython tracebacks and every mainstream linter.
+    """
+
+    file: str
+    line: int
+    col: int
+    rule_id: str
+    severity: str
+    message: str
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.file, self.line, self.col, self.rule_id)
+
+    def to_dict(self) -> dict[str, object]:
+        """Stable JSON form (documented in docs/INVARIANTS.md)."""
+        return {
+            "file": self.file,
+            "line": self.line,
+            "col": self.col,
+            "rule_id": self.rule_id,
+            "severity": self.severity,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return f"{self.file}:{self.line}:{self.col}: {self.rule_id} [{self.severity}] {self.message}"

@@ -1,0 +1,192 @@
+"""Hygiene rules: failure-masking and interface-drift hazards.
+
+These are not determinism bugs per se, but they are how determinism bugs
+*hide*: a swallowed exception in the actuator's self-correction path turns
+a hard failure into silent drift, a mutable default argument is shared
+state across calls, and un-annotated public interfaces let unit confusion
+(credits vs seconds vs dollars) creep across module boundaries.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+from repro.lint.rules import Rule, register
+
+
+@register
+class MutableDefaultRule(Rule):
+    """R005: no mutable default arguments.
+
+    A ``def f(xs=[])`` default is created once and shared by every call —
+    cross-run state that survives between scenario replays in one process.
+    """
+
+    rule_id = "R005"
+    name = "no-mutable-defaults"
+    severity = "error"
+    summary = "mutable default arguments ([], {}, set(), list(), ...) are shared across calls; default to None"
+
+    _MUTABLE_CALLS = frozenset(
+        {
+            "list",
+            "dict",
+            "set",
+            "bytearray",
+            "collections.defaultdict",
+            "collections.OrderedDict",
+            "collections.deque",
+            "collections.Counter",
+        }
+    )
+
+    def _is_mutable(self, ctx: FileContext, node: ast.AST) -> bool:
+        if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call):
+            return ctx.qualified(node.func) in self._MUTABLE_CALLS
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(ctx, default):
+                    label = getattr(node, "name", "<lambda>")
+                    yield ctx.finding(
+                        self,
+                        default,
+                        f"mutable default argument in {label!r} is evaluated "
+                        "once and shared by all calls; use None and "
+                        "construct inside the body",
+                    )
+
+
+@register
+class SilentExceptRule(Rule):
+    """R006: no bare/blanket exception swallowing.
+
+    The monitoring/actuator self-correction loop (§4.4) must *observe*
+    failures to back off; ``except: pass`` converts a failed actuation into
+    silent divergence between the believed and actual warehouse config.
+    """
+
+    rule_id = "R006"
+    name = "no-silent-except"
+    severity = "error"
+    summary = (
+        "bare `except:` and `except Exception: pass` swallow failures the "
+        "self-correction loop must observe; catch specific errors or re-raise"
+    )
+
+    _BLANKET = ("Exception", "BaseException")
+
+    def _is_blanket(self, ctx: FileContext, node: ast.expr | None) -> bool:
+        if node is None:
+            return True
+        if isinstance(node, ast.Tuple):
+            return any(self._is_blanket(ctx, elt) for elt in node.elts)
+        return ctx.qualified(node) in self._BLANKET
+
+    @staticmethod
+    def _swallows(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            if isinstance(stmt, (ast.Pass, ast.Continue)):
+                continue
+            if (
+                isinstance(stmt, ast.Expr)
+                and isinstance(stmt.value, ast.Constant)
+                and stmt.value.value is Ellipsis
+            ):
+                continue
+            return False
+        return True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield ctx.finding(
+                    self,
+                    node,
+                    "bare `except:` catches everything including "
+                    "KeyboardInterrupt; name the exception types",
+                )
+            elif self._is_blanket(ctx, node.type) and self._swallows(node.body):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "`except Exception` whose body only passes swallows "
+                    "failures silently; handle, log to the ledger, or re-raise",
+                )
+
+
+@register
+class PublicAnnotationsRule(Rule):
+    """R007: complete type annotations on public functions in the unit-critical
+    packages (``core/``, ``costmodel/``, ``warehouse/``).
+
+    These packages pass credits, seconds, and dollars across module
+    boundaries; annotations are the only machine-checked record of which
+    unit a float is.
+    """
+
+    rule_id = "R007"
+    name = "public-annotations"
+    severity = "error"
+    summary = (
+        "public functions in repro/core, repro/costmodel, repro/warehouse "
+        "must annotate every parameter and the return type"
+    )
+
+    SCOPES = ("repro/core/", "repro/costmodel/", "repro/warehouse/")
+
+    def _applies(self, path: str) -> bool:
+        return any(scope in path for scope in self.SCOPES)
+
+    @staticmethod
+    def _public_functions(
+        tree: ast.Module,
+    ) -> Iterator[tuple[ast.FunctionDef | ast.AsyncFunctionDef, bool]]:
+        """Top-level functions and methods of top-level classes, with an
+        is-method flag.  Nested helpers are private by construction."""
+        for node in tree.body:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node, False
+            elif isinstance(node, ast.ClassDef):
+                for item in node.body:
+                    if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                        yield item, True
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for func, is_method in self._public_functions(ctx.tree):
+            name = func.name
+            if name.startswith("_") and name != "__init__":
+                continue  # private helpers and non-init dunders
+            missing: list[str] = []
+            params = [*func.args.posonlyargs, *func.args.args, *func.args.kwonlyargs]
+            if is_method and params and params[0].arg in ("self", "cls"):
+                params = params[1:]
+            for param in params:
+                if param.annotation is None:
+                    missing.append(param.arg)
+            if func.returns is None and name != "__init__":
+                missing.append("return")
+            if missing:
+                yield ctx.finding(
+                    self,
+                    func,
+                    f"public function {name!r} is missing annotations for: "
+                    f"{', '.join(missing)} (units must be explicit at "
+                    "package boundaries)",
+                )

@@ -1,0 +1,78 @@
+"""Rule plugin base class and registry.
+
+A rule is a class with a stable ``rule_id`` (``R0xx``), a one-line
+``summary``, and a ``check(ctx)`` generator yielding :class:`Finding`
+objects for one file.  Rules that need cross-file state (the whole-project
+pass) additionally implement ``finalize()``, called once after every file
+has been checked.
+
+New rules self-register via the :func:`register` decorator; the engine
+instantiates one fresh object per rule per run, so instance attributes are
+safe for accumulating state across files.
+"""
+
+from __future__ import annotations
+
+from typing import ClassVar, Iterable, Iterator, Type
+
+from repro.lint.context import FileContext
+from repro.lint.findings import Finding
+
+
+class Rule:
+    """Base class for all lint rules."""
+
+    rule_id: ClassVar[str]
+    name: ClassVar[str]
+    summary: ClassVar[str]
+    severity: ClassVar[str] = "error"
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        """Per-file pass: yield findings for ``ctx``."""
+        raise NotImplementedError
+
+    def finalize(self) -> Iterable[Finding]:
+        """Whole-project pass: yield findings after all files were checked."""
+        return ()
+
+
+_REGISTRY: dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator adding a rule to the global registry."""
+    rid = cls.rule_id
+    if rid in _REGISTRY and _REGISTRY[rid] is not cls:
+        raise ValueError(f"duplicate rule id {rid!r} ({cls.__name__} vs {_REGISTRY[rid].__name__})")
+    _REGISTRY[rid] = cls
+    return cls
+
+
+def all_rules() -> list[Type[Rule]]:
+    """Registered rule classes, ordered by rule id (stable output order)."""
+    _load_builtin()
+    return [_REGISTRY[rid] for rid in sorted(_REGISTRY)]
+
+
+def get_rules(select: Iterable[str] | None = None) -> list[Rule]:
+    """Instantiate rules, optionally restricted to ``select`` ids."""
+    classes = all_rules()
+    if select is not None:
+        wanted = set(select)
+        unknown = wanted - {cls.rule_id for cls in classes}
+        if unknown:
+            raise KeyError(f"unknown rule id(s): {', '.join(sorted(unknown))}")
+        classes = [cls for cls in classes if cls.rule_id in wanted]
+    return [cls() for cls in classes]
+
+
+def iter_rule_docs() -> Iterator[tuple[str, str, str, str]]:
+    """(rule_id, name, severity, summary) rows for ``--list-rules``."""
+    for cls in all_rules():
+        yield cls.rule_id, cls.name, cls.severity, cls.summary
+
+
+def _load_builtin() -> None:
+    # Imported lazily to avoid a circular import at module load time
+    # (builtin rule modules import `register` from here).
+    from repro.lint import determinism, hygiene  # noqa: F401

@@ -1,0 +1,72 @@
+"""``# repro-lint: disable=...`` suppression comments.
+
+A violation is suppressed by putting the directive on the *reported* line::
+
+    self.rngs.stream(f"warehouse.{name}")  # repro-lint: disable=R003
+
+Multiple ids are comma-separated (``disable=R003,R004``); ``disable=all``
+suppresses every rule on that line.  Comments are located with ``tokenize``
+so directive-looking text inside string literals is never misparsed.
+Malformed directives (unknown syntax after ``repro-lint:``) are reported as
+R000 findings rather than silently ignored — a typo in a suppression must
+not reopen a hole.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+
+from repro.lint.findings import Finding
+
+_DIRECTIVE = re.compile(r"#\s*repro-lint\s*:\s*(?P<body>.*)$")
+_DISABLE = re.compile(r"^disable\s*=\s*(?P<ids>[A-Za-z0-9_,\s]+)$")
+
+
+@dataclass
+class SuppressionTable:
+    """Per-line sets of suppressed rule ids; ``{'all'}`` disables every rule."""
+
+    by_line: dict[int, set[str]] = field(default_factory=dict)
+    malformed: list[Finding] = field(default_factory=list)
+
+    def is_suppressed(self, line: int, rule_id: str) -> bool:
+        ids = self.by_line.get(line)
+        return bool(ids) and ("all" in ids or rule_id in ids)
+
+
+def scan_suppressions(source: str, path: str) -> SuppressionTable:
+    """Collect suppression directives from every comment in ``source``."""
+    table = SuppressionTable()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        comments = [t for t in tokens if t.type == tokenize.COMMENT]
+    except (tokenize.TokenError, IndentationError, SyntaxError):
+        return table  # the parse error is reported by the engine
+    for tok in comments:
+        match = _DIRECTIVE.search(tok.string)
+        if match is None:
+            continue
+        line = tok.start[0]
+        body = match.group("body").strip()
+        disable = _DISABLE.match(body)
+        if disable is None:
+            table.malformed.append(
+                Finding(
+                    file=path,
+                    line=line,
+                    col=tok.start[1],
+                    rule_id="R000",
+                    severity="error",
+                    message=(
+                        f"malformed repro-lint directive {body!r}; "
+                        "expected '# repro-lint: disable=R0xx[,R0yy]' or 'disable=all'"
+                    ),
+                )
+            )
+            continue
+        ids = {part.strip() for part in disable.group("ids").split(",") if part.strip()}
+        table.by_line.setdefault(line, set()).update(ids)
+    return table

@@ -89,7 +89,9 @@ class Account:
             name,
             config or WarehouseConfig(),
             self.telemetry,
-            self.rngs.stream(f"warehouse.{name}"),
+            # One stream per warehouse; uniqueness is guaranteed by the
+            # duplicate-name check above, not by a literal name.
+            self.rngs.stream(f"warehouse.{name}"),  # repro-lint: disable=R003
             initially_suspended=initially_suspended,
         )
         self.warehouses[name] = wh

@@ -36,7 +36,9 @@ def make_unpredictable_workload(rngs: RngRegistry, intensity: float = 1.0) -> Wo
         spike_multiplier=4.0,
     )
     bi = BiWorkload.synthesize(
-        rngs.stream("workload.bi"),
+        # Same name as in make_predictable_workload: every caller passes a
+        # builder-private RngRegistry, so the streams never share a registry.
+        rngs.stream("workload.bi"),  # repro-lint: disable=R003
         n_dashboards=2,
         peak_refreshes_per_hour=2.0 * intensity,
     )
@@ -46,7 +48,9 @@ def make_unpredictable_workload(rngs: RngRegistry, intensity: float = 1.0) -> Wo
 def make_static_etl_workload(rngs: RngRegistry, launches_per_day: int = 24) -> Workload:
     """Hourly ETL with near-constant load (Figure 6's warehouse)."""
     return EtlWorkload.synthesize(
-        rngs.stream("workload.etl"),
+        # Reuses the canonical ETL stream name under a caller-private registry
+        # (see make_unpredictable_workload's note).
+        rngs.stream("workload.etl"),  # repro-lint: disable=R003
         n_pipelines=3,
         steps_per_pipeline=4,
         launches_per_day=launches_per_day,
@@ -58,7 +62,9 @@ def make_static_etl_workload(rngs: RngRegistry, launches_per_day: int = 24) -> W
 def make_bi_workload(rngs: RngRegistry, intensity: float = 1.0) -> Workload:
     """Pure dashboard traffic (cache-sensitivity stress; slider experiments)."""
     return BiWorkload.synthesize(
-        rngs.stream("workload.bi"),
+        # Reuses the canonical BI stream name under a caller-private registry
+        # (see make_unpredictable_workload's note).
+        rngs.stream("workload.bi"),  # repro-lint: disable=R003
         n_dashboards=6,
         peak_refreshes_per_hour=6.0 * intensity,
     )

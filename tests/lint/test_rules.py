@@ -1,0 +1,421 @@
+"""Per-rule fixtures: one violating snippet and one clean idiom per rule.
+
+Each positive test asserts the rule id *and* the reported line so findings
+stay actionable; each negative locks in that the blessed idiom passes.
+"""
+
+import textwrap
+
+from repro.lint import lint_source
+
+
+def findings_for(source: str, rule_id: str, path: str = "snippet.py"):
+    return [
+        f for f in lint_source(textwrap.dedent(source), path=path) if f.rule_id == rule_id
+    ]
+
+
+class TestR001WallClock:
+    def test_time_time_flagged(self):
+        found = findings_for(
+            """\
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "R001",
+        )
+        assert [f.line for f in found] == [4]
+        assert "wall clock" in found[0].message
+
+    def test_aliased_import_flagged(self):
+        found = findings_for(
+            """\
+            import time as _clock
+            t = _clock.monotonic()
+            """,
+            "R001",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_from_import_datetime_now_flagged(self):
+        found = findings_for(
+            """\
+            from datetime import datetime
+            stamp = datetime.now()
+            """,
+            "R001",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_simtime_usage_clean(self):
+        found = findings_for(
+            """\
+            from repro.common.simtime import HOUR
+
+            def later(now: float) -> float:
+                return now + HOUR
+            """,
+            "R001",
+        )
+        assert found == []
+
+    def test_unrelated_time_attribute_clean(self):
+        # A domain object's own `.time` attribute is not the stdlib call.
+        found = findings_for(
+            """\
+            def f(event):
+                return event.time()
+            """,
+            "R001",
+        )
+        assert found == []
+
+
+class TestR002RngSource:
+    def test_import_random_flagged(self):
+        found = findings_for("import random\n", "R002")
+        assert [f.line for f in found] == [1]
+
+    def test_default_rng_flagged(self):
+        found = findings_for(
+            """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """,
+            "R002",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_np_random_seed_flagged(self):
+        found = findings_for(
+            """\
+            import numpy as np
+            np.random.seed(42)
+            """,
+            "R002",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_registry_stream_clean(self):
+        found = findings_for(
+            """\
+            from repro.common.rng import RngRegistry
+            rng = RngRegistry(7).stream("component.noise")
+            x = rng.random()
+            """,
+            "R002",
+        )
+        assert found == []
+
+    def test_generator_annotation_clean(self):
+        found = findings_for(
+            """\
+            import numpy as np
+
+            def f(rng: np.random.Generator) -> float:
+                return float(rng.random())
+            """,
+            "R002",
+        )
+        assert found == []
+
+    def test_rng_module_itself_exempt(self):
+        found = findings_for(
+            """\
+            import numpy as np
+            rng = np.random.default_rng(0)
+            """,
+            "R002",
+            path="src/repro/common/rng.py",
+        )
+        assert found == []
+
+
+class TestR003StreamNames:
+    def test_fstring_name_flagged(self):
+        found = findings_for(
+            """\
+            def build(rngs, name):
+                return rngs.stream(f"workload.{name}")
+            """,
+            "R003",
+        )
+        assert [f.line for f in found] == [2]
+        assert "f-string" in found[0].message
+
+    def test_variable_name_flagged(self):
+        found = findings_for(
+            """\
+            def build(rngs, name):
+                return rngs.stream(name)
+            """,
+            "R003",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_duplicate_name_flagged_at_second_site(self):
+        found = findings_for(
+            """\
+            def one(rngs):
+                return rngs.stream("workload.bi")
+
+            def two(rngs):
+                return rngs.stream("workload.bi")
+            """,
+            "R003",
+        )
+        assert [f.line for f in found] == [5]
+        assert "line 2" in found[0].message
+
+    def test_unique_literals_clean(self):
+        found = findings_for(
+            """\
+            def build(rngs):
+                a = rngs.stream("workload.etl")
+                b = rngs.stream("workload.bi")
+                return a, b
+            """,
+            "R003",
+        )
+        assert found == []
+
+
+class TestR004SimtimeEquality:
+    def test_time_local_equality_flagged(self):
+        found = findings_for(
+            """\
+            def same(arrival_time, finish_time):
+                return arrival_time == finish_time
+            """,
+            "R004",
+        )
+        assert [f.line for f in found] == [2]
+        assert found[0].severity == "warning"
+
+    def test_simtime_constant_equality_flagged(self):
+        found = findings_for(
+            """\
+            from repro.common.simtime import HOUR
+
+            def at_hour_boundary(t):
+                return t == 3 * HOUR
+            """,
+            "R004",
+        )
+        assert [f.line for f in found] == [4]
+
+    def test_tolerance_comparison_clean(self):
+        found = findings_for(
+            """\
+            def same(arrival_time, finish_time):
+                return abs(arrival_time - finish_time) <= 1e-9
+            """,
+            "R004",
+        )
+        assert found == []
+
+    def test_none_sentinel_clean(self):
+        found = findings_for(
+            """\
+            def unset(start_time):
+                return start_time == None  # noqa: E711 (sentinel, not float eq)
+            """,
+            "R004",
+        )
+        assert found == []
+
+
+class TestR005MutableDefaults:
+    def test_list_default_flagged(self):
+        found = findings_for(
+            """\
+            def collect(item, acc=[]):
+                acc.append(item)
+                return acc
+            """,
+            "R005",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_set_call_default_flagged(self):
+        found = findings_for(
+            """\
+            def collect(item, seen=set(), *, tags={}):
+                return item
+            """,
+            "R005",
+        )
+        assert len(found) == 2
+
+    def test_none_default_clean(self):
+        found = findings_for(
+            """\
+            def collect(item, acc=None):
+                acc = [] if acc is None else acc
+                acc.append(item)
+                return acc
+            """,
+            "R005",
+        )
+        assert found == []
+
+
+class TestR006SilentExcept:
+    def test_bare_except_flagged(self):
+        found = findings_for(
+            """\
+            def apply(actuator):
+                try:
+                    actuator.resize()
+                except:
+                    pass
+            """,
+            "R006",
+        )
+        assert [f.line for f in found] == [4]
+
+    def test_blanket_swallow_flagged(self):
+        found = findings_for(
+            """\
+            def apply(actuator):
+                try:
+                    actuator.resize()
+                except Exception:
+                    pass
+            """,
+            "R006",
+        )
+        assert [f.line for f in found] == [4]
+
+    def test_specific_handler_clean(self):
+        found = findings_for(
+            """\
+            def apply(actuator, ledger):
+                try:
+                    actuator.resize()
+                except TimeoutError as exc:
+                    ledger.record_failure(exc)
+            """,
+            "R006",
+        )
+        assert found == []
+
+    def test_blanket_with_real_handling_clean(self):
+        found = findings_for(
+            """\
+            def apply(actuator, ledger):
+                try:
+                    actuator.resize()
+                except Exception as exc:
+                    ledger.record_failure(exc)
+                    raise
+            """,
+            "R006",
+        )
+        assert found == []
+
+
+class TestR007PublicAnnotations:
+    def test_missing_annotations_flagged_in_core(self):
+        found = findings_for(
+            """\
+            def estimate(credits, horizon) -> float:
+                return credits * horizon
+
+            class Model:
+                def fit(self, records):
+                    return self
+            """,
+            "R007",
+            path="src/repro/core/model.py",
+        )
+        assert [(f.line, f.rule_id) for f in found] == [(1, "R007"), (5, "R007")]
+        assert "credits" in found[0].message
+        assert "return" in found[1].message
+
+    def test_fully_annotated_clean(self):
+        found = findings_for(
+            """\
+            def estimate(credits: float, horizon: float) -> float:
+                return credits * horizon
+
+            class Model:
+                def __init__(self, alpha: float = 0.5):
+                    self.alpha = alpha
+
+                def fit(self, records: list) -> "Model":
+                    return self
+
+                def _helper(self, x):
+                    return x
+            """,
+            "R007",
+            path="src/repro/costmodel/model.py",
+        )
+        assert found == []
+
+    def test_out_of_scope_package_ignored(self):
+        found = findings_for(
+            "def estimate(credits, horizon):\n    return credits * horizon\n",
+            "R007",
+            path="src/repro/portal/reports.py",
+        )
+        assert found == []
+
+
+class TestR008SetIteration:
+    def test_for_over_set_call_flagged(self):
+        found = findings_for(
+            """\
+            def render(warehouses):
+                for name in set(warehouses):
+                    print(name)
+            """,
+            "R008",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_for_over_set_union_variable_flagged(self):
+        found = findings_for(
+            """\
+            def render(a, b):
+                names = set(a) | set(b)
+                rows = []
+                for name in names:
+                    rows.append(name)
+                return rows
+            """,
+            "R008",
+        )
+        assert [f.line for f in found] == [4]
+
+    def test_list_of_set_flagged(self):
+        found = findings_for(
+            "def order(xs):\n    return list(set(xs))\n",
+            "R008",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_sorted_set_clean(self):
+        found = findings_for(
+            """\
+            def render(a, b):
+                names = set(a) | set(b)
+                return sorted(names)
+            """,
+            "R008",
+        )
+        assert found == []
+
+    def test_membership_use_clean(self):
+        found = findings_for(
+            """\
+            def keep(records, wanted):
+                allowed = set(wanted)
+                return [r for r in records if r in allowed]
+            """,
+            "R008",
+        )
+        assert found == []

@@ -1,0 +1,34 @@
+"""The CI gate: the repo itself must stay lint-clean.
+
+The linter's value is the frozen clean state — every determinism invariant
+in docs/INVARIANTS.md is machine-checked here on every test run.  If this
+test fails, either fix the violation or add a *justified*
+``# repro-lint: disable=Rxxx`` suppression (see docs/INVARIANTS.md).
+"""
+
+import pathlib
+
+from repro.lint import lint_paths
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+def render(result):
+    return "\n".join(f.render() for f in result.findings) + "\n" + "\n".join(result.errors)
+
+
+class TestSelfClean:
+    def test_src_is_lint_clean(self):
+        result = lint_paths([REPO_ROOT / "src"])
+        assert result.clean, f"new lint violations under src/:\n{render(result)}"
+        # The whole library really was scanned (guards against a silent
+        # file-discovery regression making this gate vacuous).
+        assert result.files_scanned >= 70
+
+    def test_benchmarks_and_examples_are_lint_clean(self):
+        result = lint_paths([REPO_ROOT / "benchmarks", REPO_ROOT / "examples"])
+        assert result.clean, f"new lint violations:\n{render(result)}"
+        assert result.files_scanned >= 15
+
+    def test_exit_code_contract(self):
+        assert lint_paths([REPO_ROOT / "src"]).exit_code() == 0

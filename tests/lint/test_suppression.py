@@ -1,0 +1,86 @@
+"""The ``# repro-lint: disable=...`` suppression mechanism."""
+
+import textwrap
+
+from repro.lint import lint_source
+from repro.lint.engine import lint_context
+from repro.lint.context import FileContext
+from repro.lint.rules import get_rules
+
+
+def lint(source: str, path: str = "snippet.py"):
+    return lint_source(textwrap.dedent(source), path=path)
+
+
+class TestSuppression:
+    def test_same_line_directive_suppresses(self):
+        assert (
+            lint(
+                """\
+                import time
+                t = time.time()  # repro-lint: disable=R001
+                """
+            )
+            == []
+        )
+
+    def test_directive_only_covers_its_rule(self):
+        found = lint(
+            """\
+            import time
+            t = time.time()  # repro-lint: disable=R002
+            """
+        )
+        assert [f.rule_id for f in found] == ["R001"]
+
+    def test_multiple_ids_in_one_directive(self):
+        found = lint(
+            """\
+            def f(rngs, start_time, end_time):
+                return rngs.stream(start_time), start_time == end_time  # repro-lint: disable=R003,R004
+            """
+        )
+        assert found == []
+
+    def test_disable_all(self):
+        assert (
+            lint(
+                """\
+                import time
+                t = time.time()  # repro-lint: disable=all
+                """
+            )
+            == []
+        )
+
+    def test_directive_on_other_line_does_not_suppress(self):
+        found = lint(
+            """\
+            import time
+            # repro-lint: disable=R001
+            t = time.time()
+            """
+        )
+        assert [f.rule_id for f in found] == ["R001"]
+
+    def test_directive_inside_string_is_inert(self):
+        found = lint(
+            """\
+            import time
+            doc = "# repro-lint: disable=R001"
+            t = time.time()
+            """
+        )
+        assert [f.rule_id for f in found] == ["R001"]
+
+    def test_malformed_directive_reported_as_r000(self):
+        found = lint("x = 1  # repro-lint: disable R001\n")
+        assert [f.rule_id for f in found] == ["R000"]
+        assert "malformed" in found[0].message
+
+    def test_suppressed_count_reported(self):
+        source = "import time\nt = time.time()  # repro-lint: disable=R001\n"
+        ctx = FileContext.from_source(source, "snippet.py")
+        kept, suppressed = lint_context(ctx, get_rules())
+        assert kept == []
+        assert suppressed == 1
