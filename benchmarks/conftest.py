@@ -5,21 +5,47 @@ experiment protocol once (timed by pytest-benchmark), prints the same
 rows/series the paper reports, and archives the rendering under
 ``benchmarks/results/`` so EXPERIMENTS.md can reference stable outputs.
 
+Results can carry a :class:`repro.obs.RunManifest`: pass ``manifest=`` (and
+optionally ``data=``, any JSON-able value tree) and a ``<name>.json`` is
+written next to the ``.txt`` rendering, making the archived number
+self-describing — seed, scenario, config hash and package version travel
+with it.
+
 Run with ``pytest benchmarks/ --benchmark-only`` (add ``-s`` to see the
 tables inline).
 """
 
 from __future__ import annotations
 
+import json
 import pathlib
+
+from repro.obs import RunManifest
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
 
 
-def record_result(name: str, text: str) -> None:
-    """Print a figure's regenerated rows and archive them."""
+def record_result(
+    name: str,
+    text: str,
+    manifest: RunManifest | None = None,
+    data: object | None = None,
+) -> None:
+    """Print a figure's regenerated rows and archive them.
+
+    With ``manifest`` (and optionally ``data``) a machine-readable
+    ``<name>.json`` is archived alongside the human rendering.
+    """
     RESULTS_DIR.mkdir(exist_ok=True)
     (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    if manifest is not None or data is not None:
+        payload = {
+            "manifest": manifest.to_dict() if manifest is not None else None,
+            "data": data,
+        }
+        (RESULTS_DIR / f"{name}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True) + "\n"
+        )
     print(f"\n===== {name} =====")
     print(text)
 

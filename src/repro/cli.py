@@ -10,11 +10,13 @@ Usage::
     python -m repro.cli onboarding [--days 12]
     python -m repro.cli fleet [--customers 6]
     python -m repro.cli lint [paths ...] [--format json]
+    python -m repro.cli obs {smoke,summarize,diff} ...
 
 Each experiment command runs the corresponding §7 protocol and prints the
 same rows/series the paper's figure reports (the benchmarks wrap these same
 protocols with timing and assertions).  ``lint`` runs the determinism &
-invariant checker (see docs/INVARIANTS.md).
+invariant checker (see docs/INVARIANTS.md); ``obs`` inspects trace files
+from the observability layer (see docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -23,6 +25,7 @@ import argparse
 import sys
 
 import repro.lint.cli as lint_cli
+import repro.obs.cli as obs_cli
 
 from repro.experiments.runner import (
     run_before_after,
@@ -127,6 +130,10 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the determinism & invariant linter (docs/INVARIANTS.md)"
     )
     lint_cli.configure_parser(lint)
+    obs = subparsers.add_parser(
+        "obs", help="inspect observability traces (docs/OBSERVABILITY.md)"
+    )
+    obs_cli.configure_parser(obs)
     return parser
 
 
@@ -138,6 +145,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return lint_cli.run(args)
+    if args.command == "obs":
+        return obs_cli.run(args)
     _COMMANDS[args.command](args)
     return 0
 

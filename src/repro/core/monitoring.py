@@ -25,6 +25,7 @@ import numpy as np
 from repro.common.simtime import HOUR, Window
 from repro.common.stats import percentile
 from repro.core.sliders import SliderParams
+from repro.obs import trace as obs
 from repro.learning.features import WorkloadBaseline
 from repro.warehouse.api import CloudWarehouseClient
 from repro.warehouse.config import WarehouseConfig
@@ -133,7 +134,7 @@ class Monitor:
         external = (
             self._expected_config is not None and info.config != self._expected_config
         )
-        return RealTimeFeedback(
+        feedback = RealTimeFeedback(
             time=now,
             queue_length=info.queue_length,
             running_queries=info.running_queries,
@@ -151,3 +152,19 @@ class Monitor:
                 else 0.0
             ),
         )
+        self._observe(now, feedback)
+        return feedback
+
+    def _observe(self, now: float, feedback: RealTimeFeedback) -> None:
+        """Feed the snapshot into the active observation session, if any."""
+        rec = obs.recorder()
+        if rec is None:
+            return
+        prefix = f"repro.monitor.{self.warehouse.lower()}"
+        rec.counter(f"{prefix}.snapshots").inc()
+        rec.gauge(f"{prefix}.latency_ratio").set(feedback.latency_ratio)
+        rec.gauge(f"{prefix}.arrival_zscore").set(feedback.arrival_zscore)
+        rec.gauge(f"{prefix}.spill_fraction").set(feedback.spill_fraction)
+        rec.gauge(f"{prefix}.queue_length").set(feedback.queue_length)
+        if feedback.external_change:
+            rec.emit("monitor.external_change", now, warehouse=self.warehouse)

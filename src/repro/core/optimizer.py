@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 from repro.common.errors import ConfigurationError, UnknownWarehouseError
 from repro.common.simtime import DAY, HOUR, Window
+from repro.obs import trace as obs
 from repro.core.actions import ActionSpace
 from repro.core.actuator import Actuator
 from repro.core.constraints import ConstraintSet
@@ -156,17 +157,27 @@ class WarehouseOptimizer:
         if self.config.confidence_tau > 0:
             self.smart_model.set_confidence_ramp(now, self.config.confidence_tau)
         restored = self._try_restore_checkpoint()
-        if restored:
+        episodes = (
+            self.config.retrain_episodes if restored else self.config.onboarding_episodes
+        )
+        with obs.span(
+            "optimizer.onboard",
+            now,
+            warehouse=self.warehouse,
+            restored=restored,
+            records=len(records),
+        ):
             # A checkpointed model resumes where it left off: a quick
             # fine-tune instead of a full onboarding run.
-            report = self._train(records, history, self.config.retrain_episodes)
-        else:
-            report = self._train(records, history, self.config.onboarding_episodes)
+            report = self._train(records, history, episodes)
         self._save_checkpoint()
         self.training_reports.append(report)
         self._last_retrain = now
         self._controller = self.account.sim.add_controller(
-            self.config.decision_interval, self._tick, start=now + self.config.decision_interval
+            self.config.decision_interval,
+            self._tick,
+            start=now + self.config.decision_interval,
+            name=f"optimizer[{self.warehouse}]",
         )
         self.onboarded = True
         self._last_report = now
@@ -202,6 +213,13 @@ class WarehouseOptimizer:
         if episodes <= 0:
             return TrainingReport()
         requests = reconstruct_workload(records, self.cost_model.latency_model)
+        span = obs.span(
+            "optimizer.train",
+            history.end,
+            warehouse=self.warehouse,
+            episodes=episodes,
+            requests=len(requests),
+        )
         original = self.action_space.original
         # Train on the most recent episode-length slice; each episode
         # re-simulates it under a different seed.
@@ -221,7 +239,10 @@ class WarehouseOptimizer:
             ),
             seed=self.account.rngs.spawn_seed(f"keebo.env.{self.warehouse}"),
         )
-        return OfflineTrainer(self.agent, env).run(episodes)
+        with span as sp:
+            report = OfflineTrainer(self.agent, env).run(episodes)
+            sp.set(episodes_run=len(report.episodes))
+        return report
 
     # ------------------------------------------------------------------ loop
     def _tick(self, now: float) -> None:
@@ -229,20 +250,33 @@ class WarehouseOptimizer:
             return
         if self.paused:
             return
-        if now - self._last_retrain >= self.config.retrain_interval:
-            self._retrain(now)
-        if now - self._last_report >= self.config.report_interval:
-            self._report_savings(now)
-        feedback = self.monitor.snapshot(now)
-        decision = self.smart_model.next_action(now, feedback)
-        self.decisions.append(decision)
-        if decision.kind == DecisionKind.EXTERNAL_CONFLICT:
-            self._handle_external_conflict(now)
-            return
-        current = self.client.current_config(self.warehouse)
-        if decision.target != current:
-            self.actuator.apply(decision.target, reason=f"{decision.kind.value}: {decision.reason}")
-        self._advise_scaling_policy(now, feedback)
+        with obs.span("optimizer.tick", now, warehouse=self.warehouse) as sp:
+            if now - self._last_retrain >= self.config.retrain_interval:
+                self._retrain(now)
+            if now - self._last_report >= self.config.report_interval:
+                self._report_savings(now)
+            feedback = self.monitor.snapshot(now)
+            decision = self.smart_model.next_action(now, feedback)
+            self.decisions.append(decision)
+            sp.set(decision=decision.kind.value)
+            obs.counter(f"repro.optimizer.decisions.{decision.kind.value}").inc()
+            if decision.kind == DecisionKind.BACKOFF:
+                obs.emit(
+                    "optimizer.backoff",
+                    now,
+                    warehouse=self.warehouse,
+                    reason=decision.reason,
+                )
+            if decision.kind == DecisionKind.EXTERNAL_CONFLICT:
+                self._handle_external_conflict(now)
+                return
+            current = self.client.current_config(self.warehouse)
+            if decision.target != current:
+                self.actuator.apply(
+                    decision.target, reason=f"{decision.kind.value}: {decision.reason}"
+                )
+                sp.set(applied=decision.target.describe())
+            self._advise_scaling_policy(now, feedback)
 
     def _advise_scaling_policy(self, now: float, feedback) -> None:
         """Tune the categorical STANDARD/ECONOMY knob (outside the DQN's
@@ -257,7 +291,13 @@ class WarehouseOptimizer:
 
     def _retrain(self, now: float) -> None:
         """Periodic refresh (Algorithm 1 lines 13-16)."""
+        obs.counter("repro.optimizer.retrains").inc()
         history = Window(max(0.0, now - self.config.training_window), now)
+        with obs.span("optimizer.retrain", now, warehouse=self.warehouse):
+            self._refit(history)
+        self._last_retrain = now
+
+    def _refit(self, history: Window) -> None:
         self.cost_model.fit(history)
         records = self.client.query_history(self.warehouse, history)
         if records:
@@ -270,7 +310,6 @@ class WarehouseOptimizer:
                     self._train(records, history, self.config.retrain_episodes)
                 )
                 self._save_checkpoint()
-        self._last_retrain = now
 
     def _report_savings(self, now: float) -> None:
         """Algorithm 1 lines 18-19: estimate and report period savings."""
@@ -287,12 +326,25 @@ class WarehouseOptimizer:
         )
         self._decisions_at_last_report = len(self.decisions)
         self._last_report = now
+        obs.emit(
+            "optimizer.savings_report",
+            now,
+            warehouse=self.warehouse,
+            savings_fraction=estimate.savings_fraction,
+        )
 
     def _handle_external_conflict(self, now: float) -> None:
         """§4.4: revert our own pending changes and pause until told."""
         live = self.client.current_config(self.warehouse)
         self.monitor.set_expected_config(live)  # accept the external state
         self.paused = True
+        obs.counter("repro.optimizer.external_conflicts").inc()
+        obs.emit(
+            "optimizer.external_conflict",
+            now,
+            warehouse=self.warehouse,
+            live_config=live.describe(),
+        )
         self.account.telemetry.record_event(
             WarehouseEvent(
                 now, self.warehouse, "keebo_paused", "keebo", {"cause": "external change"}

@@ -31,12 +31,17 @@ import numpy as np
 
 from repro.common.simtime import HOUR, Window, hour_index
 from repro.common.stats import percentile
+from repro.obs import trace as obs
 from repro.costmodel.clusters import MINI_WINDOW_SECONDS, ClusterCountPredictor
 from repro.costmodel.gaps import GapModel
 from repro.costmodel.latency import LatencyScalingModel
 from repro.warehouse.billing import MINIMUM_BILLED_SECONDS
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.queries import QueryRecord
+
+#: Buckets for the what-if active-fraction histogram: coverage is a ratio
+#: in [0, 1], so the default (seconds-scaled) bucket boundaries fit badly.
+_COVERAGE_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
 
 
 @dataclass
@@ -81,20 +86,46 @@ class QueryReplay:
     ) -> ReplayResult:
         if not records:
             return ReplayResult(0.0, 0.0, 0.0, 0, 0, 0.0, 0.0)
-        intervals, latencies = self._counterfactual_timeline(records, config, window)
-        bursts = self._activation_bursts(intervals, config, window)
-        credits, cluster_seconds, hourly = self._bill(bursts, intervals, config, window)
-        active_seconds = sum(end - start for start, end in bursts)
-        return ReplayResult(
-            credits=credits,
-            active_seconds=active_seconds,
-            cluster_seconds=cluster_seconds,
-            n_queries=len(latencies),
-            n_bursts=len(bursts),
-            avg_latency=float(np.mean(latencies)) if latencies else 0.0,
-            p99_latency=percentile(latencies, 99),
-            hourly_credits=hourly,
+        with obs.span(
+            "costmodel.replay", window.end, config=config.describe()
+        ) as sp:
+            intervals, latencies = self._counterfactual_timeline(records, config, window)
+            bursts = self._activation_bursts(intervals, config, window)
+            credits, cluster_seconds, hourly = self._bill(bursts, intervals, config, window)
+            active_seconds = sum(end - start for start, end in bursts)
+            result = ReplayResult(
+                credits=credits,
+                active_seconds=active_seconds,
+                cluster_seconds=cluster_seconds,
+                n_queries=len(latencies),
+                n_bursts=len(bursts),
+                avg_latency=float(np.mean(latencies)) if latencies else 0.0,
+                p99_latency=percentile(latencies, 99),
+                hourly_credits=hourly,
+            )
+            self._observe(sp, result, window)
+        return result
+
+    @staticmethod
+    def _observe(sp, result: ReplayResult, window: Window) -> None:
+        """Replay coverage and counterfactual-timeline stats, when recording."""
+        rec = obs.recorder()
+        if rec is None:
+            return
+        coverage = result.active_seconds / window.duration if window.duration > 0 else 0.0
+        sp.set(
+            n_queries=result.n_queries,
+            n_bursts=result.n_bursts,
+            active_seconds=result.active_seconds,
+            credits=result.credits,
+            coverage=coverage,
         )
+        rec.counter("repro.costmodel.replays").inc()
+        rec.counter("repro.costmodel.replayed_queries").inc(result.n_queries)
+        rec.histogram("repro.costmodel.replay_active_fraction", _COVERAGE_BUCKETS).observe(
+            coverage
+        )
+        rec.histogram("repro.costmodel.replay_p99_latency").observe(result.p99_latency)
 
     # ----------------------------------------------------------------- steps
     def _counterfactual_timeline(

@@ -16,6 +16,7 @@ from repro.core.optimizer import KeeboService, WarehouseOptimizer
 from repro.core.sliders import SliderPosition
 from repro.costmodel.model import WarehouseCostModel
 from repro.experiments.scenarios import Scenario, fig7_scenario
+from repro.obs import RunManifest
 from repro.portal.dashboards import (
     OverheadDashboard,
     SavingsDashboard,
@@ -34,6 +35,7 @@ class BeforeAfterResult:
     decision_counts: dict[str, int]
     estimated_savings_fraction: float
     guardrail_vetoes: int
+    manifest: RunManifest | None = None
 
     @property
     def savings_fraction(self) -> float:
@@ -64,6 +66,7 @@ def run_before_after(scenario: Scenario) -> tuple[BeforeAfterResult, WarehouseOp
     """Run the §7.1 protocol on one scenario."""
     if scenario.keebo_day is None:
         raise ValueError("before/after protocol needs a keebo_day")
+    manifest = scenario.manifest()
     scenario.schedule()
     account = scenario.account
     account.run_until(scenario.keebo_start)
@@ -87,6 +90,7 @@ def run_before_after(scenario: Scenario) -> tuple[BeforeAfterResult, WarehouseOp
         decision_counts=optimizer.decision_counts(),
         estimated_savings_fraction=estimate.savings_fraction,
         guardrail_vetoes=optimizer.smart_model.guardrail_vetoes,
+        manifest=manifest,
     )
     optimizer.shutdown()
     return result, optimizer
@@ -99,6 +103,7 @@ class AccuracyRow:
     warehouse: str
     actual_credits: float
     estimated_credits: float
+    manifest: RunManifest | None = None
 
     @property
     def relative_error(self) -> float:
@@ -119,6 +124,7 @@ def run_cost_model_accuracy(
     """
     rows = []
     for scenario in scenarios:
+        manifest = scenario.manifest()
         scenario.schedule()
         account = scenario.account
         account.run_until(scenario.horizon + HOUR)  # let trailing queries finish
@@ -129,7 +135,7 @@ def run_cost_model_accuracy(
         config = client.current_config(scenario.warehouse)
         estimate = model.estimate_cost(evaluate, config)
         actual = client.credits_in_window(scenario.warehouse, evaluate)
-        rows.append(AccuracyRow(scenario.name, actual, estimate.credits))
+        rows.append(AccuracyRow(scenario.name, actual, estimate.credits, manifest=manifest))
     return rows
 
 
@@ -138,6 +144,7 @@ class OverheadResult:
     """§7.3 protocol output (Figure 6)."""
 
     dashboard: OverheadDashboard
+    manifest: RunManifest | None = None
 
     @property
     def overhead_fraction(self) -> float:
@@ -161,6 +168,7 @@ class OverheadResult:
 
 def run_overhead(scenario: Scenario) -> OverheadResult:
     """Run §7.3: KWO active, measure hourly actual/overhead/savings."""
+    manifest = scenario.manifest()
     scenario.schedule()
     account = scenario.account
     account.run_until(scenario.keebo_start)
@@ -172,7 +180,7 @@ def run_overhead(scenario: Scenario) -> OverheadResult:
     measure = Window(scenario.keebo_start + DAY, scenario.horizon)
     dashboard = overhead_dashboard(optimizer, measure)
     optimizer.shutdown()
-    return OverheadResult(dashboard)
+    return OverheadResult(dashboard, manifest=manifest)
 
 
 @dataclass
@@ -183,6 +191,7 @@ class SliderSweepRow:
     total_credits: float
     avg_latency: float
     p99_latency: float
+    manifest: RunManifest | None = None
 
 
 def run_slider_sweep(seed: int = 700) -> list[SliderSweepRow]:
@@ -190,6 +199,7 @@ def run_slider_sweep(seed: int = 700) -> list[SliderSweepRow]:
     rows = []
     for position in SliderPosition:
         scenario = fig7_scenario(position, seed=seed)
+        manifest = scenario.manifest()
         scenario.schedule()
         account = scenario.account
         account.run_until(scenario.keebo_start)
@@ -209,6 +219,7 @@ def run_slider_sweep(seed: int = 700) -> list[SliderSweepRow]:
                 total_credits=credits,
                 avg_latency=float(np.mean(latencies)) if latencies else 0.0,
                 p99_latency=percentile(latencies, 99),
+                manifest=manifest,
             )
         )
         optimizer.shutdown()
@@ -227,6 +238,7 @@ class OnboardingCurve:
 
     hours: list[float]
     savings_rate: list[float]
+    manifest: RunManifest | None = None
 
     @property
     def eventual_rate(self) -> float:
@@ -252,6 +264,7 @@ def run_onboarding_curve(
     scenario: Scenario, bucket_hours: float = 4.0, trailing_hours: float = 24.0
 ) -> OnboardingCurve:
     """Measure savings ramp-up after onboarding."""
+    manifest = scenario.manifest()
     scenario.schedule()
     account = scenario.account
     account.run_until(scenario.keebo_start)
@@ -270,7 +283,7 @@ def run_onboarding_curve(
         rates.append(estimate.savings_fraction)
         t += bucket_hours * HOUR
     optimizer.shutdown()
-    return OnboardingCurve(hours, rates)
+    return OnboardingCurve(hours, rates, manifest=manifest)
 
 
 @dataclass

@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.common.rng import RngRegistry
 from repro.common.simtime import DAY, HOUR, Window
 from repro.core.constraints import ConstraintSet
+from repro.obs import RunManifest
 from repro.core.optimizer import OptimizerConfig
 from repro.core.sliders import SliderPosition
 from repro.warehouse.account import Account
@@ -69,6 +70,31 @@ class Scenario:
         requests = self.workload.generate(Window(0.0, self.horizon))
         self.account.schedule_workload(self.warehouse, requests)
         return len(requests)
+
+    def manifest(self) -> RunManifest:
+        """The provenance record for this run (docs/OBSERVABILITY.md).
+
+        The config hash covers everything that shapes the run besides the
+        seed: the warehouses' customer-set knobs, the optimizer config, the
+        slider, the constraints and the protocol horizon.  Call before
+        running — KWO alters warehouse configs once active.
+        """
+        configuration = {
+            "warehouses": {
+                name: wh.config for name, wh in sorted(self.account.warehouses.items())
+            },
+            "optimizer": self.optimizer_config,
+            "constraints": self.constraints,
+            "slider": int(self.slider),
+            "total_days": self.total_days,
+            "keebo_day": self.keebo_day,
+        }
+        return RunManifest.create(
+            scenario=self.name,
+            seed=self.account.rngs.seed,
+            config=configuration,
+            slider=int(self.slider),
+        )
 
 
 def _default_optimizer_config(**overrides) -> OptimizerConfig:
@@ -252,6 +278,40 @@ def fig7_scenario(slider: SliderPosition, seed: int = 700) -> Scenario:
         keebo_day=3,
         slider=slider,
         optimizer_config=_default_optimizer_config(),
+    )
+
+
+# --------------------------------------------------------------------- smoke
+def smoke_scenario(seed: int = 123) -> Scenario:
+    """A deliberately small traced-run scenario (seconds, not minutes).
+
+    Used by ``repro.cli obs smoke``, the CI instrumentation guard, and the
+    trace-determinism property test: two days of light static ETL with KWO
+    onboarded after day one, tuned for the shortest run that still exercises
+    onboarding, ticks, retraining windows, monitoring and replay.
+    """
+    account = Account(name="smoke", seed=seed)
+    config = WarehouseConfig(
+        size=WarehouseSize.M, auto_suspend_seconds=900.0, max_clusters=2
+    )
+    account.create_warehouse("SMOKE_WH", config)
+    workload = make_static_etl_workload(RngRegistry(seed + 1), launches_per_day=10)
+    return Scenario(
+        name="smoke",
+        account=account,
+        warehouse="SMOKE_WH",
+        workload=workload,
+        total_days=2,
+        keebo_day=1,
+        optimizer_config=OptimizerConfig(
+            decision_interval=1800.0,
+            retrain_interval=12 * HOUR,
+            training_window=1 * DAY,
+            onboarding_episodes=2,
+            retrain_episodes=1,
+            episode_length=1 * DAY,
+            report_interval=4 * HOUR,
+        ),
     )
 
 

@@ -10,6 +10,7 @@ state across calls, and un-annotated public interfaces let unit confusion
 from __future__ import annotations
 
 import ast
+import pathlib
 from typing import Iterable, Iterator
 
 from repro.lint.context import FileContext
@@ -126,6 +127,48 @@ class SilentExceptRule(Rule):
                     node,
                     "`except Exception` whose body only passes swallows "
                     "failures silently; handle, log to the ledger, or re-raise",
+                )
+
+
+@register
+class NoPrintInLibraryRule(Rule):
+    """R009: no ``print()`` in library code.
+
+    Library modules report through return values and the observability layer
+    (``repro.obs``); writing to stdout from deep inside a simulation bypasses
+    both, interleaves nondeterministically with CLI output, and cannot be
+    asserted on in tests.  The CLI front-ends (``cli.py``, ``__main__.py``)
+    and the linter's own reporting are the sanctioned places to print.
+    """
+
+    rule_id = "R009"
+    name = "no-print-in-library"
+    severity = "error"
+    summary = (
+        "library modules must not call print(); report via return values or "
+        "repro.obs — only cli.py/__main__.py and repro/lint may print"
+    )
+
+    def _applies(self, path: str) -> bool:
+        if "repro/" not in path or "repro/lint/" in path:
+            return False
+        return pathlib.PurePosixPath(path).name not in ("cli.py", "__main__.py")
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Name)
+                and node.func.id == "print"
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    "print() in library code writes to stdout behind the "
+                    "CLI's back; return the value or emit it through "
+                    "repro.obs instead",
                 )
 
 

@@ -1,0 +1,72 @@
+"""repro.obs — deterministic observability for the simulation stack.
+
+The paper's KWO service lives on continuous telemetry and real-time
+monitoring (§4.4); this package gives the *reproduction itself* the same
+property: structured sim-time traces (spans + events), an in-process
+metrics registry, and run manifests, all with byte-stable exports so two
+runs of the same ``(scenario, seed)`` produce identical observability
+output (docs/OBSERVABILITY.md).
+
+Disabled by default; the whole module-level API is a no-op until a session
+is opened::
+
+    from repro import obs
+
+    with obs.observed(manifest=scenario.manifest()) as rec:
+        run_before_after(scenario)
+    rec.sink.dump("trace.jsonl")
+    print(rec.metrics.to_json())
+"""
+
+from repro.obs.manifest import RunManifest, config_hash
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    ObservabilityError,
+)
+from repro.obs.trace import (
+    NULL_SPAN,
+    TRACE_SCHEMA_VERSION,
+    Recorder,
+    Span,
+    TraceSink,
+    counter,
+    emit,
+    enabled,
+    gauge,
+    histogram,
+    observed,
+    recorder,
+    span,
+    start,
+    stop,
+)
+
+__all__ = [
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_SPAN",
+    "ObservabilityError",
+    "Recorder",
+    "RunManifest",
+    "Span",
+    "TRACE_SCHEMA_VERSION",
+    "TraceSink",
+    "config_hash",
+    "counter",
+    "emit",
+    "enabled",
+    "gauge",
+    "histogram",
+    "observed",
+    "recorder",
+    "span",
+    "start",
+    "stop",
+]

@@ -1,0 +1,194 @@
+"""Command-line tools over ``repro.obs`` trace files.
+
+Invocations (via the main CLI)::
+
+    python -m repro.cli obs smoke --out trace.jsonl       # run a tiny traced scenario
+    python -m repro.cli obs summarize trace.jsonl         # inspect without pandas
+    python -m repro.cli obs diff a.jsonl b.jsonl          # byte/structure compare
+
+``summarize`` exits 1 for a trace with zero spans (CI uses this to guard
+against silent instrumentation rot) and 2 for unreadable input.  ``diff``
+exits 0 when the two traces are byte-identical, 1 when they differ — the
+determinism contract makes identical the expected answer for same-seed
+runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+from typing import IO
+
+from repro.common.simtime import format_time
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``obs`` subcommand family (shared with ``repro.cli obs``)."""
+    sub = parser.add_subparsers(dest="obs_command", required=True)
+
+    smoke = sub.add_parser(
+        "smoke",
+        help="run a small scenario with tracing enabled; write trace + metrics",
+    )
+    smoke.add_argument("--seed", type=int, default=123, help="scenario seed")
+    smoke.add_argument(
+        "--out",
+        default="trace.jsonl",
+        help="trace JSONL output path (metrics land at <out>.metrics.json)",
+    )
+
+    summarize = sub.add_parser("summarize", help="summarize a trace JSONL file")
+    summarize.add_argument("trace", help="path to a trace .jsonl file")
+
+    diff = sub.add_parser("diff", help="compare two trace JSONL files")
+    diff.add_argument("trace_a", help="first trace .jsonl file")
+    diff.add_argument("trace_b", help="second trace .jsonl file")
+
+
+def _load(path: str) -> list[dict]:
+    """Parse a JSONL trace; raises ValueError with a line number on garbage."""
+    records = []
+    text = pathlib.Path(path).read_text(encoding="utf-8")
+    for i, line in enumerate(text.splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{i}: not JSON: {exc}") from exc
+        if not isinstance(record, dict) or "type" not in record:
+            raise ValueError(f"{path}:{i}: not a trace record (no 'type' key)")
+        records.append(record)
+    return records
+
+
+def _counts_by_name(records: list[dict], record_type: str) -> dict[str, int]:
+    counts: dict[str, int] = {}
+    for record in records:
+        if record.get("type") == record_type:
+            name = str(record.get("name", "<unnamed>"))
+            counts[name] = counts.get(name, 0) + 1
+    return counts
+
+
+def _render_counts(title: str, counts: dict[str, int], out: IO[str]) -> None:
+    if not counts:
+        return
+    print(f"{title}:", file=out)
+    # Heaviest first; name breaks ties so output is deterministic.
+    for name in sorted(counts, key=lambda n: (-counts[n], n)):
+        print(f"  {name:<36} {counts[name]:>8}", file=out)
+
+
+def summarize(path: str, out: IO[str]) -> int:
+    """Render the trace's shape; exit 1 when it contains no spans."""
+    try:
+        records = _load(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    manifests = [r for r in records if r["type"] == "manifest"]
+    for m in manifests:
+        print(
+            "manifest: scenario={scenario} seed={seed} config={config_hash} "
+            "slider={slider} version={version}".format(
+                **{
+                    k: m.get(k)
+                    for k in ("scenario", "seed", "config_hash", "slider", "version")
+                }
+            ),
+            file=out,
+        )
+    spans = _counts_by_name(records, "span")
+    events = _counts_by_name(records, "event")
+    n_spans = sum(spans.values())
+    n_events = sum(events.values())
+    print(
+        f"records: {len(records)} ({n_spans} spans, {n_events} events, "
+        f"{len(manifests)} manifest)",
+        file=out,
+    )
+    times = [r["time"] for r in records if "time" in r]
+    if times:
+        lo, hi = min(times), max(times)
+        print(
+            f"time range: {lo:.3f} .. {hi:.3f} ({format_time(lo)} .. {format_time(hi)})",
+            file=out,
+        )
+    _render_counts("spans by name", spans, out)
+    _render_counts("events by name", events, out)
+    if n_spans == 0:
+        print("error: trace contains no spans (instrumentation rot?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def diff(path_a: str, path_b: str, out: IO[str]) -> int:
+    """Compare two traces; identical bytes exit 0, any difference exits 1."""
+    try:
+        text_a = pathlib.Path(path_a).read_text(encoding="utf-8")
+        text_b = pathlib.Path(path_b).read_text(encoding="utf-8")
+    except OSError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if text_a == text_b:
+        n = sum(1 for line in text_a.splitlines() if line.strip())
+        print(f"traces identical ({n} records)", file=out)
+        return 0
+    try:
+        records_a, records_b = _load(path_a), _load(path_b)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"traces differ: {len(records_a)} vs {len(records_b)} records", file=out)
+    for record_type in ("span", "event"):
+        counts_a = _counts_by_name(records_a, record_type)
+        counts_b = _counts_by_name(records_b, record_type)
+        for name in sorted(set(counts_a) | set(counts_b)):
+            a, b = counts_a.get(name, 0), counts_b.get(name, 0)
+            if a != b:
+                print(f"  {record_type} {name!r}: {a} vs {b}", file=out)
+    for i, (ra, rb) in enumerate(zip(records_a, records_b), start=1):
+        if ra != rb:
+            print(f"first differing record: line {i}", file=out)
+            print(f"  a: {json.dumps(ra, sort_keys=True)}", file=out)
+            print(f"  b: {json.dumps(rb, sort_keys=True)}", file=out)
+            break
+    return 1
+
+
+def smoke(seed: int, out_path: str, out: IO[str]) -> int:
+    """Run the smoke scenario traced; write trace JSONL + metrics JSON."""
+    # Imported here: the experiments stack pulls in the whole library, and
+    # `obs summarize`/`obs diff` should stay usable without that cost.
+    from repro import obs
+    from repro.experiments.runner import run_before_after
+    from repro.experiments.scenarios import smoke_scenario
+
+    scenario = smoke_scenario(seed=seed)
+    with obs.observed(manifest=scenario.manifest()) as rec:
+        result, _ = run_before_after(scenario)
+    trace_path = pathlib.Path(out_path)
+    rec.sink.dump(trace_path)
+    metrics_path = trace_path.with_name(trace_path.name + ".metrics.json")
+    metrics_path.write_text(rec.metrics.to_json(), encoding="utf-8")
+    print(
+        f"smoke run: scenario={scenario.name} seed={seed} "
+        f"savings={result.savings_fraction:+.1%}",
+        file=out,
+    )
+    print(f"trace:   {trace_path} ({len(rec.sink)} records)", file=out)
+    print(f"metrics: {metrics_path} ({len(rec.metrics)} series)", file=out)
+    return summarize(str(trace_path), out)
+
+
+def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
+    """Execute a parsed ``obs`` invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if args.obs_command == "summarize":
+        return summarize(args.trace, out)
+    if args.obs_command == "diff":
+        return diff(args.trace_a, args.trace_b, out)
+    return smoke(args.seed, args.out, out)

@@ -1,0 +1,198 @@
+"""Deterministic in-process metrics: Counter, Gauge, Histogram, registry.
+
+Metrics follow the naming convention ``repro.<subsystem>.<name>`` (see
+docs/OBSERVABILITY.md).  Everything here is plain Python state keyed by
+name, and the snapshot/export is stable-sorted, so two runs of the same
+scenario with the same seed produce byte-identical exports — the same
+determinism contract the trace layer honours.
+
+A parallel family of null metrics backs the disabled state: call sites can
+unconditionally do ``obs.counter("repro.x.y").inc()`` and pay only an
+attribute lookup and a no-op call when observation is off.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+import re
+
+from repro.common.errors import ReproError
+
+
+class ObservabilityError(ReproError):
+    """The observability layer was driven incorrectly (bad metric name,
+    mismatched metric kinds, stop without start, ...)."""
+
+
+#: Metric names: dotted lowercase segments, e.g. ``repro.engine.events``.
+#: Per-entity suffixes (warehouse names) are lowercased by callers.
+_NAME_RE = re.compile(r"^[a-z0-9_]+(\.[a-z0-9_]+)+$")
+
+#: Default histogram buckets: upper bounds in seconds, spanning sub-second
+#: queries to multi-hour windows.  An implicit +inf bucket catches the rest.
+DEFAULT_BUCKETS = (0.1, 1.0, 5.0, 15.0, 60.0, 300.0, 1800.0, 3600.0)
+
+
+def _check_name(name: str) -> str:
+    if not _NAME_RE.match(name):
+        raise ObservabilityError(
+            f"invalid metric name {name!r}: use dotted lowercase segments "
+            "like 'repro.engine.events' (docs/OBSERVABILITY.md)"
+        )
+    return name
+
+
+class Counter:
+    """A monotonically increasing count (events dispatched, decisions...)."""
+
+    kind = "counter"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ObservabilityError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+    def snapshot(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value}
+
+
+class Gauge:
+    """A point-in-time level (queue depth, latency ratio...)."""
+
+    kind = "gauge"
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+        self.updates = 0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updates += 1
+
+    def snapshot(self) -> dict[str, object]:
+        return {"kind": self.kind, "value": self.value, "updates": self.updates}
+
+
+class Histogram:
+    """A distribution over fixed, strictly increasing bucket boundaries.
+
+    Buckets use Prometheus ``le`` semantics: an observation lands in the
+    first bucket whose upper bound is **>= value**; values above the last
+    boundary land in the implicit +inf bucket.  Boundary values are
+    inclusive (``observe(1.0)`` with a ``1.0`` bound counts in that bucket).
+    """
+
+    kind = "histogram"
+
+    def __init__(self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS):
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be non-empty and strictly increasing"
+            )
+        if any(math.isinf(b) or math.isnan(b) for b in bounds):
+            raise ObservabilityError(
+                f"histogram {name!r} buckets must be finite (+inf bucket is implicit)"
+            )
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last = +inf overflow
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        if math.isnan(value):
+            raise ObservabilityError(f"histogram {self.name!r} cannot observe NaN")
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += value
+        self.count += 1
+
+    def snapshot(self) -> dict[str, object]:
+        return {
+            "kind": self.kind,
+            "buckets": list(self.bounds),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class MetricsRegistry:
+    """Get-or-create store of named metrics with a stable-sorted export."""
+
+    def __init__(self):
+        self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+
+    def _get(self, name: str, factory, kind: str):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = self._metrics[name] = factory(_check_name(name))
+        elif metric.kind != kind:
+            raise ObservabilityError(
+                f"metric {name!r} is a {metric.kind}, requested as a {kind}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter, "counter")
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge, "gauge")
+
+    def histogram(
+        self, name: str, buckets: tuple[float, ...] = DEFAULT_BUCKETS
+    ) -> Histogram:
+        metric = self._get(name, lambda n: Histogram(n, buckets), "histogram")
+        if metric.bounds != tuple(float(b) for b in buckets):
+            raise ObservabilityError(
+                f"histogram {name!r} already exists with buckets {metric.bounds}, "
+                f"requested with {tuple(buckets)}"
+            )
+        return metric
+
+    def __len__(self) -> int:
+        return len(self._metrics)
+
+    def snapshot(self) -> dict[str, dict[str, object]]:
+        """Name-sorted plain-dict view of every metric's current state."""
+        return {name: self._metrics[name].snapshot() for name in sorted(self._metrics)}
+
+    def to_json(self) -> str:
+        """Byte-stable JSON export (sorted keys, compact separators)."""
+        return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":")) + "\n"
+
+
+class _NullCounter:
+    """No-op counter returned while observation is disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: float = 1.0) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+
+    def set(self, value: float) -> None:
+        pass
+
+
+class _NullHistogram:
+    __slots__ = ()
+
+    def observe(self, value: float) -> None:
+        pass
+
+
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_HISTOGRAM = _NullHistogram()

@@ -5,6 +5,14 @@ timestamps; the simulation pops them in (time, insertion) order.  Periodic
 *controllers* are first-class because the paper's Algorithm 1 is exactly a
 periodic controller (fetch telemetry every ``T`` hours, act every
 ``T_realtime`` minutes) running against the warehouse.
+
+Observability: the loop feeds ``repro.obs`` (dispatch counts, queue depth,
+one span per controller fire) when an observation session is active; with
+the default no-op recorder the loop is unchanged but for one global read
+per ``run_until``.  When an event callback raises, the loop wraps the
+failure in a :class:`SimulationError` carrying the event's scheduled time
+and label (controller name) — previously that context was lost and a bad
+controller tick surfaced as a naked exception with no idea of *when*.
 """
 
 from __future__ import annotations
@@ -15,10 +23,14 @@ from dataclasses import dataclass, field
 from typing import Callable
 
 from repro.common.errors import ReproError
+from repro.common.simtime import format_time
+from repro.obs import trace as obs
 
 
 class SimulationError(ReproError):
-    """The event loop was driven incorrectly (e.g. scheduling in the past)."""
+    """The event loop was driven incorrectly (e.g. scheduling in the past),
+    or an event callback failed (the cause is chained, with the event's
+    scheduled time and label in the message)."""
 
 
 @dataclass(order=True)
@@ -27,6 +39,7 @@ class _Event:
     seq: int
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
+    label: str | None = field(default=None, compare=False)
 
 
 class EventHandle:
@@ -56,45 +69,77 @@ class Simulation:
         self._seq = itertools.count()
         self.processed_events = 0
 
-    def schedule(self, time: float, callback: Callable[[], None]) -> EventHandle:
-        """Schedule ``callback`` to run at ``time`` (>= now)."""
+    def schedule(
+        self, time: float, callback: Callable[[], None], label: str | None = None
+    ) -> EventHandle:
+        """Schedule ``callback`` to run at ``time`` (>= now).
+
+        ``label`` names the event in failure context and traces (controllers
+        pass their own name; plain events may leave it unset).
+        """
         if time < self.now - 1e-9:
             raise SimulationError(f"cannot schedule at {time} before now={self.now}")
-        event = _Event(max(time, self.now), next(self._seq), callback)
+        event = _Event(max(time, self.now), next(self._seq), callback, label=label)
         heapq.heappush(self._heap, event)
         return EventHandle(event)
 
-    def schedule_in(self, delay: float, callback: Callable[[], None]) -> EventHandle:
+    def schedule_in(
+        self, delay: float, callback: Callable[[], None], label: str | None = None
+    ) -> EventHandle:
         """Schedule ``callback`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise SimulationError(f"delay must be non-negative, got {delay}")
-        return self.schedule(self.now + delay, callback)
+        return self.schedule(self.now + delay, callback, label=label)
 
     def add_controller(
-        self, interval: float, callback: Callable[[float], None], start: float | None = None
+        self,
+        interval: float,
+        callback: Callable[[float], None],
+        start: float | None = None,
+        name: str | None = None,
     ) -> "PeriodicController":
         """Run ``callback(now)`` every ``interval`` seconds from ``start``."""
         if interval <= 0:
             raise SimulationError("controller interval must be positive")
-        controller = PeriodicController(self, interval, callback)
+        controller = PeriodicController(self, interval, callback, name=name)
         controller.start(self.now if start is None else start)
         return controller
+
+    def _dispatch(self, event: _Event) -> None:
+        """Run one event's callback, wrapping failures with when/what context."""
+        try:
+            event.callback()
+        except Exception as exc:
+            where = f" in {event.label!r}" if event.label else ""
+            obs.emit(
+                "engine.event_error",
+                self.now,
+                label=event.label,
+                error=type(exc).__name__,
+            )
+            raise SimulationError(
+                f"event scheduled at t={event.time:.3f} ({format_time(event.time)})"
+                f"{where} raised {type(exc).__name__}: {exc}"
+            ) from exc
 
     def run_until(self, end_time: float) -> None:
         """Process all events up to and including ``end_time``."""
         if end_time < self.now:
             raise SimulationError(f"end_time {end_time} precedes now {self.now}")
+        before = self.processed_events
         while self._heap and self._heap[0].time <= end_time:
             event = heapq.heappop(self._heap)
             if event.cancelled:
                 continue
             self.now = event.time
-            event.callback()
+            self._dispatch(event)
             self.processed_events += 1
         self.now = end_time
+        self._record_progress(before)
 
     def run_all(self, hard_stop: float | None = None) -> None:
         """Drain the event queue (optionally up to ``hard_stop``)."""
+        before = self.processed_events
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
@@ -104,10 +149,21 @@ class Simulation:
                 break
             heapq.heappop(self._heap)
             self.now = head.time
-            head.callback()
+            self._dispatch(head)
             self.processed_events += 1
         if hard_stop is not None:
             self.now = max(self.now, hard_stop)
+        self._record_progress(before)
+
+    def _record_progress(self, processed_before: int) -> None:
+        """Feed dispatch count and queue depth to the active recorder."""
+        rec = obs.recorder()
+        if rec is None:
+            return
+        dispatched = self.processed_events - processed_before
+        if dispatched:
+            rec.counter("repro.engine.events").inc(dispatched)
+        rec.gauge("repro.engine.queue_depth").set(self.pending_events)
 
     @property
     def pending_events(self) -> int:
@@ -117,22 +173,39 @@ class Simulation:
 class PeriodicController:
     """Re-schedules itself every ``interval`` until stopped."""
 
-    def __init__(self, sim: Simulation, interval: float, callback: Callable[[float], None]):
+    def __init__(
+        self,
+        sim: Simulation,
+        interval: float,
+        callback: Callable[[float], None],
+        name: str | None = None,
+    ):
         self.sim = sim
         self.interval = interval
         self.callback = callback
+        # The default name is derived from the callback, so failure context
+        # and trace spans are labelled even for anonymous controllers.
+        self.name = name or getattr(
+            callback, "__qualname__", type(callback).__name__
+        )
         self._handle: EventHandle | None = None
         self._stopped = False
 
     def start(self, first_fire: float) -> None:
-        self._handle = self.sim.schedule(first_fire, self._fire)
+        self._handle = self.sim.schedule(first_fire, self._fire, label=self.name)
 
     def _fire(self) -> None:
         if self._stopped:
             return
-        self.callback(self.sim.now)
+        rec = obs.recorder()
+        if rec is None:
+            self.callback(self.sim.now)
+        else:
+            rec.counter("repro.engine.controller_fires").inc()
+            with rec.span("engine.controller.fire", self.sim.now, controller=self.name):
+                self.callback(self.sim.now)
         if not self._stopped:
-            self._handle = self.sim.schedule_in(self.interval, self._fire)
+            self._handle = self.sim.schedule_in(self.interval, self._fire, label=self.name)
 
     def stop(self) -> None:
         self._stopped = True

@@ -419,3 +419,48 @@ class TestR008SetIteration:
             "R008",
         )
         assert found == []
+
+
+class TestR009PrintInLibrary:
+    def test_print_in_library_module_flagged(self):
+        found = findings_for(
+            """\
+            def report(savings: float) -> None:
+                print(f"saved {savings:.1%}")
+            """,
+            "R009",
+            path="src/repro/core/ledger.py",
+        )
+        assert [f.line for f in found] == [2]
+        assert "repro.obs" in found[0].message
+
+    def test_cli_frontends_exempt(self):
+        source = 'print("usage: ...")\n'
+        for path in (
+            "src/repro/cli.py",
+            "src/repro/obs/cli.py",
+            "src/repro/lint/__main__.py",
+        ):
+            assert findings_for(source, "R009", path=path) == []
+
+    def test_lint_package_exempt(self):
+        found = findings_for(
+            'print("3 finding(s)")\n', "R009", path="src/repro/lint/findings.py"
+        )
+        assert found == []
+
+    def test_outside_repro_tree_ignored(self):
+        found = findings_for('print("hi")\n', "R009", path="examples/quickstart.py")
+        assert found == []
+
+    def test_shadowed_print_method_clean(self):
+        found = findings_for(
+            """\
+            class Table:
+                def render(self, printer) -> str:
+                    return printer.print("x")
+            """,
+            "R009",
+            path="src/repro/portal/reports.py",
+        )
+        assert found == []

@@ -1,0 +1,90 @@
+"""Exit-code and output contract of `repro.cli obs summarize|diff`."""
+
+import io
+
+import pytest
+
+from repro.obs import Recorder, RunManifest
+from repro.obs.cli import diff, summarize
+
+
+def _write_trace(path, n_spans=2, n_events=1, extra_attr=None):
+    rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
+    for i in range(n_spans):
+        with rec.span("work", float(i)) as sp:
+            if extra_attr:
+                sp.set(**extra_attr)
+    for i in range(n_events):
+        rec.emit("ping", float(i))
+    rec.sink.dump(path)
+    return path
+
+
+class TestSummarize:
+    def test_trace_with_spans_exits_zero(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        text = out.getvalue()
+        assert "scenario=t" in text
+        assert "2 spans" in text
+        assert "work" in text
+
+    def test_zero_spans_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl", n_spans=0)
+        assert summarize(str(path), io.StringIO()) == 1
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert summarize(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+    def test_garbage_exits_two(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json at all\n")
+        assert summarize(str(path), io.StringIO()) == 2
+
+    def test_non_record_json_exits_two(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text('{"no_type_key": 1}\n')
+        assert summarize(str(path), io.StringIO()) == 2
+
+
+class TestDiff:
+    def test_identical_exits_zero(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl")
+        b = _write_trace(tmp_path / "b.jsonl")
+        out = io.StringIO()
+        assert diff(str(a), str(b), out) == 0
+        assert "identical" in out.getvalue()
+
+    def test_count_difference_reported(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl", n_spans=2)
+        b = _write_trace(tmp_path / "b.jsonl", n_spans=3)
+        out = io.StringIO()
+        assert diff(str(a), str(b), out) == 1
+        assert "span 'work': 2 vs 3" in out.getvalue()
+
+    def test_attr_difference_pinpoints_first_record(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl", extra_attr={"x": 1})
+        b = _write_trace(tmp_path / "b.jsonl", extra_attr={"x": 2})
+        out = io.StringIO()
+        assert diff(str(a), str(b), out) == 1
+        assert "first differing record: line 2" in out.getvalue()
+
+    def test_missing_file_exits_two(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl")
+        assert diff(str(a), str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestMainCliWiring:
+    def test_obs_subcommand_routes(self, tmp_path, capsys):
+        from repro.cli import main
+
+        path = _write_trace(tmp_path / "t.jsonl")
+        assert main(["obs", "summarize", str(path)]) == 0
+        assert "2 spans" in capsys.readouterr().out
+
+    def test_obs_requires_subcommand(self):
+        from repro.cli import main
+
+        with pytest.raises(SystemExit):
+            main(["obs"])

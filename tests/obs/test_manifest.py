@@ -1,0 +1,83 @@
+"""Unit tests for run manifests and config hashing."""
+
+import enum
+import json
+from dataclasses import dataclass
+
+import pytest
+
+from repro.obs import ObservabilityError, RunManifest, config_hash
+
+
+class Policy(enum.Enum):
+    STANDARD = "standard"
+    ECONOMY = "economy"
+
+
+@dataclass
+class Inner:
+    threshold: float
+    policy: Policy
+
+
+@dataclass
+class Config:
+    name: str
+    inner: Inner
+    limits: dict
+
+
+def _config() -> Config:
+    return Config("wh", Inner(0.5, Policy.ECONOMY), {"b": 2, "a": 1})
+
+
+class TestConfigHash:
+    def test_stable_across_calls(self):
+        assert config_hash(_config()) == config_hash(_config())
+
+    def test_dict_key_order_irrelevant(self):
+        assert config_hash({"a": 1, "b": 2}) == config_hash({"b": 2, "a": 1})
+
+    def test_enum_hashes_as_value(self):
+        assert config_hash(Policy.ECONOMY) == config_hash("economy")
+
+    def test_value_change_changes_hash(self):
+        other = _config()
+        other.inner.threshold = 0.6
+        assert config_hash(other) != config_hash(_config())
+
+    def test_short_hex(self):
+        digest = config_hash(_config())
+        assert len(digest) == 16
+        int(digest, 16)  # hex
+
+    def test_default_object_repr_rejected(self):
+        # `<object object at 0x...>` embeds a memory address — hashing it
+        # would silently break byte-stable manifests across processes.
+        with pytest.raises(ObservabilityError):
+            config_hash({"handle": object()})
+
+
+class TestRunManifest:
+    def test_create_stamps_version_and_hash(self):
+        from repro import __version__
+
+        manifest = RunManifest.create(
+            scenario="fig6", seed=600, config=_config(), slider=3
+        )
+        assert manifest.version == __version__
+        assert manifest.seed == 600
+        assert manifest.slider == 3
+        assert manifest.config_hash == config_hash(_config())
+
+    def test_equal_inputs_equal_manifests(self):
+        a = RunManifest.create("fig6", 600, _config(), slider=3)
+        b = RunManifest.create("fig6", 600, _config(), slider=3)
+        assert a == b
+
+    def test_to_json_round_trips(self):
+        manifest = RunManifest.create("fig6", 600, _config())
+        payload = json.loads(manifest.to_json())
+        assert payload["scenario"] == "fig6"
+        assert payload["slider"] is None
+        assert sorted(payload) == ["config_hash", "scenario", "seed", "slider", "version"]

@@ -1,0 +1,127 @@
+"""Unit tests for the metrics registry: counters, gauges, histograms."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    MetricsRegistry,
+    ObservabilityError,
+)
+
+
+class TestCounter:
+    def test_starts_at_zero_and_accumulates(self):
+        c = MetricsRegistry().counter("repro.test.events")
+        assert c.value == 0.0
+        c.inc()
+        c.inc(2.5)
+        assert c.value == 3.5
+
+    def test_negative_increment_rejected(self):
+        c = MetricsRegistry().counter("repro.test.events")
+        with pytest.raises(ObservabilityError):
+            c.inc(-1.0)
+
+    def test_snapshot(self):
+        c = MetricsRegistry().counter("repro.test.events")
+        c.inc(4)
+        assert c.snapshot() == {"kind": "counter", "value": 4.0}
+
+
+class TestGauge:
+    def test_set_tracks_last_value_and_update_count(self):
+        g = MetricsRegistry().gauge("repro.test.depth")
+        g.set(3.0)
+        g.set(1.0)
+        assert g.snapshot() == {"kind": "gauge", "value": 1.0, "updates": 2}
+
+
+class TestHistogramBucketing:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # Prometheus `le` semantics: observe(1.0) with a 1.0 bound counts
+        # in the 1.0 bucket, not the next one up.
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0, 5.0))
+        h.observe(1.0)
+        assert h.counts == [1, 0, 0]
+
+    def test_below_first_bound(self):
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0, 5.0))
+        h.observe(0.0)
+        h.observe(-3.0)
+        assert h.counts == [2, 0, 0]
+
+    def test_above_last_bound_overflows_to_inf(self):
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0, 5.0))
+        h.observe(5.0000001)
+        h.observe(1e12)
+        assert h.counts == [0, 0, 2]
+
+    def test_interior_value(self):
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0, 5.0, 60.0))
+        h.observe(4.99)
+        h.observe(5.0)  # boundary: the 5.0 bucket
+        h.observe(5.01)
+        assert h.counts == [0, 2, 1, 0]
+
+    def test_sum_and_count(self):
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0,))
+        h.observe(0.5)
+        h.observe(2.5)
+        assert h.count == 2
+        assert h.total == pytest.approx(3.0)
+
+    def test_nan_rejected(self):
+        h = MetricsRegistry().histogram("repro.test.lat", (1.0,))
+        with pytest.raises(ObservabilityError):
+            h.observe(float("nan"))
+
+    def test_default_buckets_are_strictly_increasing(self):
+        assert list(DEFAULT_BUCKETS) == sorted(set(DEFAULT_BUCKETS))
+
+    @pytest.mark.parametrize("bad", [(), (1.0, 1.0), (5.0, 1.0), (1.0, float("inf"))])
+    def test_bad_bucket_specs_rejected(self, bad):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().histogram("repro.test.lat", bad)
+
+
+class TestRegistry:
+    def test_get_or_create_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("repro.test.a") is reg.counter("repro.test.a")
+
+    def test_kind_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.test.a")
+        with pytest.raises(ObservabilityError):
+            reg.gauge("repro.test.a")
+
+    def test_histogram_bucket_mismatch_rejected(self):
+        reg = MetricsRegistry()
+        reg.histogram("repro.test.h", (1.0, 2.0))
+        with pytest.raises(ObservabilityError):
+            reg.histogram("repro.test.h", (1.0, 3.0))
+
+    @pytest.mark.parametrize("bad", ["flat", "Has.Upper", "trailing.", ".leading", "a b.c"])
+    def test_invalid_names_rejected(self, bad):
+        with pytest.raises(ObservabilityError):
+            MetricsRegistry().counter(bad)
+
+    def test_snapshot_is_name_sorted(self):
+        reg = MetricsRegistry()
+        reg.counter("repro.z.last").inc()
+        reg.counter("repro.a.first").inc()
+        assert list(reg.snapshot()) == ["repro.a.first", "repro.z.last"]
+
+    def test_to_json_is_byte_stable(self):
+        def build():
+            reg = MetricsRegistry()
+            reg.gauge("repro.test.depth").set(2.0)
+            reg.counter("repro.test.events").inc(7)
+            reg.histogram("repro.test.lat", (1.0, 5.0)).observe(3.0)
+            return reg
+
+        a, b = build().to_json(), build().to_json()
+        assert a == b
+        assert json.loads(a)  # valid JSON

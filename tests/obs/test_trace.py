@@ -1,0 +1,154 @@
+"""Unit tests for the trace layer: spans, events, sessions, exports."""
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import ObservabilityError, Recorder, RunManifest, TraceSink
+from repro.obs import trace as trace_mod
+
+
+@pytest.fixture(autouse=True)
+def _no_leaked_session():
+    """Every test must leave the global session disabled."""
+    assert obs.recorder() is None
+    yield
+    if obs.enabled():  # a failed test mustn't poison the rest of the suite
+        obs.stop()
+    assert obs.recorder() is None
+
+
+class TestRecorder:
+    def test_span_ids_are_sequential_and_nested(self):
+        rec = Recorder()
+        with rec.span("outer", 10.0) as outer:
+            with rec.span("inner", 10.0) as inner:
+                pass
+        assert outer.span_id == 1
+        assert inner.span_id == 2
+        assert inner.parent_id == 1
+        assert outer.parent_id is None
+        # Children close (and are written) before their parents.
+        assert [r["name"] for r in rec.sink.records] == ["inner", "outer"]
+
+    def test_event_links_to_innermost_open_span(self):
+        rec = Recorder()
+        with rec.span("outer", 5.0):
+            rec.emit("hello", 5.0, detail="x")
+        rec.emit("goodbye", 6.0)
+        events = [r for r in rec.sink.records if r["type"] == "event"]
+        assert events[0]["span"] == 1
+        assert events[0]["attrs"] == {"detail": "x"}
+        assert events[1]["span"] is None
+
+    def test_span_set_adds_attrs_while_open(self):
+        rec = Recorder()
+        with rec.span("work", 1.0) as sp:
+            sp.set(result=42)
+            sp.set_end(3.0)
+        record = rec.sink.records[0]
+        assert record["attrs"]["result"] == 42
+        assert record["time"] == 1.0
+        assert record["time_end"] == 3.0
+
+    def test_exception_recorded_and_reraised(self):
+        rec = Recorder()
+        with pytest.raises(ValueError):
+            with rec.span("work", 1.0):
+                raise ValueError("boom")
+        assert rec.sink.records[0]["attrs"]["error"] == "ValueError"
+
+    def test_out_of_order_close_rejected(self):
+        rec = Recorder()
+        outer = rec.span("outer", 1.0)
+        rec.span("inner", 1.0)  # opened, still on the stack
+        with pytest.raises(ObservabilityError):
+            outer.__exit__(None, None, None)
+
+    def test_manifest_is_first_record(self):
+        manifest = RunManifest(scenario="t", seed=1, config_hash="ab")
+        rec = Recorder(manifest=manifest)
+        rec.emit("e", 0.0)
+        first = rec.sink.records[0]
+        assert first["type"] == "manifest"
+        assert first["schema"] == obs.TRACE_SCHEMA_VERSION
+        assert first["scenario"] == "t"
+
+    def test_attrs_coerced_to_json_types(self):
+        import numpy as np
+
+        rec = Recorder()
+        rec.emit(
+            "e",
+            0.0,
+            n=np.int64(3),
+            xs=(1, 2),
+            nested={"b": np.float64(0.5), "a": None},
+        )
+        attrs = rec.sink.records[0]["attrs"]
+        assert attrs == {"n": 3, "xs": [1, 2], "nested": {"a": None, "b": 0.5}}
+        json.dumps(attrs)  # plain JSON types only
+
+
+class TestSinkExport:
+    def test_jsonl_one_sorted_compact_line_per_record(self):
+        rec = Recorder()
+        with rec.span("w", 1.0):
+            rec.emit("e", 1.0, z=1, a=2)
+        lines = rec.sink.to_jsonl().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            assert line == json.dumps(json.loads(line), sort_keys=True, separators=(",", ":"))
+
+    def test_dump_writes_jsonl(self, tmp_path):
+        rec = Recorder()
+        rec.emit("e", 1.0)
+        path = tmp_path / "trace.jsonl"
+        rec.sink.dump(path)
+        assert path.read_text() == rec.sink.to_jsonl()
+
+
+class TestGlobalSession:
+    def test_module_api_is_noop_when_disabled(self):
+        # Must not raise, must not record anywhere.
+        obs.emit("e", 0.0)
+        with obs.span("s", 0.0) as sp:
+            sp.set(x=1)
+        obs.counter("repro.t.c").inc()
+        obs.gauge("repro.t.g").set(1.0)
+        obs.histogram("repro.t.h").observe(1.0)
+        assert sp is trace_mod.NULL_SPAN
+
+    def test_observed_installs_and_removes_recorder(self):
+        with obs.observed() as rec:
+            assert obs.recorder() is rec
+            obs.emit("e", 1.0)
+            obs.counter("repro.t.c").inc()
+        assert obs.recorder() is None
+        assert len(rec.sink) == 1
+        assert rec.metrics.counter("repro.t.c").value == 1.0
+
+    def test_observed_tears_down_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with obs.observed():
+                raise RuntimeError("boom")
+        assert obs.recorder() is None
+
+    def test_double_start_rejected(self):
+        obs.start()
+        try:
+            with pytest.raises(ObservabilityError):
+                obs.start()
+        finally:
+            obs.stop()
+
+    def test_stop_without_start_rejected(self):
+        with pytest.raises(ObservabilityError):
+            obs.stop()
+
+    def test_custom_sink_is_used(self):
+        sink = TraceSink()
+        with obs.observed(sink=sink):
+            obs.emit("e", 2.0)
+        assert len(sink) == 1

@@ -131,3 +131,61 @@ class TestPeriodicController:
     def test_zero_interval_rejected(self):
         with pytest.raises(SimulationError):
             Simulation().add_controller(0.0, lambda t: None)
+
+
+class TestFailureContext:
+    """A failing event must surface *when* it was scheduled and *who*
+    scheduled it (regression: SimulationError used to re-raise bare)."""
+
+    def test_event_error_carries_scheduled_time_and_cause(self):
+        sim = Simulation()
+
+        def explode():
+            raise ValueError("boom")
+
+        sim.schedule(125.0, explode, label="telemetry-flush")
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run_until(200.0)
+        message = str(excinfo.value)
+        assert "t=125.000" in message
+        assert "'telemetry-flush'" in message
+        assert "ValueError" in message
+        assert "boom" in message
+        assert isinstance(excinfo.value.__cause__, ValueError)
+
+    def test_unlabelled_event_still_reports_time(self):
+        sim = Simulation()
+        sim.schedule(10.0, lambda: 1 / 0)
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run_all()
+        assert "t=10.000" in str(excinfo.value)
+        assert isinstance(excinfo.value.__cause__, ZeroDivisionError)
+
+    def test_controller_failure_names_the_controller(self):
+        sim = Simulation()
+
+        def tick(now):
+            if now >= 20.0:
+                raise RuntimeError("tick failed")
+
+        sim.add_controller(10.0, tick, name="optimizer[BI_WH]")
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run_until(100.0)
+        message = str(excinfo.value)
+        assert "'optimizer[BI_WH]'" in message
+        assert "t=20.000" in message
+        assert sim.now == 20.0  # stopped at the failing instant
+
+    def test_simulation_error_passes_through_unwrapped(self):
+        sim = Simulation()
+
+        def bad(now):
+            sim.add_controller(-1.0, lambda t: None)
+
+        sim.add_controller(10.0, bad, name="meta")
+        with pytest.raises(SimulationError) as excinfo:
+            sim.run_until(10.0)
+        # Wrapped exactly once: the inner SimulationError is the cause, not
+        # a SimulationError-in-SimulationError-in-... chain.
+        assert isinstance(excinfo.value.__cause__, SimulationError)
+        assert excinfo.value.__cause__.__cause__ is None
