@@ -10,7 +10,7 @@ Usage::
     python -m repro.cli onboarding [--days 12]
     python -m repro.cli fleet [--customers 6]
     python -m repro.cli lint [paths ...] [--format json]
-    python -m repro.cli obs {smoke,summarize,diff} ...
+    python -m repro.cli obs {smoke,summarize,diff,profile,slo,alerts,report} ...
 
 Each experiment command runs the corresponding §7 protocol and prints the
 same rows/series the paper's figure reports (the benchmarks wrap these same

@@ -134,13 +134,20 @@ class Monitor:
         external = (
             self._expected_config is not None and info.config != self._expected_config
         )
+        # A baseline fitted on an idle onboarding window can carry a zero
+        # p99; "no baseline signal" must read as "no degradation" (ratio
+        # 0.0), not crash the feedback loop.
+        if latencies and self.baseline.p99_latency > 0:
+            latency_ratio = p99 / self.baseline.p99_latency
+        else:
+            latency_ratio = 0.0
         feedback = RealTimeFeedback(
             time=now,
             queue_length=info.queue_length,
             running_queries=info.running_queries,
             recent_queries=observed,
             recent_p99=p99,
-            latency_ratio=p99 / self.baseline.p99_latency if latencies else 0.0,
+            latency_ratio=latency_ratio,
             mean_queue_seconds=queue_mean,
             arrival_zscore=float(zscore),
             unseen_template_fraction=unseen_fraction,
@@ -161,10 +168,18 @@ class Monitor:
         if rec is None:
             return
         prefix = f"repro.monitor.{self.warehouse.lower()}"
-        rec.counter(f"{prefix}.snapshots").inc()
-        rec.gauge(f"{prefix}.latency_ratio").set(feedback.latency_ratio)
-        rec.gauge(f"{prefix}.arrival_zscore").set(feedback.arrival_zscore)
-        rec.gauge(f"{prefix}.spill_fraction").set(feedback.spill_fraction)
-        rec.gauge(f"{prefix}.queue_length").set(feedback.queue_length)
+        rec.counter(f"{prefix}.snapshots").inc(time=now)
+        rec.gauge(f"{prefix}.latency_ratio").set(feedback.latency_ratio, time=now)
+        rec.gauge(f"{prefix}.arrival_zscore").set(feedback.arrival_zscore, time=now)
+        rec.gauge(f"{prefix}.spill_fraction").set(feedback.spill_fraction, time=now)
+        rec.gauge(f"{prefix}.queue_length").set(feedback.queue_length, time=now)
         if feedback.external_change:
             rec.emit("monitor.external_change", now, warehouse=self.warehouse)
+            # Stays active until the optimizer accepts/reverts the conflict
+            # (resume_optimizations resolves it).
+            rec.alerts.fire(
+                f"monitor.external_change.{self.warehouse.lower()}",
+                now,
+                severity="critical",
+                warehouse=self.warehouse,
+            )

@@ -259,7 +259,8 @@ class WarehouseOptimizer:
             decision = self.smart_model.next_action(now, feedback)
             self.decisions.append(decision)
             sp.set(decision=decision.kind.value)
-            obs.counter(f"repro.optimizer.decisions.{decision.kind.value}").inc()
+            obs.counter(f"repro.optimizer.decisions.{decision.kind.value}").inc(time=now)
+            self._record_alerts(now, feedback, decision)
             if decision.kind == DecisionKind.BACKOFF:
                 obs.emit(
                     "optimizer.backoff",
@@ -278,6 +279,34 @@ class WarehouseOptimizer:
                 sp.set(applied=decision.target.describe())
             self._advise_scaling_policy(now, feedback)
 
+    def _record_alerts(self, now: float, feedback, decision: Decision) -> None:
+        """Track self-corrections as first-class fire/resolve alert events.
+
+        Level-triggered on each decision tick: a backoff (or spike) alert
+        stays open while consecutive ticks keep deciding it, and resolves
+        on the first tick that does not — so one degradation episode is one
+        fire/resolve pair in the trace, however many ticks it spanned.
+        """
+        alerts = obs.alerts()
+        wh = self.warehouse.lower()
+        if decision.kind == DecisionKind.BACKOFF:
+            alerts.fire(
+                f"optimizer.backoff.{wh}",
+                now,
+                severity="warning",
+                warehouse=self.warehouse,
+                reason=decision.reason,
+            )
+        else:
+            alerts.resolve(f"optimizer.backoff.{wh}", now)
+        alerts.set_state(
+            f"optimizer.spike.{wh}",
+            feedback.spike_detected(self.params),
+            now,
+            severity="info",
+            warehouse=self.warehouse,
+        )
+
     def _advise_scaling_policy(self, now: float, feedback) -> None:
         """Tune the categorical STANDARD/ECONOMY knob (outside the DQN's
         numeric action lattice; see repro.core.policy_advisor)."""
@@ -291,7 +320,7 @@ class WarehouseOptimizer:
 
     def _retrain(self, now: float) -> None:
         """Periodic refresh (Algorithm 1 lines 13-16)."""
-        obs.counter("repro.optimizer.retrains").inc()
+        obs.counter("repro.optimizer.retrains").inc(time=now)
         history = Window(max(0.0, now - self.config.training_window), now)
         with obs.span("optimizer.retrain", now, warehouse=self.warehouse):
             self._refit(history)
@@ -332,13 +361,22 @@ class WarehouseOptimizer:
             warehouse=self.warehouse,
             savings_fraction=estimate.savings_fraction,
         )
+        obs.gauge(f"repro.optimizer.savings_fraction.{self.warehouse.lower()}").set(
+            estimate.savings_fraction, time=now
+        )
 
     def _handle_external_conflict(self, now: float) -> None:
         """§4.4: revert our own pending changes and pause until told."""
         live = self.client.current_config(self.warehouse)
         self.monitor.set_expected_config(live)  # accept the external state
         self.paused = True
-        obs.counter("repro.optimizer.external_conflicts").inc()
+        obs.counter("repro.optimizer.external_conflicts").inc(time=now)
+        obs.alerts().fire(
+            f"optimizer.external_conflict.{self.warehouse.lower()}",
+            now,
+            severity="critical",
+            warehouse=self.warehouse,
+        )
         obs.emit(
             "optimizer.external_conflict",
             now,
@@ -355,6 +393,11 @@ class WarehouseOptimizer:
         """Admin explicitly re-enables optimization after a conflict."""
         self.paused = False
         self.monitor.set_expected_config(self.client.current_config(self.warehouse))
+        now = self.account.sim.now
+        wh = self.warehouse.lower()
+        alerts = obs.alerts()
+        alerts.resolve(f"optimizer.external_conflict.{wh}", now)
+        alerts.resolve(f"monitor.external_change.{wh}", now)
 
     def shutdown(self) -> None:
         if self._controller is not None:

@@ -120,12 +120,16 @@ class QueryReplay:
             credits=result.credits,
             coverage=coverage,
         )
-        rec.counter("repro.costmodel.replays").inc()
-        rec.counter("repro.costmodel.replayed_queries").inc(result.n_queries)
-        rec.histogram("repro.costmodel.replay_active_fraction", _COVERAGE_BUCKETS).observe(
-            coverage
+        rec.counter("repro.costmodel.replays").inc(time=window.end)
+        rec.counter("repro.costmodel.replayed_queries").inc(
+            result.n_queries, time=window.end
         )
-        rec.histogram("repro.costmodel.replay_p99_latency").observe(result.p99_latency)
+        rec.histogram("repro.costmodel.replay_active_fraction", _COVERAGE_BUCKETS).observe(
+            coverage, time=window.end
+        )
+        rec.histogram("repro.costmodel.replay_p99_latency").observe(
+            result.p99_latency, time=window.end
+        )
 
     # ----------------------------------------------------------------- steps
     def _counterfactual_timeline(

@@ -18,6 +18,7 @@ is opened::
     print(rec.metrics.to_json())
 """
 
+from repro.obs.alerts import NULL_ALERTS, AlertManager
 from repro.obs.manifest import RunManifest, config_hash
 from repro.obs.metrics import (
     DEFAULT_BUCKETS,
@@ -27,12 +28,29 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ObservabilityError,
 )
+from repro.obs.profile import (
+    Profile,
+    SpanStats,
+    critical_path,
+    diff_profiles,
+    profile_records,
+)
+from repro.obs.series import DEFAULT_BUCKET_SECONDS, MetricSeries, SeriesRegistry
+from repro.obs.slo import (
+    SLOReport,
+    SLOResult,
+    SLOSpec,
+    SLOViolation,
+    default_slos,
+    evaluate_all,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     TRACE_SCHEMA_VERSION,
     Recorder,
     Span,
     TraceSink,
+    alerts,
     counter,
     emit,
     enabled,
@@ -46,25 +64,42 @@ from repro.obs.trace import (
 )
 
 __all__ = [
+    "AlertManager",
     "Counter",
     "DEFAULT_BUCKETS",
+    "DEFAULT_BUCKET_SECONDS",
     "Gauge",
     "Histogram",
+    "MetricSeries",
     "MetricsRegistry",
+    "NULL_ALERTS",
     "NULL_SPAN",
     "ObservabilityError",
+    "Profile",
     "Recorder",
     "RunManifest",
+    "SLOReport",
+    "SLOResult",
+    "SLOSpec",
+    "SLOViolation",
+    "SeriesRegistry",
     "Span",
+    "SpanStats",
     "TRACE_SCHEMA_VERSION",
     "TraceSink",
+    "alerts",
     "config_hash",
     "counter",
+    "critical_path",
+    "default_slos",
+    "diff_profiles",
     "emit",
     "enabled",
+    "evaluate_all",
     "gauge",
     "histogram",
     "observed",
+    "profile_records",
     "recorder",
     "span",
     "start",

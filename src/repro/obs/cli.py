@@ -5,9 +5,15 @@ Invocations (via the main CLI)::
     python -m repro.cli obs smoke --out trace.jsonl       # run a tiny traced scenario
     python -m repro.cli obs summarize trace.jsonl         # inspect without pandas
     python -m repro.cli obs diff a.jsonl b.jsonl          # byte/structure compare
+    python -m repro.cli obs profile trace.jsonl           # per-span-name stats
+    python -m repro.cli obs slo trace.jsonl               # burn-rate SLO evaluation
+    python -m repro.cli obs alerts trace.jsonl            # alert fire/resolve timeline
+    python -m repro.cli obs report trace.jsonl            # per-run markdown report
 
 ``summarize`` exits 1 for a trace with zero spans (CI uses this to guard
-against silent instrumentation rot) and 2 for unreadable input.  ``diff``
+against silent instrumentation rot) and 2 for unreadable input; ``profile``
+shares that contract.  ``slo`` exits 1 when *no* SLO could be evaluated
+(no series recorded — the same rot guard for the analysis layer).  ``diff``
 exits 0 when the two traces are byte-identical, 1 when they differ — the
 determinism contract makes identical the expected answer for same-seed
 runs.
@@ -22,6 +28,9 @@ import sys
 from typing import IO
 
 from repro.common.simtime import format_time
+from repro.obs.profile import critical_path, diff_profiles, profile_records
+from repro.obs.series import SeriesRegistry
+from repro.obs.slo import DEFAULT_SPEND_BUDGET_PER_HOUR, default_slos, evaluate_all
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -36,7 +45,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     smoke.add_argument(
         "--out",
         default="trace.jsonl",
-        help="trace JSONL output path (metrics land at <out>.metrics.json)",
+        help=(
+            "trace JSONL output path (metrics land at <out>.metrics.json, "
+            "series at <out>.series.json, alerts at <out>.alerts.json)"
+        ),
     )
 
     summarize = sub.add_parser("summarize", help="summarize a trace JSONL file")
@@ -45,6 +57,44 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     diff = sub.add_parser("diff", help="compare two trace JSONL files")
     diff.add_argument("trace_a", help="first trace .jsonl file")
     diff.add_argument("trace_b", help="second trace .jsonl file")
+
+    profile = sub.add_parser(
+        "profile", help="per-span-name sim-time stats and critical path"
+    )
+    profile.add_argument("trace", help="path to a trace .jsonl file")
+    profile.add_argument("--top", type=int, default=15, help="rows to show")
+    profile.add_argument(
+        "--diff", metavar="TRACE_B", default=None,
+        help="second trace: show per-span deltas (B relative to TRACE)",
+    )
+
+    slo = sub.add_parser(
+        "slo", help="evaluate burn-rate SLOs over a run's metric series"
+    )
+    slo.add_argument("trace", help="path to a trace .jsonl file")
+    slo.add_argument(
+        "--series", default=None,
+        help="series JSON path (default: <trace>.series.json)",
+    )
+    slo.add_argument(
+        "--budget", type=float, default=DEFAULT_SPEND_BUDGET_PER_HOUR,
+        help="spend-rate budget in credits/hour for the inferred spend SLO",
+    )
+
+    alerts = sub.add_parser("alerts", help="alert fire/resolve timeline of a trace")
+    alerts.add_argument("trace", help="path to a trace .jsonl file")
+
+    report = sub.add_parser(
+        "report", help="render a per-run markdown report (savings, alerts, profile)"
+    )
+    report.add_argument("trace", help="path to a trace .jsonl file")
+    report.add_argument(
+        "--out", default=None, help="markdown output path (default: <trace>.report.md)"
+    )
+    report.add_argument(
+        "--budget", type=float, default=DEFAULT_SPEND_BUDGET_PER_HOUR,
+        help="spend-rate budget in credits/hour for the inferred spend SLO",
+    )
 
 
 def _load(path: str) -> list[dict]:
@@ -119,10 +169,48 @@ def summarize(path: str, out: IO[str]) -> int:
         )
     _render_counts("spans by name", spans, out)
     _render_counts("events by name", events, out)
+    _summarize_metrics(path, out)
     if n_spans == 0:
         print("error: trace contains no spans (instrumentation rot?)", file=sys.stderr)
         return 1
     return 0
+
+
+def _summarize_metrics(trace_path: str, out: IO[str], top: int = 5) -> None:
+    """Render the metrics snapshot sitting next to a trace, when present.
+
+    ``obs smoke`` writes ``<trace>.metrics.json`` alongside the trace; show
+    the heaviest counters and each gauge's extremes so a summarize is a
+    one-stop look at the run.  Silently skipped when absent or unreadable —
+    the trace summary must not fail because a sidecar file rotted.
+    """
+    metrics_path = pathlib.Path(trace_path + ".metrics.json")
+    try:
+        snapshot = json.loads(metrics_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    if not isinstance(snapshot, dict) or not snapshot:
+        return
+    counters = {
+        name: m for name, m in snapshot.items() if m.get("kind") == "counter"
+    }
+    gauges = {name: m for name, m in snapshot.items() if m.get("kind") == "gauge"}
+    print(f"metrics snapshot: {len(snapshot)} series ({metrics_path.name})", file=out)
+    if counters:
+        print("top counters:", file=out)
+        ranked = sorted(counters, key=lambda n: (-counters[n]["value"], n))
+        for name in ranked[:top]:
+            print(f"  {name:<44} {counters[name]['value']:>12g}", file=out)
+    if gauges:
+        print("gauge extremes:", file=out)
+        for name in sorted(gauges):
+            g = gauges[name]
+            # min/max entered the snapshot in schema v2; tolerate v1 files.
+            lo, hi = g.get("min", g["value"]), g.get("max", g["value"])
+            print(
+                f"  {name:<44} last={g['value']:g} min={lo:g} max={hi:g}",
+                file=out,
+            )
 
 
 def diff(path_a: str, path_b: str, out: IO[str]) -> int:
@@ -159,6 +247,190 @@ def diff(path_a: str, path_b: str, out: IO[str]) -> int:
     return 1
 
 
+def profile(path: str, out: IO[str], top: int = 15, diff_path: str | None = None) -> int:
+    """Per-span-name stats (and optional run-to-run diff); 1 on zero spans."""
+    try:
+        records = _load(path)
+        prof = profile_records(records)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(
+        f"profile: {prof.n_spans} spans / {prof.n_events} events, "
+        f"total span sim-time {prof.total_time:.3f}s",
+        file=out,
+    )
+    if prof.spans:
+        print(
+            f"{'span':<36} {'count':>7} {'total s':>10} {'self s':>10} "
+            f"{'min s':>8} {'max s':>8}",
+            file=out,
+        )
+        for stats in prof.top(top):
+            print(
+                f"{stats.name:<36} {stats.count:>7} {stats.total_time:>10.3f} "
+                f"{stats.self_time:>10.3f} {stats.min_time:>8.3f} {stats.max_time:>8.3f}",
+                file=out,
+            )
+        path_rows = critical_path(records)
+        chain = " -> ".join(row["name"] for row in path_rows)
+        print(f"critical path ({len(path_rows)} spans): {chain}", file=out)
+    if diff_path is not None:
+        try:
+            other = profile_records(_load(diff_path))
+        except (OSError, ValueError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        delta = diff_profiles(prof, other)
+        print(
+            f"diff vs {diff_path}: {delta['n_spans_before']} -> "
+            f"{delta['n_spans_after']} spans",
+            file=out,
+        )
+        changed = [r for r in delta["spans"] if r["count_delta"] or r["time_delta"]]
+        for row in changed:
+            print(
+                f"  {row['name']:<36} count {row['count_before']:>6} -> "
+                f"{row['count_after']:<6} time {row['time_before']:>9.3f} -> "
+                f"{row['time_after']:<9.3f}",
+                file=out,
+            )
+        if not changed:
+            print("  (no per-span differences)", file=out)
+    if prof.n_spans == 0:
+        print("error: trace contains no spans (instrumentation rot?)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _load_series(trace_path: str, series_path: str | None) -> SeriesRegistry:
+    path = pathlib.Path(
+        series_path if series_path is not None else trace_path + ".series.json"
+    )
+    snapshot = json.loads(path.read_text(encoding="utf-8"))
+    if not isinstance(snapshot, dict):
+        raise ValueError(f"{path}: not a series snapshot (expected an object)")
+    return SeriesRegistry.from_snapshot(snapshot)
+
+
+def slo(
+    trace_path: str,
+    out: IO[str],
+    series_path: str | None = None,
+    budget_per_hour: float = DEFAULT_SPEND_BUDGET_PER_HOUR,
+) -> int:
+    """Evaluate the inferred SLO set over a run's series; 1 when none apply."""
+    try:
+        registry = _load_series(trace_path, series_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    specs = default_slos(registry, spend_budget_per_hour=budget_per_hour)
+    report = evaluate_all(specs, registry)
+    for result in sorted(report.results, key=lambda r: r.spec.name):
+        status = "OK" if result.ok else f"{len(result.violations)} violation(s)"
+        print(
+            f"{result.spec.name:<28} {result.spec.aggregate}({result.spec.metric}) "
+            f"{result.spec.op} {result.spec.threshold:g}  "
+            f"buckets={result.buckets_evaluated} bad={result.bad_buckets} "
+            f"compliance={result.compliance:.1%}  {status}",
+            file=out,
+        )
+        for violation in result.violations:
+            resolved = (
+                format_time(violation.resolved_at)
+                if violation.resolved_at is not None
+                else "unresolved"
+            )
+            print(
+                f"  burn: fired {format_time(violation.fired_at)} "
+                f"resolved {resolved} peak={violation.peak_burn:.0%} "
+                f"bad_buckets={violation.bad_buckets}",
+                file=out,
+            )
+    if report.skipped:
+        print(f"skipped (no series): {', '.join(report.skipped)}", file=out)
+    if not report.results:
+        print(
+            "error: no SLO could be evaluated (no monitor/billing series "
+            "recorded — series rot?)",
+            file=sys.stderr,
+        )
+        return 1
+    print(f"evaluated {len(report.results)} SLO(s): ok={report.ok}", file=out)
+    return 0
+
+
+def alerts(trace_path: str, out: IO[str]) -> int:
+    """Render the alert fire/resolve timeline recorded in a trace."""
+    try:
+        records = _load(trace_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    rows = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") in ("alert.fire", "alert.resolve")
+    ]
+    if not rows:
+        print("no alert events in trace", file=out)
+        return 0
+    open_count = 0
+    for row in rows:
+        attrs = row.get("attrs", {})
+        state = "FIRE   " if row["name"] == "alert.fire" else "RESOLVE"
+        open_count += 1 if row["name"] == "alert.fire" else -1
+        detail = ""
+        if row["name"] == "alert.resolve":
+            detail = f" after {attrs.get('duration', 0.0):.0f}s"
+            if attrs.get("refires"):
+                detail += f" ({attrs['refires']} re-fires suppressed)"
+        elif attrs.get("reason"):
+            detail = f" [{attrs['reason']}]"
+        print(
+            f"{format_time(row['time']):>12} {state} "
+            f"{attrs.get('severity', '?'):<8} {attrs.get('alert', '?')}{detail}",
+            file=out,
+        )
+    print(f"{len(rows)} alert events, {open_count} still active at end of run", file=out)
+    return 0
+
+
+def report(
+    trace_path: str,
+    out: IO[str],
+    out_path: str | None = None,
+    budget_per_hour: float = DEFAULT_SPEND_BUDGET_PER_HOUR,
+) -> int:
+    """Render the per-run markdown report next to the trace."""
+    # Imported here so trace-only subcommands stay import-light.
+    from repro.portal.reports import render_run_report
+
+    try:
+        records = _load(trace_path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        registry = _load_series(trace_path, None)
+        slo_report = evaluate_all(
+            default_slos(registry, spend_budget_per_hour=budget_per_hour), registry
+        )
+    except (OSError, ValueError):
+        slo_report = None  # no series sidecar: report without the SLO section
+    prof = profile_records(records)
+    markdown = render_run_report(
+        records, prof, critical_path(records), slo_report=slo_report
+    )
+    target = pathlib.Path(
+        out_path if out_path is not None else trace_path + ".report.md"
+    )
+    target.write_text(markdown, encoding="utf-8")
+    print(f"report: {target} ({len(markdown.splitlines())} lines)", file=out)
+    return 0
+
+
 def smoke(seed: int, out_path: str, out: IO[str]) -> int:
     """Run the smoke scenario traced; write trace JSONL + metrics JSON."""
     # Imported here: the experiments stack pulls in the whole library, and
@@ -174,6 +446,10 @@ def smoke(seed: int, out_path: str, out: IO[str]) -> int:
     rec.sink.dump(trace_path)
     metrics_path = trace_path.with_name(trace_path.name + ".metrics.json")
     metrics_path.write_text(rec.metrics.to_json(), encoding="utf-8")
+    series_path = trace_path.with_name(trace_path.name + ".series.json")
+    series_path.write_text(rec.series.to_json(), encoding="utf-8")
+    alerts_path = trace_path.with_name(trace_path.name + ".alerts.json")
+    alerts_path.write_text(rec.alerts.to_json(), encoding="utf-8")
     print(
         f"smoke run: scenario={scenario.name} seed={seed} "
         f"savings={result.savings_fraction:+.1%}",
@@ -181,6 +457,8 @@ def smoke(seed: int, out_path: str, out: IO[str]) -> int:
     )
     print(f"trace:   {trace_path} ({len(rec.sink)} records)", file=out)
     print(f"metrics: {metrics_path} ({len(rec.metrics)} series)", file=out)
+    print(f"series:  {series_path} ({len(rec.series)} bucketed series)", file=out)
+    print(f"alerts:  {alerts_path} ({len(rec.alerts)} lifecycle events)", file=out)
     return summarize(str(trace_path), out)
 
 
@@ -191,4 +469,12 @@ def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
         return summarize(args.trace, out)
     if args.obs_command == "diff":
         return diff(args.trace_a, args.trace_b, out)
+    if args.obs_command == "profile":
+        return profile(args.trace, out, top=args.top, diff_path=args.diff)
+    if args.obs_command == "slo":
+        return slo(args.trace, out, series_path=args.series, budget_per_hour=args.budget)
+    if args.obs_command == "alerts":
+        return alerts(args.trace, out)
+    if args.obs_command == "report":
+        return report(args.trace, out, out_path=args.out, budget_per_hour=args.budget)
     return smoke(args.seed, args.out, out)

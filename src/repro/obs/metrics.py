@@ -45,25 +45,38 @@ def _check_name(name: str) -> str:
 
 
 class Counter:
-    """A monotonically increasing count (events dispatched, decisions...)."""
+    """A monotonically increasing count (events dispatched, decisions...).
+
+    Pass ``time=<sim time>`` to also fold the increment into the recorder's
+    bucketed :mod:`repro.obs.series` history (no-op when no series registry
+    is attached, e.g. on a bare ``MetricsRegistry()``).
+    """
 
     kind = "counter"
 
     def __init__(self, name: str):
         self.name = name
         self.value = 0.0
+        self.series = None  # attached by MetricsRegistry when it has one
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, time: float | None = None) -> None:
         if amount < 0:
             raise ObservabilityError(f"counter {self.name!r} cannot decrease")
         self.value += amount
+        if self.series is not None and time is not None:
+            self.series.record(time, amount)
 
     def snapshot(self) -> dict[str, object]:
         return {"kind": self.kind, "value": self.value}
 
 
 class Gauge:
-    """A point-in-time level (queue depth, latency ratio...)."""
+    """A point-in-time level (queue depth, latency ratio...).
+
+    Tracks the extremes seen across updates alongside the last value — the
+    SLO engine gates on worst-case levels, and "what was the peak queue
+    depth?" is useful even without a series.
+    """
 
     kind = "gauge"
 
@@ -71,13 +84,32 @@ class Gauge:
         self.name = name
         self.value = 0.0
         self.updates = 0
+        self.min = 0.0
+        self.max = 0.0
+        self.series = None
 
-    def set(self, value: float) -> None:
-        self.value = float(value)
+    def set(self, value: float, time: float | None = None) -> None:
+        value = float(value)
+        self.value = value
+        if self.updates == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
         self.updates += 1
+        if self.series is not None and time is not None:
+            self.series.record(time, value)
 
     def snapshot(self) -> dict[str, object]:
-        return {"kind": self.kind, "value": self.value, "updates": self.updates}
+        return {
+            "kind": self.kind,
+            "value": self.value,
+            "updates": self.updates,
+            "min": self.min,
+            "max": self.max,
+        }
 
 
 class Histogram:
@@ -106,14 +138,17 @@ class Histogram:
         self.counts = [0] * (len(bounds) + 1)  # last = +inf overflow
         self.total = 0.0
         self.count = 0
+        self.series = None
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, time: float | None = None) -> None:
         value = float(value)
         if math.isnan(value):
             raise ObservabilityError(f"histogram {self.name!r} cannot observe NaN")
         self.counts[bisect.bisect_left(self.bounds, value)] += 1
         self.total += value
         self.count += 1
+        if self.series is not None and time is not None:
+            self.series.record(time, value)
 
     def snapshot(self) -> dict[str, object]:
         return {
@@ -126,15 +161,24 @@ class Histogram:
 
 
 class MetricsRegistry:
-    """Get-or-create store of named metrics with a stable-sorted export."""
+    """Get-or-create store of named metrics with a stable-sorted export.
 
-    def __init__(self):
+    When constructed with a :class:`repro.obs.series.SeriesRegistry`, every
+    metric created here gets a same-named bucketed series attached, and
+    time-stamped updates (``inc``/``set``/``observe`` with ``time=``) are
+    folded into it.
+    """
+
+    def __init__(self, series=None):
         self._metrics: dict[str, Counter | Gauge | Histogram] = {}
+        self._series = series
 
     def _get(self, name: str, factory, kind: str):
         metric = self._metrics.get(name)
         if metric is None:
             metric = self._metrics[name] = factory(_check_name(name))
+            if self._series is not None:
+                metric.series = self._series.series(name, kind)
         elif metric.kind != kind:
             raise ObservabilityError(
                 f"metric {name!r} is a {metric.kind}, requested as a {kind}"
@@ -175,21 +219,21 @@ class _NullCounter:
 
     __slots__ = ()
 
-    def inc(self, amount: float = 1.0) -> None:
+    def inc(self, amount: float = 1.0, time: float | None = None) -> None:
         pass
 
 
 class _NullGauge:
     __slots__ = ()
 
-    def set(self, value: float) -> None:
+    def set(self, value: float, time: float | None = None) -> None:
         pass
 
 
 class _NullHistogram:
     __slots__ = ()
 
-    def observe(self, value: float) -> None:
+    def observe(self, value: float, time: float | None = None) -> None:
         pass
 
 

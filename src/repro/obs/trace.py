@@ -30,6 +30,7 @@ import pathlib
 from contextlib import contextmanager
 from typing import Iterator
 
+from repro.obs.alerts import NULL_ALERTS, AlertManager
 from repro.obs.manifest import RunManifest
 from repro.obs.metrics import (
     NULL_COUNTER,
@@ -41,6 +42,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     ObservabilityError,
 )
+from repro.obs.series import DEFAULT_BUCKET_SECONDS, SeriesRegistry
 
 #: Bumped on any incompatible change to the trace record shapes below.
 TRACE_SCHEMA_VERSION = 1
@@ -147,13 +149,21 @@ NULL_SPAN = _NullSpan()
 
 
 class Recorder:
-    """One observation session: a trace buffer, metrics, and span state."""
+    """One observation session: trace buffer, metrics + sim-time series,
+    alert lifecycle, and span state."""
 
-    def __init__(self, sink: TraceSink | None = None, manifest: RunManifest | None = None):
+    def __init__(
+        self,
+        sink: TraceSink | None = None,
+        manifest: RunManifest | None = None,
+        bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+    ):
         # `sink or TraceSink()` would discard a caller's *empty* sink
         # (len() == 0 makes it falsy); test identity, not truthiness.
         self.sink = sink if sink is not None else TraceSink()
-        self.metrics = MetricsRegistry()
+        self.series = SeriesRegistry(bucket_seconds)
+        self.metrics = MetricsRegistry(series=self.series)
+        self.alerts = AlertManager(self)
         self.manifest = manifest
         self._ids = itertools.count(1)
         self._stack: list[int] = []
@@ -236,14 +246,18 @@ def enabled() -> bool:
     return _RECORDER is not None
 
 
-def start(manifest: RunManifest | None = None, sink: TraceSink | None = None) -> Recorder:
+def start(
+    manifest: RunManifest | None = None,
+    sink: TraceSink | None = None,
+    bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
+) -> Recorder:
     """Install a fresh recorder as the process-wide observation session."""
     global _RECORDER
     if _RECORDER is not None:
         raise ObservabilityError(
             "an observation session is already active; stop() it first"
         )
-    _RECORDER = Recorder(sink, manifest)
+    _RECORDER = Recorder(sink, manifest, bucket_seconds=bucket_seconds)
     return _RECORDER
 
 
@@ -258,10 +272,12 @@ def stop() -> Recorder:
 
 @contextmanager
 def observed(
-    manifest: RunManifest | None = None, sink: TraceSink | None = None
+    manifest: RunManifest | None = None,
+    sink: TraceSink | None = None,
+    bucket_seconds: float = DEFAULT_BUCKET_SECONDS,
 ) -> Iterator[Recorder]:
     """Scoped observation session: ``with obs.observed() as rec: ...``."""
-    rec = start(manifest, sink)
+    rec = start(manifest, sink, bucket_seconds=bucket_seconds)
     try:
         yield rec
     finally:
@@ -295,3 +311,9 @@ def gauge(name: str):
 def histogram(name: str, buckets: tuple[float, ...] | None = None):
     rec = _RECORDER
     return NULL_HISTOGRAM if rec is None else rec.histogram(name, buckets)
+
+
+def alerts():
+    """The active session's :class:`AlertManager`, or a shared no-op one."""
+    rec = _RECORDER
+    return NULL_ALERTS if rec is None else rec.alerts

@@ -60,6 +60,143 @@ def render_overhead(dashboard: OverheadDashboard) -> str:
     return "\n".join(lines)
 
 
+def render_run_report(
+    records: list[dict],
+    profile,
+    critical: list[dict],
+    slo_report=None,
+    top: int = 15,
+) -> str:
+    """Markdown per-run report assembled from a trace's records.
+
+    Sections: run manifest, savings over sim time (from
+    ``optimizer.savings_report`` events), the alert fire/resolve timeline,
+    SLO evaluation (when a series sidecar was available) and the span
+    profile with its critical path.  Pure function of its inputs, so
+    same-seed runs render byte-identical reports.
+
+    ``profile``/``critical`` come from :mod:`repro.obs.profile`;
+    ``slo_report`` is a :class:`repro.obs.slo.SLOReport` or ``None``.
+    """
+    lines: list[str] = []
+    manifests = [r for r in records if r.get("type") == "manifest"]
+    title = "run"
+    if manifests:
+        m = manifests[0]
+        title = f"`{m.get('scenario', '?')}` (seed {m.get('seed', '?')})"
+    lines += [f"# Run report — {title}", ""]
+    for m in manifests:
+        lines += [
+            f"- scenario: `{m.get('scenario')}`  seed: `{m.get('seed')}`  "
+            f"slider: `{m.get('slider')}`",
+            f"- config hash: `{m.get('config_hash')}`  version: "
+            f"`{m.get('version')}`  trace schema: `{m.get('schema')}`",
+        ]
+    n_spans = sum(1 for r in records if r.get("type") == "span")
+    n_events = sum(1 for r in records if r.get("type") == "event")
+    lines += [f"- records: {len(records)} ({n_spans} spans, {n_events} events)", ""]
+
+    savings = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "optimizer.savings_report"
+    ]
+    lines += ["## Savings over time", ""]
+    if savings:
+        lines += ["| sim time | warehouse | savings |", "| --- | --- | --- |"]
+        for event in savings:
+            attrs = event.get("attrs", {})
+            lines.append(
+                f"| {event['time']:.0f}s | {attrs.get('warehouse', '?')} "
+                f"| {attrs.get('savings_fraction', 0.0):+.1%} |"
+            )
+    else:
+        lines.append("_No savings reports in this trace._")
+    lines.append("")
+
+    alert_rows = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") in ("alert.fire", "alert.resolve")
+    ]
+    lines += ["## Alert timeline", ""]
+    if alert_rows:
+        lines += [
+            "| sim time | state | severity | alert | detail |",
+            "| --- | --- | --- | --- | --- |",
+        ]
+        for row in alert_rows:
+            attrs = row.get("attrs", {})
+            state = "fire" if row["name"] == "alert.fire" else "resolve"
+            if state == "resolve":
+                detail = f"after {attrs.get('duration', 0.0):.0f}s"
+                if attrs.get("refires"):
+                    detail += f", {attrs['refires']} re-fires"
+            else:
+                detail = str(attrs.get("reason", ""))
+            lines.append(
+                f"| {row['time']:.0f}s | {state} | {attrs.get('severity', '?')} "
+                f"| `{attrs.get('alert', '?')}` | {detail} |"
+            )
+    else:
+        lines.append("_No alerts fired during this run._")
+    lines.append("")
+
+    if slo_report is not None:
+        lines += ["## SLOs", ""]
+        if slo_report.results:
+            lines += [
+                "| SLO | objective | buckets | bad | compliance | status |",
+                "| --- | --- | --- | --- | --- | --- |",
+            ]
+            for result in sorted(slo_report.results, key=lambda r: r.spec.name):
+                spec = result.spec
+                status = "ok" if result.ok else f"{len(result.violations)} violation(s)"
+                lines.append(
+                    f"| `{spec.name}` | {spec.aggregate}(`{spec.metric}`) "
+                    f"{spec.op} {spec.threshold:g} | {result.buckets_evaluated} "
+                    f"| {result.bad_buckets} | {result.compliance:.1%} | {status} |"
+                )
+            violations = slo_report.violations
+            if violations:
+                lines += [
+                    "",
+                    "| violation | fired | resolved | peak burn |",
+                    "| --- | --- | --- | --- |",
+                ]
+                for v in violations:
+                    resolved = (
+                        f"{v.resolved_at:.0f}s" if v.resolved_at is not None else "open"
+                    )
+                    lines.append(
+                        f"| `{v.slo}` | {v.fired_at:.0f}s | {resolved} "
+                        f"| {v.peak_burn:.0%} |"
+                    )
+        else:
+            lines.append("_No SLO had a recorded series to evaluate._")
+        lines.append("")
+
+    lines += [f"## Span profile (top {top} by total sim-time)", ""]
+    if profile.spans:
+        lines += [
+            "| span | count | total s | self s | min s | max s |",
+            "| --- | --- | --- | --- | --- | --- |",
+        ]
+        for stats in profile.top(top):
+            lines.append(
+                f"| `{stats.name}` | {stats.count} | {stats.total_time:.3f} "
+                f"| {stats.self_time:.3f} | {stats.min_time:.3f} "
+                f"| {stats.max_time:.3f} |"
+            )
+        if critical:
+            chain = " → ".join(f"`{row['name']}`" for row in critical)
+            lines += ["", f"Critical path: {chain}"]
+    else:
+        lines.append("_No spans in this trace._")
+    lines.append("")
+    return "\n".join(lines)
+
+
 def render_actions(dashboard: ActionsDashboard, limit: int = 20) -> str:
     """The real-time action log view."""
     lines = [f"Actions on {dashboard.warehouse} ({dashboard.n_changes} changes)"]

@@ -20,6 +20,7 @@ from dataclasses import dataclass
 
 from repro.common.errors import WarehouseError
 from repro.common.simtime import HOUR, Window, hour_index
+from repro.obs import trace as obs
 from repro.warehouse.types import WarehouseSize
 
 #: Minimum billed seconds per cluster start.
@@ -78,6 +79,14 @@ class BillingMeter:
             raise WarehouseError("cannot close a segment before it started")
         seg.end = t
         self._closed.append(seg)
+        rec = obs.recorder()
+        if rec is not None:
+            # Segment credits are final at close time (a resize closes and
+            # reopens), so this series is the warehouse's spend over sim
+            # time — what the spend-rate SLO burns against.
+            rec.counter(f"repro.billing.{self.warehouse.lower()}.credits").inc(
+                seg.credits(), time=t
+            )
         return seg
 
     def reprice_segment(self, cluster_id: int, t: float, size: WarehouseSize) -> None:

@@ -162,8 +162,8 @@ class Simulation:
             return
         dispatched = self.processed_events - processed_before
         if dispatched:
-            rec.counter("repro.engine.events").inc(dispatched)
-        rec.gauge("repro.engine.queue_depth").set(self.pending_events)
+            rec.counter("repro.engine.events").inc(dispatched, time=self.now)
+        rec.gauge("repro.engine.queue_depth").set(self.pending_events, time=self.now)
 
     @property
     def pending_events(self) -> int:
@@ -201,7 +201,7 @@ class PeriodicController:
         if rec is None:
             self.callback(self.sim.now)
         else:
-            rec.counter("repro.engine.controller_fires").inc()
+            rec.counter("repro.engine.controller_fires").inc(time=self.sim.now)
             with rec.span("engine.controller.fire", self.sim.now, controller=self.name):
                 self.callback(self.sim.now)
         if not self._stopped:

@@ -106,6 +106,19 @@ class TestMonitor:
         snap = monitor.snapshot(HOUR / 2)
         assert abs(snap.arrival_zscore) < 3.0
 
+    def test_zero_baseline_p99_reads_as_no_degradation(self):
+        # A baseline fitted on an idle onboarding window can carry p99 = 0;
+        # the snapshot must report ratio 0.0 ("no baseline signal"), not
+        # divide by zero.
+        account, wh = make_account()
+        client = CloudWarehouseClient(account, actor="keebo")
+        template = make_template("m", base_work_seconds=5.0)
+        drive(account, wh, make_requests(template, [60.0 * i for i in range(5)]), HOUR)
+        monitor = Monitor(client, wh, WorkloadBaseline(p99_latency=0.0))
+        snap = monitor.snapshot(600.0)  # lookback window covers the traffic
+        assert snap.recent_queries > 0  # traffic exists...
+        assert snap.latency_ratio == 0.0  # ...but reads as not degraded
+
 
 class TestActuator:
     def build(self):

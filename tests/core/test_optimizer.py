@@ -176,3 +176,44 @@ class TestKeeboService:
         n = len(optimizer.decisions)
         account.run_until(20 * HOUR)
         assert len(optimizer.decisions) == n
+
+
+class TestAlertLifecycle:
+    def test_induced_backoff_fires_and_resolves_alert(self, monkeypatch):
+        # Degrade the monitor's feedback for one stretch of ticks: the
+        # backoff alert must fire once at the first backoff decision (later
+        # backoff ticks deduplicate) and resolve on the first healthy tick.
+        from dataclasses import replace
+
+        from repro import obs
+
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        with obs.observed() as rec:
+            optimizer.onboard()
+            real_snapshot = optimizer.monitor.snapshot
+            degraded_until = 13 * HOUR
+
+            def snapshot(now):
+                fb = real_snapshot(now)
+                if now <= degraded_until:
+                    return replace(fb, recent_queries=50, latency_ratio=5.0)
+                return fb
+
+            monkeypatch.setattr(optimizer.monitor, "snapshot", snapshot)
+            account.run_until(14 * HOUR)
+
+        name = f"optimizer.backoff.{wh.lower()}"
+        lifecycle = [
+            r
+            for r in rec.sink.records
+            if r.get("type") == "event"
+            and r.get("name") in ("alert.fire", "alert.resolve")
+            and r["attrs"].get("alert") == name
+        ]
+        assert [r["name"] for r in lifecycle] == ["alert.fire", "alert.resolve"]
+        fire, resolve = lifecycle
+        assert fire["time"] <= degraded_until
+        assert resolve["time"] > degraded_until
+        assert resolve["attrs"]["refires"] >= 1  # episode spanned several ticks
+        assert not rec.alerts.is_active(name)

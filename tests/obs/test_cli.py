@@ -1,11 +1,12 @@
-"""Exit-code and output contract of `repro.cli obs summarize|diff`."""
+"""Exit-code and output contract of the `repro.cli obs` subcommands."""
 
 import io
+import json
 
 import pytest
 
 from repro.obs import Recorder, RunManifest
-from repro.obs.cli import diff, summarize
+from repro.obs.cli import alerts, diff, profile, report, slo, summarize
 
 
 def _write_trace(path, n_spans=2, n_events=1, extra_attr=None):
@@ -48,6 +49,56 @@ class TestSummarize:
         assert summarize(str(path), io.StringIO()) == 2
 
 
+def _write_observed_run(tmp_path, degraded=False):
+    """A tiny run with sidecars, like `obs smoke` writes them."""
+    rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
+    gauge = rec.gauge("repro.monitor.wh.latency_ratio")
+    for i in range(8):
+        with rec.span("tick", float(i * 300)):
+            gauge.set(9.0 if degraded else 1.0, time=float(i * 300))
+    if degraded:
+        rec.alerts.fire("optimizer.backoff.wh", 300.0, reason="latency")
+        rec.alerts.resolve("optimizer.backoff.wh", 900.0)
+    path = tmp_path / "t.jsonl"
+    rec.sink.dump(path)
+    (tmp_path / "t.jsonl.metrics.json").write_text(rec.metrics.to_json())
+    (tmp_path / "t.jsonl.series.json").write_text(rec.series.to_json())
+    return path
+
+
+class TestSummarizeMetricsSidecar:
+    def test_metrics_snapshot_rendered_when_sidecar_present(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        text = out.getvalue()
+        assert "metrics snapshot:" in text
+        assert "gauge extremes:" in text
+        assert "repro.monitor.wh.latency_ratio" in text
+        assert "min=1" in text
+
+    def test_no_sidecar_keeps_summary_quiet(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        assert "metrics snapshot" not in out.getvalue()
+
+    def test_corrupt_sidecar_does_not_break_summary(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        (tmp_path / "t.jsonl.metrics.json").write_text("not json")
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        assert "metrics snapshot" not in out.getvalue()
+
+    def test_v1_sidecar_without_gauge_extremes_tolerated(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        snapshot = {"repro.test.depth": {"kind": "gauge", "value": 3.0, "updates": 1}}
+        (tmp_path / "t.jsonl.metrics.json").write_text(json.dumps(snapshot))
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        assert "min=3 max=3" in out.getvalue()
+
+
 class TestDiff:
     def test_identical_exits_zero(self, tmp_path):
         a = _write_trace(tmp_path / "a.jsonl")
@@ -73,6 +124,111 @@ class TestDiff:
     def test_missing_file_exits_two(self, tmp_path):
         a = _write_trace(tmp_path / "a.jsonl")
         assert diff(str(a), str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestProfile:
+    def test_profiles_spans_and_critical_path(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert profile(str(path), out) == 0
+        text = out.getvalue()
+        assert "profile: 8 spans" in text
+        assert "tick" in text
+        assert "critical path" in text
+
+    def test_diff_against_second_trace(self, tmp_path):
+        a = _write_trace(tmp_path / "a.jsonl", n_spans=2)
+        b = _write_trace(tmp_path / "b.jsonl", n_spans=3)
+        out = io.StringIO()
+        assert profile(str(a), out, diff_path=str(b)) == 0
+        assert "count      2 -> 3" in out.getvalue()
+
+    def test_zero_spans_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl", n_spans=0)
+        assert profile(str(path), io.StringIO()) == 1
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert profile(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestSlo:
+    def test_healthy_run_evaluates_and_exits_zero(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert slo(str(path), out) == 0
+        text = out.getvalue()
+        assert "latency-ratio.wh" in text
+        assert "compliance=100.0%" in text
+        assert "ok=True" in text
+
+    def test_violations_reported_but_still_exit_zero(self, tmp_path):
+        path = _write_observed_run(tmp_path, degraded=True)
+        out = io.StringIO()
+        assert slo(str(path), out) == 0
+        text = out.getvalue()
+        assert "violation" in text
+        assert "ok=False" in text
+
+    def test_no_series_sidecar_exits_two(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        assert slo(str(path), io.StringIO()) == 2
+
+    def test_no_evaluable_slo_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        snapshot = {
+            "repro.engine.events": {
+                "kind": "counter",
+                "bucket_seconds": 300.0,
+                "buckets": [[0, 1.0, 1.0, 1.0, 1.0, 1]],
+            }
+        }
+        (tmp_path / "t.jsonl.series.json").write_text(json.dumps(snapshot))
+        assert slo(str(path), io.StringIO()) == 1
+
+
+class TestAlerts:
+    def test_timeline_rendered(self, tmp_path):
+        path = _write_observed_run(tmp_path, degraded=True)
+        out = io.StringIO()
+        assert alerts(str(path), out) == 0
+        text = out.getvalue()
+        assert "FIRE" in text
+        assert "RESOLVE" in text
+        assert "optimizer.backoff.wh" in text
+        assert "0 still active" in text
+
+    def test_quiet_run_exits_zero(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        out = io.StringIO()
+        assert alerts(str(path), out) == 0
+        assert "no alert events" in out.getvalue()
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert alerts(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestReport:
+    def test_renders_markdown_with_all_sections(self, tmp_path):
+        path = _write_observed_run(tmp_path, degraded=True)
+        out = io.StringIO()
+        assert report(str(path), out) == 0
+        markdown = (tmp_path / "t.jsonl.report.md").read_text()
+        assert markdown.startswith("# Run report")
+        assert "## Alert timeline" in markdown
+        assert "## SLOs" in markdown
+        assert "## Span profile" in markdown
+        assert "`optimizer.backoff.wh`" in markdown
+
+    def test_without_series_sidecar_omits_slo_section(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        target = tmp_path / "custom.md"
+        assert report(str(path), io.StringIO(), out_path=str(target)) == 0
+        markdown = target.read_text()
+        assert "## SLOs" not in markdown
+        assert "## Span profile" in markdown
+
+    def test_missing_trace_exits_two(self, tmp_path):
+        assert report(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
 
 
 class TestMainCliWiring:

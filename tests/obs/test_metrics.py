@@ -35,7 +35,36 @@ class TestGauge:
         g = MetricsRegistry().gauge("repro.test.depth")
         g.set(3.0)
         g.set(1.0)
-        assert g.snapshot() == {"kind": "gauge", "value": 1.0, "updates": 2}
+        assert g.snapshot() == {
+            "kind": "gauge",
+            "value": 1.0,
+            "updates": 2,
+            "min": 1.0,
+            "max": 3.0,
+        }
+
+    def test_min_max_track_extremes_not_order(self):
+        g = MetricsRegistry().gauge("repro.test.depth")
+        for value in (5.0, -2.0, 3.0, 7.0, 0.0):
+            g.set(value)
+        assert g.min == -2.0
+        assert g.max == 7.0
+        assert g.value == 0.0
+
+    def test_first_set_initializes_both_extremes(self):
+        g = MetricsRegistry().gauge("repro.test.depth")
+        g.set(-4.0)
+        assert g.min == g.max == -4.0
+
+    def test_untouched_gauge_snapshot_is_all_zero(self):
+        g = MetricsRegistry().gauge("repro.test.depth")
+        assert g.snapshot() == {
+            "kind": "gauge",
+            "value": 0.0,
+            "updates": 0,
+            "min": 0.0,
+            "max": 0.0,
+        }
 
 
 class TestHistogramBucketing:

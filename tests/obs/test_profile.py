@@ -1,0 +1,136 @@
+"""Unit tests for the trace profiler and critical-path extraction."""
+
+import json
+
+from repro.obs import Recorder, critical_path, diff_profiles, profile_records
+
+
+def span_row(sid, name, start, end, parent=None):
+    return {
+        "type": "span",
+        "id": sid,
+        "name": name,
+        "time": float(start),
+        "time_end": float(end),
+        "parent": parent,
+        "attrs": {},
+    }
+
+
+def event_row(name, t):
+    return {"type": "event", "name": name, "time": float(t), "attrs": {}}
+
+
+class TestProfileRecords:
+    def test_empty_trace(self):
+        prof = profile_records([])
+        assert prof.n_spans == 0
+        assert prof.total_time == 0.0
+        assert prof.top() == []
+
+    def test_counts_totals_and_extremes(self):
+        records = [
+            span_row(1, "work", 0.0, 10.0),
+            span_row(2, "work", 20.0, 24.0),
+            span_row(3, "other", 0.0, 1.0),
+            event_row("ping", 5.0),
+        ]
+        prof = profile_records(records)
+        assert prof.n_spans == 3
+        assert prof.n_events == 1
+        assert prof.total_time == 15.0
+        work = prof.spans["work"]
+        assert (work.count, work.total_time) == (2, 14.0)
+        assert (work.min_time, work.max_time) == (4.0, 10.0)
+        assert prof.events == {"ping": 1}
+
+    def test_self_time_subtracts_direct_children_only(self):
+        records = [
+            span_row(1, "root", 0.0, 10.0),
+            span_row(2, "child", 1.0, 7.0, parent=1),
+            span_row(3, "grandchild", 2.0, 5.0, parent=2),
+        ]
+        prof = profile_records(records)
+        assert prof.spans["root"].self_time == 4.0  # 10 - child's 6
+        assert prof.spans["child"].self_time == 3.0  # 6 - grandchild's 3
+        assert prof.spans["grandchild"].self_time == 3.0
+
+    def test_self_time_clamped_at_zero(self):
+        # A child reported longer than its parent must not go negative.
+        records = [
+            span_row(1, "root", 0.0, 1.0),
+            span_row(2, "child", 0.0, 5.0, parent=1),
+        ]
+        assert profile_records(records).spans["root"].self_time == 0.0
+
+    def test_top_ranks_by_total_time_then_count_then_name(self):
+        records = [
+            span_row(1, "b_small", 0.0, 1.0),
+            span_row(2, "a_busy", 0.0, 1.0),
+            span_row(3, "a_busy", 1.0, 2.0),
+            span_row(4, "c_heavy", 0.0, 9.0),
+        ]
+        names = [s.name for s in profile_records(records).top()]
+        assert names == ["c_heavy", "a_busy", "b_small"]
+
+    def test_to_json_is_byte_stable(self):
+        records = [span_row(1, "work", 0.0, 3.0), event_row("ping", 1.0)]
+        a = profile_records(records).to_json()
+        b = profile_records(list(records)).to_json()
+        assert a == b
+        assert json.loads(a)["n_spans"] == 1
+
+
+class TestCriticalPath:
+    def test_empty_trace_has_empty_path(self):
+        assert critical_path([]) == []
+
+    def test_follows_heaviest_subtree(self):
+        records = [
+            span_row(1, "root", 0.0, 10.0),
+            span_row(2, "light", 0.0, 1.0, parent=1),
+            span_row(3, "heavy", 1.0, 9.0, parent=1),
+            span_row(4, "leaf", 2.0, 8.0, parent=3),
+        ]
+        path = critical_path(records)
+        assert [row["name"] for row in path] == ["root", "heavy", "leaf"]
+        assert path[0]["subtree_time"] == 25.0  # 10 + 1 + 8 + 6
+        assert path[0]["subtree_spans"] == 4
+
+    def test_instantaneous_ties_break_by_span_count_then_id(self):
+        # All durations zero: the subtree with more spans wins, and equal
+        # subtrees prefer the smallest id — the path is deterministic.
+        records = [
+            span_row(1, "root_a", 0.0, 0.0),
+            span_row(2, "root_b", 0.0, 0.0),
+            span_row(3, "kid", 0.0, 0.0, parent=2),
+        ]
+        path = critical_path(records)
+        assert [row["name"] for row in path] == ["root_b", "kid"]
+        only_roots = critical_path(records[:2])
+        assert [row["name"] for row in only_roots] == ["root_a"]
+
+    def test_from_recorder_spans(self):
+        rec = Recorder()
+        with rec.span("outer", 0.0):
+            with rec.span("inner", 0.0):
+                pass
+        path = critical_path(list(rec.sink.records))
+        assert [row["name"] for row in path] == ["outer", "inner"]
+
+
+class TestDiffProfiles:
+    def test_reports_per_name_deltas_and_one_sided_spans(self):
+        before = profile_records([span_row(1, "work", 0.0, 2.0)])
+        after = profile_records(
+            [span_row(1, "work", 0.0, 5.0), span_row(2, "new", 0.0, 1.0)]
+        )
+        delta = diff_profiles(before, after)
+        rows = {row["name"]: row for row in delta["spans"]}
+        assert rows["work"]["time_delta"] == 3.0
+        assert rows["work"]["count_delta"] == 0
+        assert rows["new"]["count_before"] == 0
+        assert rows["new"]["count_after"] == 1
+        assert delta["n_spans_before"] == 1
+        assert delta["n_spans_after"] == 2
+        assert [row["name"] for row in delta["spans"]] == ["new", "work"]

@@ -1,0 +1,188 @@
+"""Unit tests for the burn-rate SLO engine."""
+
+import json
+
+import pytest
+
+from repro.obs import (
+    ObservabilityError,
+    SeriesRegistry,
+    SLOSpec,
+    default_slos,
+    evaluate_all,
+)
+from repro.obs.slo import evaluate
+
+WIDTH = 100.0
+
+
+def registry_with(name, kind, samples, width=WIDTH):
+    reg = SeriesRegistry(bucket_seconds=width)
+    series = reg.series(name, kind)
+    for t, v in samples:
+        series.record(t, v)
+    return reg
+
+
+def spec(**overrides):
+    base = dict(
+        name="latency.test",
+        metric="repro.monitor.wh.latency_ratio",
+        threshold=1.5,
+        op="le",
+        aggregate="max",
+        window_seconds=4 * WIDTH,
+        short_window_seconds=2 * WIDTH,
+        burn_threshold=0.5,
+    )
+    base.update(overrides)
+    return SLOSpec(**base)
+
+
+class TestSpecValidation:
+    def test_bad_op_rejected(self):
+        with pytest.raises(ObservabilityError):
+            spec(op="eq")
+
+    def test_bad_aggregate_rejected(self):
+        with pytest.raises(ObservabilityError):
+            spec(aggregate="p99")
+
+    def test_short_window_may_not_exceed_long(self):
+        with pytest.raises(ObservabilityError):
+            spec(window_seconds=100.0, short_window_seconds=200.0)
+
+    @pytest.mark.parametrize("bad", [0.0, -0.5, 1.5])
+    def test_burn_threshold_range(self, bad):
+        with pytest.raises(ObservabilityError):
+            spec(burn_threshold=bad)
+
+    def test_bucket_is_bad_semantics(self):
+        le = spec(op="le", threshold=1.0)
+        assert not le.bucket_is_bad(1.0)
+        assert le.bucket_is_bad(1.1)
+        ge = spec(op="ge", threshold=1.0)
+        assert not ge.bucket_is_bad(1.0)
+        assert ge.bucket_is_bad(0.9)
+
+
+class TestEvaluate:
+    def test_no_series_returns_none(self):
+        assert evaluate(spec(), SeriesRegistry()) is None
+
+    def test_healthy_series_is_compliant(self):
+        reg = registry_with(
+            spec().metric, "gauge", [(i * WIDTH, 1.0) for i in range(8)]
+        )
+        result = evaluate(spec(), reg)
+        assert result.ok
+        assert result.bad_buckets == 0
+        assert result.compliance == 1.0
+
+    def test_sustained_breach_fires_at_the_tipping_bucket(self):
+        # 8 consecutive bad buckets: both windows saturate immediately, so
+        # the violation stamps the end of the first bad bucket.
+        reg = registry_with(
+            spec().metric, "gauge", [(i * WIDTH, 9.0) for i in range(8)]
+        )
+        result = evaluate(spec(), reg)
+        assert len(result.violations) == 1
+        v = result.violations[0]
+        assert v.fired_at == WIDTH  # bucket_end(0)
+        assert v.resolved_at is None  # still burning at end of series
+        assert v.peak_burn == 1.0
+        assert result.bad_buckets == 8
+
+    def test_single_noisy_bucket_does_not_fire(self):
+        samples = [(i * WIDTH, 1.0) for i in range(8)]
+        samples[4] = (4 * WIDTH, 9.0)  # one bad bucket in a healthy run
+        reg = registry_with(spec().metric, "gauge", samples)
+        result = evaluate(spec(), reg)
+        assert result.ok
+        assert result.bad_buckets == 1
+
+    def test_violation_resolves_on_short_window_recovery(self):
+        samples = [(i * WIDTH, 9.0) for i in range(4)] + [
+            (i * WIDTH, 1.0) for i in range(4, 10)
+        ]
+        reg = registry_with(spec().metric, "gauge", samples)
+        result = evaluate(spec(), reg)
+        assert len(result.violations) == 1
+        v = result.violations[0]
+        assert v.fired_at == WIDTH
+        # Short window (2 buckets) recovers at bucket 5: both of {4, 5}
+        # are good, even though the 4-bucket long window is still half bad.
+        assert v.resolved_at == 6 * WIDTH
+        assert result.ok is False
+
+    def test_isolated_breach_in_sparse_series_fires(self):
+        # In a sparse series an isolated bad bucket is 100% of the evidence
+        # inside its windows, so it fires — and resolves once good buckets
+        # resume and push it out of the short window.
+        samples = [(i * WIDTH, 1.0) for i in range(4)] + [
+            (14 * WIDTH, 9.0),
+            (15 * WIDTH, 1.0),
+            (16 * WIDTH, 1.0),
+        ]
+        reg = registry_with(spec().metric, "gauge", samples)
+        result = evaluate(spec(), reg)
+        assert len(result.violations) == 1
+        v = result.violations[0]
+        assert v.fired_at == 15 * WIDTH  # bucket_end(14)
+        assert v.resolved_at == 17 * WIDTH  # bucket_end(16)
+
+    def test_rate_aggregate_uses_bucket_sum_per_second(self):
+        reg = registry_with(
+            "repro.billing.wh.credits",
+            "counter",
+            [(i * WIDTH, 200.0) for i in range(4)],
+        )
+        burning = spec(
+            metric="repro.billing.wh.credits", aggregate="rate", threshold=1.0
+        )
+        result = evaluate(burning, reg)  # 200 credits / 100 s = 2.0/s > 1.0
+        assert result.bad_buckets == 4
+        assert not result.ok
+
+
+class TestReport:
+    def test_evaluate_all_partitions_results_and_skips(self):
+        reg = registry_with(spec().metric, "gauge", [(0.0, 1.0)])
+        missing = spec(name="other.slo", metric="repro.monitor.wh.spill_fraction")
+        report = evaluate_all([spec(), missing], reg)
+        assert [r.spec.name for r in report.results] == ["latency.test"]
+        assert report.skipped == ["other.slo"]
+        assert report.ok
+
+    def test_to_json_is_byte_stable_and_name_sorted(self):
+        def build():
+            reg = registry_with(spec().metric, "gauge", [(0.0, 9.0)])
+            return evaluate_all(
+                [spec(name="z.slo"), spec(name="a.slo")], reg
+            ).to_json()
+
+        a, b = build(), build()
+        assert a == b
+        names = [r["spec"]["name"] for r in json.loads(a)["results"]]
+        assert names == sorted(names)
+
+
+class TestDefaultSLOs:
+    def test_inferred_from_recorded_series(self):
+        reg = SeriesRegistry()
+        reg.series("repro.monitor.etl_wh.latency_ratio", "gauge")
+        reg.series("repro.monitor.etl_wh.spill_fraction", "gauge")
+        reg.series("repro.billing.etl_wh.credits", "counter")
+        reg.series("repro.engine.events", "counter")  # no SLO for this one
+        specs = default_slos(reg, spend_budget_per_hour=36.0)
+        assert [s.name for s in specs] == [
+            "latency-ratio.etl_wh",
+            "spend-rate.etl_wh",
+            "spill-fraction.etl_wh",
+        ]
+        spend = next(s for s in specs if s.name == "spend-rate.etl_wh")
+        assert spend.aggregate == "rate"
+        assert spend.threshold == pytest.approx(0.01)  # 36 credits/h per second
+
+    def test_empty_registry_yields_no_specs(self):
+        assert default_slos(SeriesRegistry()) == []
