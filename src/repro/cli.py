@@ -11,12 +11,14 @@ Usage::
     python -m repro.cli fleet [--customers 6]
     python -m repro.cli lint [paths ...] [--format json]
     python -m repro.cli obs {smoke,summarize,diff,profile,slo,alerts,report} ...
+    python -m repro.cli faults {list,describe,run} ...
 
 Each experiment command runs the corresponding §7 protocol and prints the
 same rows/series the paper's figure reports (the benchmarks wrap these same
 protocols with timing and assertions).  ``lint`` runs the determinism &
 invariant checker (see docs/INVARIANTS.md); ``obs`` inspects trace files
-from the observability layer (see docs/OBSERVABILITY.md).
+from the observability layer (see docs/OBSERVABILITY.md); ``faults`` runs
+the chaos scenarios of the fault-injection layer (see docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
@@ -24,6 +26,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.faults.cli as faults_cli
 import repro.lint.cli as lint_cli
 import repro.obs.cli as obs_cli
 
@@ -134,6 +137,10 @@ def build_parser() -> argparse.ArgumentParser:
         "obs", help="inspect observability traces (docs/OBSERVABILITY.md)"
     )
     obs_cli.configure_parser(obs)
+    faults = subparsers.add_parser(
+        "faults", help="run chaos scenarios under fault injection (docs/ROBUSTNESS.md)"
+    )
+    faults_cli.configure_parser(faults)
     return parser
 
 
@@ -147,6 +154,8 @@ def main(argv: list[str] | None = None) -> int:
         return lint_cli.run(args)
     if args.command == "obs":
         return obs_cli.run(args)
+    if args.command == "faults":
+        return faults_cli.run(args)
     _COMMANDS[args.command](args)
     return 0
 

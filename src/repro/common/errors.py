@@ -28,6 +28,26 @@ class UnknownWarehouseError(WarehouseError):
         self.name = name
 
 
+class WarehouseTimeoutError(WarehouseError):
+    """A vendor API call timed out; the write may or may not have landed.
+
+    Callers must read the configuration back to learn what actually
+    happened (the actuator's post-apply verification does exactly this).
+    """
+
+
+class ConfigRejectedError(WarehouseError):
+    """The service rejected a configuration write (quota, validation, ...)."""
+
+
+class InjectedFaultError(WarehouseError):
+    """A transient vendor failure injected by :mod:`repro.faults`.
+
+    Deliberately a :class:`WarehouseError` subclass: consumers must survive
+    it through the same paths that handle real vendor flakiness.
+    """
+
+
 class InvalidActionError(ReproError):
     """An action is malformed or not applicable to the target warehouse."""
 

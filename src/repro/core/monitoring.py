@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.common.errors import TelemetryError, WarehouseError
 from repro.common.simtime import HOUR, Window
 from repro.common.stats import percentile
 from repro.core.sliders import SliderParams
@@ -55,6 +56,11 @@ class RealTimeFeedback:
     #: Fraction of recent queries that spilled to storage — a direct signal
     #: that the current size is below the workload's working set.
     spill_fraction: float = 0.0
+    #: False when this snapshot could not read fresh telemetry (vendor
+    #: error/timeout/blackout) and the fields above are stale placeholders.
+    telemetry_ok: bool = True
+    #: Seconds since the last successful telemetry fetch (0 when fresh).
+    telemetry_age_seconds: float = 0.0
 
     def needs_backoff(self, params: SliderParams) -> bool:
         """Degradation beyond the slider's tolerance → revert to safety.
@@ -94,6 +100,10 @@ class Monitor:
         self.lookback_seconds = lookback_seconds
         self._expected_config: WarehouseConfig | None = None
         self._known_templates: set[str] = set()
+        #: Sim time of the last snapshot that read telemetry successfully.
+        self._last_good_fetch = client.now
+        #: Total snapshots that hit a telemetry/vendor read failure.
+        self.telemetry_failures = 0
 
     # -------------------------------------------------- actuator integration
     def set_expected_config(self, config: WarehouseConfig) -> None:
@@ -104,11 +114,51 @@ class Monitor:
         """Register templates seen during training (for novelty detection)."""
         self._known_templates |= template_hashes
 
+    @property
+    def last_good_fetch(self) -> float:
+        return self._last_good_fetch
+
+    def telemetry_age(self, now: float) -> float:
+        """Seconds since telemetry was last read successfully."""
+        return max(0.0, now - self._last_good_fetch)
+
     # -------------------------------------------------------------- snapshot
     def snapshot(self, now: float) -> RealTimeFeedback:
         window = Window(max(0.0, now - self.lookback_seconds), now)
-        records = self.client.query_history(self.warehouse, window)
-        info = self.client.describe_warehouse(self.warehouse)
+        try:
+            records = self.client.query_history(self.warehouse, window)
+            info = self.client.describe_warehouse(self.warehouse)
+        except (TelemetryError, WarehouseError) as exc:
+            # Degraded snapshot: the vendor view is dark.  Report a neutral
+            # feedback frame flagged stale so the optimizer can decide when
+            # staleness crosses into SAFE_MODE (docs/ROBUSTNESS.md).
+            self.telemetry_failures += 1
+            age = self.telemetry_age(now)
+            obs.emit(
+                "monitor.telemetry_error",
+                now,
+                warehouse=self.warehouse,
+                error=str(exc),
+                age=age,
+            )
+            feedback = RealTimeFeedback(
+                time=now,
+                queue_length=0,
+                running_queries=0,
+                recent_queries=0,
+                recent_p99=0.0,
+                latency_ratio=0.0,
+                mean_queue_seconds=0.0,
+                arrival_zscore=0.0,
+                unseen_template_fraction=0.0,
+                external_change=False,
+                baseline_ratio_q99=self.baseline.window_p99_ratio_q99,
+                telemetry_ok=False,
+                telemetry_age_seconds=age,
+            )
+            self._observe(now, feedback)
+            return feedback
+        self._last_good_fetch = now
         latencies = [r.total_seconds for r in records]
         p99 = percentile(latencies, 99)
         queue_mean = (
@@ -173,6 +223,9 @@ class Monitor:
         rec.gauge(f"{prefix}.arrival_zscore").set(feedback.arrival_zscore, time=now)
         rec.gauge(f"{prefix}.spill_fraction").set(feedback.spill_fraction, time=now)
         rec.gauge(f"{prefix}.queue_length").set(feedback.queue_length, time=now)
+        rec.gauge(f"{prefix}.telemetry_age").set(feedback.telemetry_age_seconds, time=now)
+        if not feedback.telemetry_ok:
+            rec.counter(f"{prefix}.telemetry_failures").inc(time=now)
         if feedback.external_change:
             rec.emit("monitor.external_change", now, warehouse=self.warehouse)
             # Stays active until the optimizer accepts/reverts the conflict

@@ -18,9 +18,15 @@ value-based invoicing.
 
 from __future__ import annotations
 
+from collections.abc import Callable
 from dataclasses import dataclass, field
 
-from repro.common.errors import ConfigurationError, UnknownWarehouseError
+from repro.common.errors import (
+    ConfigurationError,
+    TelemetryError,
+    UnknownWarehouseError,
+    WarehouseError,
+)
 from repro.common.simtime import DAY, HOUR, Window
 from repro.obs import trace as obs
 from repro.core.actions import ActionSpace
@@ -40,6 +46,7 @@ from repro.learning.features import FEATURE_DIM, FeatureExtractor, WorkloadBasel
 from repro.learning.trainer import OfflineTrainer, TrainingReport
 from repro.warehouse.account import Account
 from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.telemetry import WarehouseEvent
 
 
@@ -66,6 +73,11 @@ class OptimizerConfig:
     #: onboarding (0 disables).  The default reproduces the paper's observed
     #: 50/70/95%-of-eventual-savings at roughly 20/43/83 hours.
     confidence_tau: float = 30 * HOUR
+    #: SAFE_MODE trigger: seconds of telemetry staleness before the
+    #: optimizer freezes at the customer's original configuration
+    #: (docs/ROBUSTNESS.md).  Also entered while the actuation circuit
+    #: breaker is open.
+    telemetry_staleness_threshold: float = 1800.0
     agent: DQNConfig = field(default_factory=DQNConfig)
 
     def __post_init__(self):
@@ -86,16 +98,25 @@ class WarehouseOptimizer:
         constraints: ConstraintSet | None = None,
         config: OptimizerConfig | None = None,
         registry: ModelRegistry | None = None,
+        client: CloudWarehouseClient | None = None,
     ):
         self.account = account
         self.warehouse = warehouse
-        self.client = CloudWarehouseClient(account, actor="keebo")
+        # An injected client (e.g. a FaultingWarehouseClient) is shared by
+        # every KWO component — monitor, actuator, smart model, cost model —
+        # so a single fault plan covers the whole control loop.
+        self.client = (
+            client if client is not None else CloudWarehouseClient(account, actor="keebo")
+        )
         self.params = slider_params(slider)
         self.constraints = constraints or ConstraintSet()
         self.config = config or OptimizerConfig()
         self.registry = registry
         self.onboarded = False
         self.paused = False
+        self.safe_mode = False
+        self.safe_mode_entries = 0
+        self._warmup_until = -1e18
         self.decisions: list[Decision] = []
         self.training_reports: list[TrainingReport] = []
         self.ledger = SavingsLedger(warehouse)
@@ -133,7 +154,14 @@ class WarehouseOptimizer:
         self.monitor = Monitor(self.client, self.warehouse, self.baseline)
         self.monitor.learn_templates({r.template_hash for r in records})
         self.monitor.set_expected_config(self.client.current_config(self.warehouse))
-        self.actuator = Actuator(self.client, self.warehouse, self.monitor)
+        self.actuator = Actuator(
+            self.client,
+            self.warehouse,
+            self.monitor,
+            # One retry-jitter stream per optimized warehouse (names are
+            # unique per account, so these streams cannot collide).
+            rng=self.account.rngs.stream(f"keebo.actuator.{self.warehouse}"),  # repro-lint: disable=R003
+        )
         self.agent = DQNAgent(
             FEATURE_DIM,
             len(self.action_space),
@@ -251,12 +279,46 @@ class WarehouseOptimizer:
         if self.paused:
             return
         with obs.span("optimizer.tick", now, warehouse=self.warehouse) as sp:
-            if now - self._last_retrain >= self.config.retrain_interval:
-                self._retrain(now)
-            if now - self._last_report >= self.config.report_interval:
-                self._report_savings(now)
+            if not self.safe_mode:
+                if now - self._last_retrain >= self.config.retrain_interval:
+                    self._retrain(now)
+                if now - self._last_report >= self.config.report_interval:
+                    self._report_savings(now)
             feedback = self.monitor.snapshot(now)
-            decision = self.smart_model.next_action(now, feedback)
+            degraded = self._degraded_reason(now, feedback)
+            if degraded:
+                decision = self._safe_mode_tick(now, degraded)
+                self.decisions.append(decision)
+                sp.set(decision=decision.kind.value)
+                obs.counter(
+                    f"repro.optimizer.decisions.{decision.kind.value}"
+                ).inc(time=now)
+                return
+            if self.safe_mode:
+                self._exit_safe_mode(now)
+            if not feedback.telemetry_ok or now < self._warmup_until:
+                # Dark telemetry below the SAFE_MODE threshold, or the
+                # warm-up tick right after leaving SAFE_MODE: hold position
+                # rather than decide on stale features.
+                reason = (
+                    "safe-mode warm-up"
+                    if feedback.telemetry_ok
+                    else "telemetry unavailable"
+                )
+                decision = Decision(DecisionKind.HOLD, self._held_config(), reason)
+            else:
+                try:
+                    decision = self.smart_model.next_action(now, feedback)
+                except (TelemetryError, WarehouseError) as exc:
+                    obs.emit(
+                        "optimizer.decision_error",
+                        now,
+                        warehouse=self.warehouse,
+                        error=str(exc),
+                    )
+                    decision = Decision(
+                        DecisionKind.HOLD, self._held_config(), f"decision error: {exc}"
+                    )
             self.decisions.append(decision)
             sp.set(decision=decision.kind.value)
             obs.counter(f"repro.optimizer.decisions.{decision.kind.value}").inc(time=now)
@@ -271,13 +333,94 @@ class WarehouseOptimizer:
             if decision.kind == DecisionKind.EXTERNAL_CONFLICT:
                 self._handle_external_conflict(now)
                 return
-            current = self.client.current_config(self.warehouse)
+            if decision.kind == DecisionKind.HOLD and not feedback.telemetry_ok:
+                return
+            try:
+                current = self.client.current_config(self.warehouse)
+            except WarehouseError as exc:
+                obs.emit(
+                    "optimizer.config_read_error",
+                    now,
+                    warehouse=self.warehouse,
+                    error=str(exc),
+                )
+                return
             if decision.target != current:
                 self.actuator.apply(
                     decision.target, reason=f"{decision.kind.value}: {decision.reason}"
                 )
                 sp.set(applied=decision.target.describe())
             self._advise_scaling_policy(now, feedback)
+
+    # ---------------------------------------------------------- degraded mode
+    def _held_config(self) -> WarehouseConfig:
+        """Best known configuration when holding without a fresh read."""
+        last = self.actuator.last_applied
+        return last.to_config if last is not None else self.action_space.original
+
+    def _degraded_reason(self, now: float, feedback) -> str:
+        """Non-empty when the loop must run in SAFE_MODE this tick."""
+        if (
+            not feedback.telemetry_ok
+            and feedback.telemetry_age_seconds >= self.config.telemetry_staleness_threshold
+        ):
+            return (
+                f"telemetry stale for {feedback.telemetry_age_seconds:.0f}s "
+                f"(threshold {self.config.telemetry_staleness_threshold:.0f}s)"
+            )
+        if self.actuator.breaker.blocking(now):
+            return "actuation circuit breaker open"
+        return ""
+
+    def _safe_mode_tick(self, now: float, reason: str) -> Decision:
+        """Degraded operation: freeze at the customer's original config."""
+        original = self.action_space.original
+        if not self.safe_mode:
+            self.safe_mode = True
+            self.safe_mode_entries += 1
+            obs.counter("repro.optimizer.safe_mode_entries").inc(time=now)
+            obs.emit(
+                "optimizer.safe_mode.enter", now, warehouse=self.warehouse, reason=reason
+            )
+            obs.alerts().fire(
+                f"optimizer.safe_mode.{self.warehouse.lower()}",
+                now,
+                severity="critical",
+                warehouse=self.warehouse,
+                reason=reason,
+            )
+            self.account.telemetry.record_event(
+                WarehouseEvent(
+                    now, self.warehouse, "keebo_safe_mode", "keebo", {"cause": reason}
+                )
+            )
+            # Best-effort revert to the configuration the customer chose;
+            # the actuator absorbs any further vendor failures (and its
+            # half-open probes double as breaker recovery checks).
+            if not self.actuator.breaker.blocking(now):
+                self.actuator.apply(original, reason=f"safe mode: {reason}")
+        elif not self.actuator.breaker.blocking(now):
+            last = self.actuator.last_applied
+            if last is None or not last.succeeded or last.to_config != original:
+                self.actuator.apply(original, reason=f"safe mode: {reason}")
+        return Decision(DecisionKind.SAFE_MODE, original, reason)
+
+    def _exit_safe_mode(self, now: float) -> None:
+        self.safe_mode = False
+        self._warmup_until = now + self.config.decision_interval
+        obs.emit("optimizer.safe_mode.exit", now, warehouse=self.warehouse)
+        obs.alerts().resolve(f"optimizer.safe_mode.{self.warehouse.lower()}", now)
+        try:
+            # Accept the live configuration so the exit itself cannot trip
+            # the external-change detector.
+            self.monitor.set_expected_config(self.client.current_config(self.warehouse))
+        except WarehouseError as exc:
+            obs.emit(
+                "optimizer.config_read_error",
+                now,
+                warehouse=self.warehouse,
+                error=str(exc),
+            )
 
     def _record_alerts(self, now: float, feedback, decision: Decision) -> None:
         """Track self-corrections as first-class fire/resolve alert events.
@@ -310,7 +453,10 @@ class WarehouseOptimizer:
     def _advise_scaling_policy(self, now: float, feedback) -> None:
         """Tune the categorical STANDARD/ECONOMY knob (outside the DQN's
         numeric action lattice; see repro.core.policy_advisor)."""
-        config = self.client.current_config(self.warehouse)
+        try:
+            config = self.client.current_config(self.warehouse)
+        except WarehouseError:
+            return  # skip the advisory pass this tick; nothing to undo
         policy = self.policy_advisor.recommend(now, config, feedback)
         if policy is None or policy == config.scaling_policy:
             return
@@ -322,8 +468,16 @@ class WarehouseOptimizer:
         """Periodic refresh (Algorithm 1 lines 13-16)."""
         obs.counter("repro.optimizer.retrains").inc(time=now)
         history = Window(max(0.0, now - self.config.training_window), now)
-        with obs.span("optimizer.retrain", now, warehouse=self.warehouse):
-            self._refit(history)
+        try:
+            with obs.span("optimizer.retrain", now, warehouse=self.warehouse):
+                self._refit(history)
+        except (TelemetryError, WarehouseError) as exc:
+            # The vendor view is dark: keep _last_retrain so the refresh is
+            # retried next tick instead of slipping a whole interval.
+            obs.emit(
+                "optimizer.retrain_error", now, warehouse=self.warehouse, error=str(exc)
+            )
+            return
         self._last_retrain = now
 
     def _refit(self, history: Window) -> None:
@@ -346,7 +500,13 @@ class WarehouseOptimizer:
         if period.duration <= 0:
             self._last_report = now
             return
-        estimate = self.cost_model.estimate_savings(period)
+        try:
+            estimate = self.cost_model.estimate_savings(period)
+        except (TelemetryError, WarehouseError) as exc:
+            obs.emit(
+                "optimizer.report_error", now, warehouse=self.warehouse, error=str(exc)
+            )
+            return  # retried next tick; the period simply grows
         recent = self.decisions[self._decisions_at_last_report:]
         self.ledger.report(
             estimate,
@@ -367,7 +527,18 @@ class WarehouseOptimizer:
 
     def _handle_external_conflict(self, now: float) -> None:
         """§4.4: revert our own pending changes and pause until told."""
-        live = self.client.current_config(self.warehouse)
+        try:
+            live = self.client.current_config(self.warehouse)
+        except WarehouseError as exc:
+            # Cannot even read the live config: stay unpaused and let the
+            # next tick re-detect the conflict once the vendor responds.
+            obs.emit(
+                "optimizer.config_read_error",
+                now,
+                warehouse=self.warehouse,
+                error=str(exc),
+            )
+            return
         self.monitor.set_expected_config(live)  # accept the external state
         self.paused = True
         obs.counter("repro.optimizer.external_conflicts").inc(time=now)
@@ -430,10 +601,14 @@ class KeeboService:
         account: Account,
         fee_fraction: float = 0.3,
         registry: ModelRegistry | None = None,
+        client_factory: Callable[[Account], CloudWarehouseClient] | None = None,
     ):
         self.account = account
         self.pricing = ValueBasedPricing(fee_fraction, account.price_per_credit)
         self.registry = registry
+        #: Optional ``account -> CloudWarehouseClient`` hook; chaos runs use
+        #: it to hand every optimizer a FaultingWarehouseClient.
+        self.client_factory = client_factory
         self.optimizers: dict[str, WarehouseOptimizer] = {}
 
     def onboard_warehouse(
@@ -448,8 +623,15 @@ class KeeboService:
             raise UnknownWarehouseError(warehouse)
         if warehouse in self.optimizers:
             raise ConfigurationError(f"{warehouse!r} is already being optimized")
+        client = self.client_factory(self.account) if self.client_factory else None
         optimizer = WarehouseOptimizer(
-            self.account, warehouse, slider, constraints, config, registry=self.registry
+            self.account,
+            warehouse,
+            slider,
+            constraints,
+            config,
+            registry=self.registry,
+            client=client,
         )
         optimizer.onboard()
         self.optimizers[warehouse] = optimizer

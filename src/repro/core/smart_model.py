@@ -69,6 +69,7 @@ class DecisionKind(enum.Enum):
     BACKOFF = "backoff"  # self-correction on degradation/spike
     HOLD = "hold"  # cooldown or no admissible improvement
     EXTERNAL_CONFLICT = "external_conflict"  # revert + pause requested
+    SAFE_MODE = "safe_mode"  # degraded operation: frozen at original config
 
 
 @dataclass(frozen=True)

@@ -16,6 +16,7 @@ from repro.core.optimizer import KeeboService, WarehouseOptimizer
 from repro.core.sliders import SliderPosition
 from repro.costmodel.model import WarehouseCostModel
 from repro.experiments.scenarios import Scenario, fig7_scenario
+from repro.faults import FaultingWarehouseClient
 from repro.obs import RunManifest
 from repro.portal.dashboards import (
     OverheadDashboard,
@@ -70,7 +71,11 @@ def run_before_after(scenario: Scenario) -> tuple[BeforeAfterResult, WarehouseOp
     scenario.schedule()
     account = scenario.account
     account.run_until(scenario.keebo_start)
-    service = KeeboService(account)
+    client_factory = None
+    if scenario.fault_plan is not None:
+        plan = scenario.fault_plan
+        client_factory = lambda acct: FaultingWarehouseClient(acct, plan)  # noqa: E731
+    service = KeeboService(account, client_factory=client_factory)
     optimizer = service.onboard_warehouse(
         scenario.warehouse,
         slider=scenario.slider,
@@ -300,6 +305,72 @@ class FleetResult:
     def savings_range(self) -> tuple[float, float]:
         fractions = self.savings_fractions
         return (min(fractions), max(fractions)) if fractions else (0.0, 0.0)
+
+
+@dataclass
+class ChaosResult:
+    """Chaos protocol output: the §7.1 result plus the fault ledger.
+
+    ``injected`` counts what the fault plan actually fired (by kind);
+    ``observed`` counts what the control loop *noticed and absorbed* —
+    actuator errors/retries, breaker opens, degraded monitor snapshots,
+    SAFE_MODE episodes.  A healthy robustness layer shows observed
+    reactions commensurate with injections, and zero escaped exceptions
+    (the run finishing at all is the first assertion).
+    """
+
+    result: BeforeAfterResult
+    injected: dict[str, int]
+    injected_total: int
+    observed: dict[str, int]
+
+    @property
+    def savings_fraction(self) -> float:
+        return self.result.savings_fraction
+
+    def summary_lines(self) -> list[str]:
+        lines = [
+            f"chaos run {self.result.scenario!r}: "
+            f"{self.injected_total} fault(s) injected",
+            f"  savings_fraction: {self.savings_fraction:+.3f}",
+            "  injected by kind:",
+        ]
+        if not self.injected:
+            lines.append("    (none)")
+        lines.extend(
+            f"    {kind}: {count}" for kind, count in sorted(self.injected.items())
+        )
+        lines.append("  observed by the control loop:")
+        lines.extend(
+            f"    {key}: {value}" for key, value in sorted(self.observed.items())
+        )
+        return lines
+
+
+def run_chaos(scenario: Scenario) -> tuple[ChaosResult, WarehouseOptimizer]:
+    """Run the before/after protocol under the scenario's fault plan and
+    reconcile injected-vs-observed fault counts."""
+    if scenario.fault_plan is None:
+        raise ValueError("chaos protocol needs a scenario with a fault_plan")
+    result, optimizer = run_before_after(scenario)
+    client = optimizer.client
+    if not isinstance(client, FaultingWarehouseClient):  # pragma: no cover
+        raise TypeError("chaos run did not receive a FaultingWarehouseClient")
+    observed = {
+        "actuator_errors": optimizer.actuator.errors,
+        "actuator_retries_scheduled": optimizer.actuator.retries_scheduled,
+        "breaker_opens": optimizer.actuator.breaker.opens,
+        "telemetry_failures": optimizer.monitor.telemetry_failures,
+        "safe_mode_entries": optimizer.safe_mode_entries,
+        "safe_mode_ticks": optimizer.decision_counts().get("safe_mode", 0),
+    }
+    chaos = ChaosResult(
+        result=result,
+        injected=dict(client.injected),
+        injected_total=client.total_injected(),
+        observed=observed,
+    )
+    return chaos, optimizer
 
 
 def run_fleet(scenarios: list[Scenario]) -> FleetResult:

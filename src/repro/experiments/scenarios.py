@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 from repro.common.rng import RngRegistry
 from repro.common.simtime import DAY, HOUR, Window
 from repro.core.constraints import ConstraintSet
+from repro.faults import FaultKind, FaultPlan, FaultSpec
 from repro.obs import RunManifest
 from repro.core.optimizer import OptimizerConfig
 from repro.core.sliders import SliderPosition
@@ -56,6 +57,9 @@ class Scenario:
     slider: SliderPosition = SliderPosition.BALANCED
     optimizer_config: OptimizerConfig = field(default_factory=OptimizerConfig)
     constraints: ConstraintSet | None = None
+    #: When set, the runner hands every optimizer a FaultingWarehouseClient
+    #: injecting this plan (chaos protocol, docs/ROBUSTNESS.md).
+    fault_plan: FaultPlan | None = None
 
     @property
     def horizon(self) -> float:
@@ -88,6 +92,7 @@ class Scenario:
             "slider": int(self.slider),
             "total_days": self.total_days,
             "keebo_day": self.keebo_day,
+            "fault_plan": self.fault_plan,
         }
         return RunManifest.create(
             scenario=self.name,
@@ -313,6 +318,157 @@ def smoke_scenario(seed: int = 123) -> Scenario:
             report_interval=4 * HOUR,
         ),
     )
+
+
+# --------------------------------------------------------------------- chaos
+# Chaos scenarios arm their faults *after* onboarding completes: onboarding
+# needs a working telemetry view by construction (no models exist yet to
+# fall back on), while the steady-state loop must survive anything the plan
+# throws at it (docs/ROBUSTNESS.md).
+
+
+def chaos_smoke_scenario(seed: int = 131) -> Scenario:
+    """The smoke scenario under weather: ≥10% API failures, one blackout.
+
+    Small enough for CI (two simulated days), yet it exercises the whole
+    robustness surface: injected API errors on every operation, config
+    rejections on writes, a three-hour telemetry blackout that must drive
+    the optimizer through a full SAFE_MODE enter/exit cycle, an ingestion
+    delay and stale billing reads.
+    """
+    base = smoke_scenario(seed=seed)
+    # Two decision intervals of staleness before SAFE_MODE: one flaky read
+    # is a HOLD, a sustained blackout escalates.
+    base.optimizer_config.telemetry_staleness_threshold = 3600.0
+    chaos_start = 1 * DAY + HOUR  # after onboarding at keebo_day=1
+    plan = FaultPlan(
+        name="chaos_smoke",
+        specs=(
+            FaultSpec(
+                FaultKind.API_ERROR,
+                probability=0.12,
+                window=Window(chaos_start, 2 * DAY),
+                detail="ambient API flakiness",
+            ),
+            FaultSpec(
+                FaultKind.CONFIG_REJECT,
+                operation="alter_warehouse",
+                probability=0.2,
+                window=Window(chaos_start, 2 * DAY),
+            ),
+            FaultSpec(
+                FaultKind.TELEMETRY_GAP,
+                window=Window(1 * DAY + 8 * HOUR, 1 * DAY + 11 * HOUR),
+                detail="telemetry blackout",
+            ),
+            FaultSpec(
+                FaultKind.TELEMETRY_DELAY,
+                probability=0.2,
+                window=Window(chaos_start, 2 * DAY),
+                magnitude=900.0,
+            ),
+            FaultSpec(
+                FaultKind.BILLING_STALE,
+                probability=0.3,
+                window=Window(chaos_start, 2 * DAY),
+                magnitude=3600.0,
+            ),
+        ),
+    )
+    base.name = "chaos_smoke"
+    base.account.name = "chaos_smoke"
+    base.fault_plan = plan
+    return base
+
+
+def flaky_api_scenario(seed: int = 132) -> Scenario:
+    """Persistent vendor flakiness on the write path: retries and the
+    circuit breaker carry the run (no blackout; telemetry stays up)."""
+    base = smoke_scenario(seed=seed)
+    base.total_days = 3
+    base.optimizer_config.telemetry_staleness_threshold = 3600.0
+    chaos_start = 1 * DAY + HOUR
+    end = base.total_days * DAY
+    plan = FaultPlan(
+        name="flaky_api",
+        specs=(
+            FaultSpec(
+                FaultKind.API_ERROR,
+                operation="alter_warehouse",
+                probability=0.25,
+                window=Window(chaos_start, end),
+            ),
+            FaultSpec(
+                FaultKind.API_TIMEOUT,
+                operation="alter_warehouse",
+                probability=0.15,
+                window=Window(chaos_start, end),
+                detail="ambiguous timeout: the write lands",
+            ),
+            FaultSpec(
+                FaultKind.PARTIAL_WRITE,
+                operation="alter_warehouse",
+                probability=0.1,
+                window=Window(chaos_start, end),
+            ),
+            FaultSpec(
+                FaultKind.CONFIG_REJECT,
+                operation="alter_warehouse",
+                probability=0.1,
+                window=Window(chaos_start, end),
+            ),
+        ),
+    )
+    base.name = "flaky_api"
+    base.account.name = "flaky_api"
+    base.fault_plan = plan
+    return base
+
+
+def telemetry_blackout_scenario(seed: int = 133) -> Scenario:
+    """A long hard blackout plus lag on recovery: SAFE_MODE end to end."""
+    base = smoke_scenario(seed=seed)
+    base.total_days = 3
+    base.optimizer_config.telemetry_staleness_threshold = 3600.0
+    plan = FaultPlan(
+        name="telemetry_blackout",
+        specs=(
+            FaultSpec(
+                FaultKind.TELEMETRY_GAP,
+                window=Window(1 * DAY + 6 * HOUR, 1 * DAY + 12 * HOUR),
+                detail="six-hour blackout",
+            ),
+            FaultSpec(
+                FaultKind.TELEMETRY_DELAY,
+                window=Window(1 * DAY + 12 * HOUR, 1 * DAY + 14 * HOUR),
+                magnitude=1200.0,
+                detail="ingestion catches up",
+            ),
+            FaultSpec(
+                FaultKind.TELEMETRY_DUPLICATE,
+                probability=0.3,
+                window=Window(1 * DAY + 12 * HOUR, 2 * DAY),
+                detail="at-least-once replay",
+            ),
+            FaultSpec(
+                FaultKind.BILLING_STALE,
+                window=Window(1 * DAY + 6 * HOUR, 1 * DAY + 14 * HOUR),
+                magnitude=7200.0,
+            ),
+        ),
+    )
+    base.name = "telemetry_blackout"
+    base.account.name = "telemetry_blackout"
+    base.fault_plan = plan
+    return base
+
+
+#: Scenario registry for ``repro.cli faults`` (name -> builder(seed)).
+CHAOS_SCENARIOS = {
+    "chaos_smoke": chaos_smoke_scenario,
+    "flaky_api": flaky_api_scenario,
+    "telemetry_blackout": telemetry_blackout_scenario,
+}
 
 
 # -------------------------------------------------------- onboarding / fleet

@@ -1,0 +1,31 @@
+"""Deterministic fault injection for the CDW simulator (docs/ROBUSTNESS.md).
+
+Declare *what* goes wrong in a :class:`FaultPlan`, wrap the vendor client
+in a :class:`FaultingWarehouseClient`, and every consumer — actuator,
+monitor, optimizer — must survive the weather.  Seeded through the run's
+:class:`~repro.common.rng.RngRegistry`, so chaos runs are byte-reproducible.
+"""
+
+from repro.faults.client import FaultingWarehouseClient
+from repro.faults.plan import (
+    ALL_OPERATIONS,
+    BILLING_OPERATIONS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    STATUS_OPERATIONS,
+    TELEMETRY_OPERATIONS,
+    WRITE_OPERATIONS,
+)
+
+__all__ = [
+    "ALL_OPERATIONS",
+    "BILLING_OPERATIONS",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FaultingWarehouseClient",
+    "STATUS_OPERATIONS",
+    "TELEMETRY_OPERATIONS",
+    "WRITE_OPERATIONS",
+]

@@ -1,0 +1,137 @@
+"""Command-line tools over the fault-injection layer.
+
+Invocations (via the main CLI)::
+
+    python -m repro.cli faults list                      # chaos scenario registry
+    python -m repro.cli faults describe chaos_smoke      # render the fault plan
+    python -m repro.cli faults run chaos_smoke           # run it; summarize faults
+    python -m repro.cli faults run chaos_smoke --trace chaos.jsonl
+
+``run`` drives the chaos protocol (``run_chaos``) and prints the
+injected-vs-observed reconciliation: what the plan fired at the client
+surface versus what the control loop absorbed (actuator errors/retries,
+breaker opens, degraded snapshots, SAFE_MODE episodes).  With ``--trace``
+it records the run and writes the same trace + sidecar set as ``obs
+smoke``, so ``obs diff``/``obs alerts`` work on chaos runs — CI runs the
+same seed twice and asserts the exports are byte-identical.
+
+``run`` exits 0 when the run completed and, for plans that inject hard
+faults, at least one fault was actually injected (a chaos run that injects
+nothing is a rotted plan, not a passing test); 2 for an unknown scenario.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import IO
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the ``faults`` subcommand family."""
+    sub = parser.add_subparsers(dest="faults_command", required=True)
+
+    sub.add_parser("list", help="list the registered chaos scenarios")
+
+    describe = sub.add_parser("describe", help="render a scenario's fault plan")
+    describe.add_argument("scenario", help="chaos scenario name (see `faults list`)")
+    describe.add_argument("--seed", type=int, default=None, help="scenario seed")
+
+    run_p = sub.add_parser("run", help="run a chaos scenario; reconcile fault counts")
+    run_p.add_argument("scenario", help="chaos scenario name (see `faults list`)")
+    run_p.add_argument("--seed", type=int, default=None, help="scenario seed")
+    run_p.add_argument(
+        "--trace",
+        default=None,
+        help=(
+            "record the run: trace JSONL here, sidecars at <trace>.metrics.json, "
+            "<trace>.series.json and <trace>.alerts.json (same layout as obs smoke)"
+        ),
+    )
+
+
+def _build(name: str, seed: int | None):
+    """Resolve a chaos scenario by registry name (None on unknown)."""
+    from repro.experiments.scenarios import CHAOS_SCENARIOS
+
+    builder = CHAOS_SCENARIOS.get(name)
+    if builder is None:
+        return None
+    return builder() if seed is None else builder(seed=seed)
+
+
+def list_scenarios(out: IO[str]) -> int:
+    from repro.experiments.scenarios import CHAOS_SCENARIOS
+
+    for name in sorted(CHAOS_SCENARIOS):
+        scenario = CHAOS_SCENARIOS[name]()
+        doc = (CHAOS_SCENARIOS[name].__doc__ or "").strip().splitlines()[0]
+        print(
+            f"{name:<20} {len(scenario.fault_plan)} spec(s), "
+            f"{scenario.total_days} day(s)  {doc}",
+            file=out,
+        )
+    return 0
+
+
+def describe(name: str, seed: int | None, out: IO[str]) -> int:
+    scenario = _build(name, seed)
+    if scenario is None:
+        print(f"error: unknown chaos scenario {name!r}", file=sys.stderr)
+        return 2
+    print(
+        f"scenario {scenario.name!r}: {scenario.total_days} day(s), "
+        f"keebo_day={scenario.keebo_day}, "
+        f"seed={scenario.account.rngs.seed}",
+        file=out,
+    )
+    print(scenario.fault_plan.describe(), file=out)
+    return 0
+
+
+def run_scenario(name: str, seed: int | None, trace: str | None, out: IO[str]) -> int:
+    # Imported here: `faults list/describe` stay usable without pulling in
+    # the full experiments stack.
+    from repro import obs
+    from repro.experiments.runner import run_chaos
+
+    scenario = _build(name, seed)
+    if scenario is None:
+        print(f"error: unknown chaos scenario {name!r}", file=sys.stderr)
+        return 2
+    if trace is not None:
+        with obs.observed(manifest=scenario.manifest()) as rec:
+            chaos, _ = run_chaos(scenario)
+        trace_path = pathlib.Path(trace)
+        rec.sink.dump(trace_path)
+        for suffix, payload in (
+            (".metrics.json", rec.metrics.to_json()),
+            (".series.json", rec.series.to_json()),
+            (".alerts.json", rec.alerts.to_json()),
+        ):
+            sidecar = trace_path.with_name(trace_path.name + suffix)
+            sidecar.write_text(payload, encoding="utf-8")
+        print(f"trace: {trace_path} ({len(rec.sink)} records)", file=out)
+    else:
+        chaos, _ = run_chaos(scenario)
+    for line in chaos.summary_lines():
+        print(line, file=out)
+    if chaos.injected_total == 0:
+        print(
+            "error: fault plan injected nothing (rotted windows or "
+            "probabilities?)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
+    """Execute a parsed ``faults`` invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if args.faults_command == "list":
+        return list_scenarios(out)
+    if args.faults_command == "describe":
+        return describe(args.scenario, args.seed, out)
+    return run_scenario(args.scenario, args.seed, args.trace, out)

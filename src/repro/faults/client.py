@@ -1,0 +1,242 @@
+"""A fault-injecting wrapper over the vendor client API.
+
+:class:`FaultingWarehouseClient` is a drop-in
+:class:`~repro.warehouse.api.CloudWarehouseClient` that consults a
+:class:`~repro.faults.plan.FaultPlan` on every call.  Determinism contract:
+
+* randomness comes from one named stream of the account's
+  :class:`~repro.common.rng.RngRegistry`, so identical ``(scenario, seed,
+  plan)`` runs inject byte-identical fault sequences;
+* armed specs are evaluated in plan order and evaluation stops at the
+  first trigger, so the variate sequence is a pure function of the call
+  sequence;
+* specs with ``probability == 1.0`` consume no randomness (window-only
+  faults never perturb other draws).
+
+Every injection is counted in :attr:`injected` and emitted as a
+``fault.inject`` trace event, so a chaos run can reconcile
+injected-vs-observed fault counts afterwards (``repro.cli faults run``).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.common.errors import (
+    ConfigRejectedError,
+    InjectedFaultError,
+    TelemetryError,
+    WarehouseTimeoutError,
+)
+from repro.common.simtime import Window
+from repro.obs import trace as obs
+from repro.faults.plan import FaultKind, FaultPlan, FaultSpec
+from repro.warehouse.account import Account
+from repro.warehouse.api import CloudWarehouseClient, WarehouseInfo
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
+from repro.warehouse.telemetry import WarehouseEvent
+
+#: Kinds that abort the call (possibly after a partial/landed write).
+_FAILURE_KINDS = frozenset(
+    {
+        FaultKind.API_ERROR,
+        FaultKind.API_TIMEOUT,
+        FaultKind.CONFIG_REJECT,
+        FaultKind.PARTIAL_WRITE,
+        FaultKind.STUCK_SUSPEND,
+        FaultKind.TELEMETRY_GAP,
+    }
+)
+
+
+class FaultingWarehouseClient(CloudWarehouseClient):
+    """Vendor client that injects the faults a :class:`FaultPlan` declares."""
+
+    def __init__(
+        self,
+        account: Account,
+        plan: FaultPlan,
+        actor: str = "keebo",
+        rng: np.random.Generator | None = None,
+    ):
+        super().__init__(account, actor)
+        self.plan = plan
+        # One stream for the whole client: the call sequence is deterministic,
+        # so a single stream keeps draws reproducible and auditable.
+        self.rng = rng if rng is not None else account.rngs.stream("faults.client")
+        #: Injection counts by fault kind value.
+        self.injected: dict[str, int] = {}
+        #: Injection counts by (operation, kind value) — the CLI summary table.
+        self.injected_by_operation: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------- machinery
+    def total_injected(self) -> int:
+        return sum(self.injected.values())
+
+    def _record(self, spec: FaultSpec, operation: str, now: float) -> None:
+        kind = spec.kind.value
+        self.injected[kind] = self.injected.get(kind, 0) + 1
+        key = (operation, kind)
+        self.injected_by_operation[key] = self.injected_by_operation.get(key, 0) + 1
+        obs.emit(
+            "fault.inject",
+            now,
+            operation=operation,
+            kind=kind,
+            detail=spec.detail,
+        )
+        obs.counter(f"repro.faults.injected.{kind}").inc(time=now)
+
+    def _triggered(self, spec: FaultSpec) -> bool:
+        if spec.probability >= 1.0:
+            return True
+        return float(self.rng.random()) < spec.probability
+
+    def _first_trigger(
+        self, operation: str, kinds: frozenset[FaultKind]
+    ) -> FaultSpec | None:
+        """First armed spec of ``kinds`` that triggers for this call."""
+        now = self.account.sim.now
+        for spec in self.plan.armed_specs(operation, now):
+            if spec.kind in kinds and self._triggered(spec):
+                self._record(spec, operation, now)
+                return spec
+        return None
+
+    def _transform_specs(self, operation: str, kind: FaultKind) -> list[FaultSpec]:
+        now = self.account.sim.now
+        out = []
+        for spec in self.plan.armed_specs(operation, now):
+            if spec.kind is kind and self._triggered(spec):
+                self._record(spec, operation, now)
+                out.append(spec)
+        return out
+
+    @staticmethod
+    def _raise_for(spec: FaultSpec, operation: str) -> None:
+        note = f" ({spec.detail})" if spec.detail else ""
+        if spec.kind is FaultKind.API_ERROR:
+            raise InjectedFaultError(f"injected: {operation} failed{note}")
+        if spec.kind is FaultKind.CONFIG_REJECT:
+            raise ConfigRejectedError(f"injected: {operation} rejected{note}")
+        if spec.kind is FaultKind.TELEMETRY_GAP:
+            raise TelemetryError(f"injected: {operation} unavailable{note}")
+        raise WarehouseTimeoutError(f"injected: {operation} timed out{note}")
+
+    # ------------------------------------------------------------ write path
+    def alter_warehouse(self, name: str, **changes) -> WarehouseConfig:
+        spec = self._first_trigger("alter_warehouse", _FAILURE_KINDS)
+        if spec is None:
+            return super().alter_warehouse(name, **changes)
+        if spec.kind is FaultKind.API_TIMEOUT:
+            # The ambiguous timeout: the write lands, the response is lost.
+            super().alter_warehouse(name, **changes)
+        elif spec.kind is FaultKind.PARTIAL_WRITE and changes:
+            first = sorted(changes)[0]
+            super().alter_warehouse(name, **{first: changes[first]})
+        self._raise_for(spec, "alter_warehouse")
+
+    def suspend_warehouse(self, name: str) -> None:
+        spec = self._first_trigger("suspend_warehouse", _FAILURE_KINDS)
+        if spec is None:
+            return super().suspend_warehouse(name)
+        if spec.kind is FaultKind.API_TIMEOUT:
+            super().suspend_warehouse(name)
+        # STUCK_SUSPEND: the request is accepted then lost — no state change.
+        self._raise_for(spec, "suspend_warehouse")
+
+    def resume_warehouse(self, name: str) -> None:
+        spec = self._first_trigger("resume_warehouse", _FAILURE_KINDS)
+        if spec is None:
+            return super().resume_warehouse(name)
+        if spec.kind is FaultKind.API_TIMEOUT:
+            super().resume_warehouse(name)
+        self._raise_for(spec, "resume_warehouse")
+
+    # ----------------------------------------------------------- status path
+    def show_warehouses(self) -> list[WarehouseInfo]:
+        spec = self._first_trigger("show_warehouses", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "show_warehouses")
+        return super().show_warehouses()
+
+    def describe_warehouse(self, name: str) -> WarehouseInfo:
+        spec = self._first_trigger("describe_warehouse", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "describe_warehouse")
+        return super().describe_warehouse(name)
+
+    def current_config(self, name: str) -> WarehouseConfig:
+        spec = self._first_trigger("current_config", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "current_config")
+        return super().current_config(name)
+
+    # -------------------------------------------------------- telemetry path
+    def query_history(
+        self, warehouse: str, window: Window | None = None, include_overhead: bool = False
+    ) -> list[QueryRecord]:
+        spec = self._first_trigger("query_history", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "query_history")
+        records = super().query_history(warehouse, window, include_overhead)
+        for delay in self._transform_specs("query_history", FaultKind.TELEMETRY_DELAY):
+            horizon = self.account.sim.now - delay.magnitude
+            records = [r for r in records if r.arrival_time <= horizon]
+        if records and self._transform_specs(
+            "query_history", FaultKind.TELEMETRY_DUPLICATE
+        ):
+            records = records + [records[-1]]
+        return records
+
+    def warehouse_events(
+        self, warehouse: str, window: Window | None = None, kind: str | None = None
+    ) -> list[WarehouseEvent]:
+        spec = self._first_trigger("warehouse_events", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "warehouse_events")
+        events = super().warehouse_events(warehouse, window, kind)
+        for delay in self._transform_specs("warehouse_events", FaultKind.TELEMETRY_DELAY):
+            horizon = self.account.sim.now - delay.magnitude
+            events = [e for e in events if e.time <= horizon]
+        if events and self._transform_specs(
+            "warehouse_events", FaultKind.TELEMETRY_DUPLICATE
+        ):
+            events = events + [events[-1]]
+        return events
+
+    # ---------------------------------------------------------- billing path
+    def _billing_as_of(self, operation: str) -> float:
+        as_of = self.account.sim.now
+        for spec in self._transform_specs(operation, FaultKind.BILLING_STALE):
+            as_of = min(as_of, self.account.sim.now - spec.magnitude)
+        return as_of
+
+    def metering_history(self, warehouse: str, window: Window) -> dict[int, float]:
+        spec = self._first_trigger("metering_history", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "metering_history")
+        as_of = self._billing_as_of("metering_history")
+        if as_of >= self.account.sim.now:
+            return super().metering_history(warehouse, window)
+        self._charge_like_base("metering_history", warehouse)
+        return self.account.warehouse(warehouse).meter.hourly_rollup(window, as_of=as_of)
+
+    def credits_in_window(self, warehouse: str, window: Window) -> float:
+        spec = self._first_trigger("credits_in_window", _FAILURE_KINDS)
+        if spec is not None:
+            self._raise_for(spec, "credits_in_window")
+        as_of = self._billing_as_of("credits_in_window")
+        if as_of >= self.account.sim.now:
+            return super().credits_in_window(warehouse, window)
+        self._charge_like_base("credits_in_window", warehouse)
+        return self.account.warehouse(warehouse).meter.credits_in_window(
+            window, as_of=as_of
+        )
+
+    def _charge_like_base(self, operation: str, warehouse: str) -> None:
+        # Stale billing reads are still metered like the real ones.
+        from repro.warehouse.api import TELEMETRY_FETCH_CREDITS
+
+        self._charge(TELEMETRY_FETCH_CREDITS, "metering_history", warehouse)

@@ -1,0 +1,185 @@
+"""Declarative fault plans: *what* goes wrong, *where*, *when*, *how often*.
+
+The paper's §4.4-§4.5 treat cloud-side flakiness as a first-class design
+constraint: the actuator "reports any errors it encounters", the monitor
+self-corrects on adverse impact, and KWO reverts when external changes
+conflict with its own actions.  To *prove* those behaviours we must be able
+to create the adverse conditions deterministically.  A :class:`FaultPlan`
+is a declarative list of :class:`FaultSpec` entries; the
+:class:`~repro.faults.client.FaultingWarehouseClient` consults the plan on
+every vendor-API call and draws from the run's
+:class:`~repro.common.rng.RngRegistry`, so identical ``(scenario, seed,
+plan)`` runs inject byte-identical fault sequences.
+
+Fault taxonomy (docs/ROBUSTNESS.md):
+
+========================  ====================================================
+kind                      behaviour at the client surface
+========================  ====================================================
+``api_error``             the operation raises :class:`InjectedFaultError`
+``api_timeout``           write ops: the write **lands**, then
+                          :class:`WarehouseTimeoutError` is raised (the
+                          classic ambiguous-timeout); read ops: plain timeout
+``config_reject``         ``alter_warehouse`` raises
+                          :class:`ConfigRejectedError` without writing
+``partial_write``         ``alter_warehouse`` applies only the first change
+                          key (sorted), then raises a timeout
+``stuck_suspend``         ``suspend_warehouse`` does nothing and times out
+                          (the warehouse looks stuck in SUSPENDING)
+``telemetry_gap``         telemetry reads raise :class:`TelemetryError`
+                          (a blackout: the view is unavailable)
+``telemetry_delay``       telemetry reads hide rows newer than
+                          ``now - magnitude`` (ingestion lag)
+``telemetry_duplicate``   telemetry reads repeat their last row (at-least-
+                          once delivery)
+``billing_stale``         metering reads are as-of ``now - magnitude``
+========================  ====================================================
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import Window
+from repro.warehouse.api import (
+    ALL_OPERATIONS,
+    BILLING_OPERATIONS,
+    STATUS_OPERATIONS,
+    TELEMETRY_OPERATIONS,
+    WRITE_OPERATIONS,
+)
+
+
+class FaultKind(enum.Enum):
+    """One row of the fault taxonomy above."""
+
+    API_ERROR = "api_error"
+    API_TIMEOUT = "api_timeout"
+    CONFIG_REJECT = "config_reject"
+    PARTIAL_WRITE = "partial_write"
+    STUCK_SUSPEND = "stuck_suspend"
+    TELEMETRY_GAP = "telemetry_gap"
+    TELEMETRY_DELAY = "telemetry_delay"
+    TELEMETRY_DUPLICATE = "telemetry_duplicate"
+    BILLING_STALE = "billing_stale"
+
+
+#: The operations each kind may legally target ("*" expands to this set).
+#: The operation groups themselves are owned by :mod:`repro.warehouse.api`.
+_KIND_OPERATIONS: dict[FaultKind, tuple[str, ...]] = {
+    FaultKind.API_ERROR: ALL_OPERATIONS,
+    FaultKind.API_TIMEOUT: ALL_OPERATIONS,
+    FaultKind.CONFIG_REJECT: ("alter_warehouse",),
+    FaultKind.PARTIAL_WRITE: ("alter_warehouse",),
+    FaultKind.STUCK_SUSPEND: ("suspend_warehouse",),
+    FaultKind.TELEMETRY_GAP: TELEMETRY_OPERATIONS,
+    FaultKind.TELEMETRY_DELAY: TELEMETRY_OPERATIONS,
+    FaultKind.TELEMETRY_DUPLICATE: TELEMETRY_OPERATIONS,
+    FaultKind.BILLING_STALE: BILLING_OPERATIONS,
+}
+
+#: Kinds whose ``magnitude`` (seconds) is meaningful and must be positive.
+_TIMED_KINDS = frozenset({FaultKind.TELEMETRY_DELAY, FaultKind.BILLING_STALE})
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: kind, target operation, arming window, odds.
+
+    Attributes
+    ----------
+    kind:
+        Row of the fault taxonomy.
+    operation:
+        Client operation to target, or ``"*"`` for every operation the kind
+        may legally target.
+    probability:
+        Per-call trigger probability in ``[0, 1]``.  Window-only faults
+        (e.g. a blackout) use ``1.0``.
+    window:
+        Sim-time window during which the spec is armed; ``None`` arms it
+        for the whole run.
+    magnitude:
+        Seconds, for the timed kinds (telemetry delay, billing staleness).
+    detail:
+        Free-text note carried into injected error messages and traces.
+    """
+
+    kind: FaultKind
+    operation: str = "*"
+    probability: float = 1.0
+    window: Window | None = None
+    magnitude: float = 0.0
+    detail: str = ""
+
+    def __post_init__(self):
+        if not 0.0 <= self.probability <= 1.0:
+            raise ConfigurationError(
+                f"fault probability must be in [0, 1], got {self.probability}"
+            )
+        allowed = _KIND_OPERATIONS[self.kind]
+        if self.operation != "*" and self.operation not in allowed:
+            raise ConfigurationError(
+                f"{self.kind.value} cannot target {self.operation!r}; "
+                f"allowed: {', '.join(allowed)}"
+            )
+        if self.kind in _TIMED_KINDS and self.magnitude <= 0:
+            raise ConfigurationError(
+                f"{self.kind.value} needs a positive magnitude (seconds)"
+            )
+        if self.magnitude < 0:
+            raise ConfigurationError("fault magnitude must be >= 0")
+
+    def targets(self, operation: str) -> bool:
+        """Does this spec apply to ``operation``?"""
+        if self.operation == "*":
+            return operation in _KIND_OPERATIONS[self.kind]
+        return operation == self.operation
+
+    def armed(self, now: float) -> bool:
+        """Is this spec active at sim time ``now``?"""
+        return self.window is None or self.window.contains(now)
+
+    def describe(self) -> str:
+        parts = [self.kind.value, f"op={self.operation}"]
+        if self.probability < 1.0:
+            parts.append(f"p={self.probability:g}")
+        if self.window is not None:
+            parts.append(f"window=[{self.window.start:g}, {self.window.end:g})")
+        if self.magnitude:
+            parts.append(f"magnitude={self.magnitude:g}s")
+        if self.detail:
+            parts.append(f"({self.detail})")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An ordered, immutable collection of :class:`FaultSpec` entries.
+
+    Spec order matters: the faulting client evaluates armed specs in plan
+    order and draws one RNG variate per armed probabilistic spec, so the
+    injected sequence is a pure function of ``(plan, seed, call sequence)``.
+    """
+
+    name: str = "faults"
+    specs: tuple[FaultSpec, ...] = field(default_factory=tuple)
+
+    def __post_init__(self):
+        # Tolerate list literals in scenario builders.
+        object.__setattr__(self, "specs", tuple(self.specs))
+
+    def __len__(self) -> int:
+        return len(self.specs)
+
+    def armed_specs(self, operation: str, now: float) -> list[FaultSpec]:
+        """Specs targeting ``operation`` that are armed at ``now``, in order."""
+        return [s for s in self.specs if s.targets(operation) and s.armed(now)]
+
+    def describe(self) -> str:
+        """Human-readable rendering (the ``faults describe`` CLI output)."""
+        lines = [f"fault plan {self.name!r}: {len(self.specs)} spec(s)"]
+        lines.extend(f"  [{i}] {spec.describe()}" for i, spec in enumerate(self.specs))
+        return "\n".join(lines)

@@ -131,6 +131,103 @@ class SilentExceptRule(Rule):
 
 
 @register
+class BoundedRetriesRule(Rule):
+    """R010: retry loops must be bounded and failures must propagate.
+
+    The robustness layer (docs/ROBUSTNESS.md) handles vendor flakiness with
+    *bounded* retries, a circuit breaker, and typed errors.  Two patterns
+    defeat it:
+
+    * ``while True:`` with no ``break``/``return`` — an unbounded retry (or
+      plain infinite) loop that turns a persistent vendor outage into a hang;
+    * ``except Exception`` that neither re-raises nor is a trivial swallow
+      (R006 covers those) — work done in a blanket handler hides the typed
+      errors (TelemetryError, WarehouseTimeoutError, ...) consumers key off.
+    """
+
+    rule_id = "R010"
+    name = "bounded-retries"
+    severity = "error"
+    summary = (
+        "retry loops must be bounded (no escape-less `while True:`) and "
+        "blanket `except Exception` handlers must re-raise; use RetryPolicy/"
+        "CircuitBreaker and typed errors instead"
+    )
+
+    _BLANKET = ("Exception", "BaseException")
+
+    @classmethod
+    def _has_escape(cls, stmts: list[ast.stmt], in_nested_loop: bool) -> bool:
+        """Can control leave the loop via ``break`` (bound here) or ``return``?"""
+        for stmt in stmts:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+                continue  # separate scope: its returns/breaks don't exit us
+            if isinstance(stmt, ast.Return):
+                return True
+            if isinstance(stmt, ast.Break) and not in_nested_loop:
+                return True
+            if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+                if cls._has_escape(stmt.body + stmt.orelse, True):
+                    return True
+            elif isinstance(stmt, ast.Try):
+                blocks = stmt.body + stmt.orelse + stmt.finalbody
+                for handler in stmt.handlers:
+                    blocks = blocks + handler.body
+                if cls._has_escape(blocks, in_nested_loop):
+                    return True
+            elif isinstance(stmt, ast.If):
+                if cls._has_escape(stmt.body + stmt.orelse, in_nested_loop):
+                    return True
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                if cls._has_escape(stmt.body, in_nested_loop):
+                    return True
+        return False
+
+    @staticmethod
+    def _reraises(body: list[ast.stmt]) -> bool:
+        for stmt in body:
+            for node in ast.walk(stmt):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break  # don't credit raises from nested defs
+                if isinstance(node, ast.Raise):
+                    return True
+        return False
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.While):
+                test = node.test
+                infinite = isinstance(test, ast.Constant) and bool(test.value)
+                if infinite and not self._has_escape(node.body, False):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "`while True:` with no break/return is an unbounded "
+                        "retry loop; bound the attempts (see "
+                        "repro.core.actuator.RetryPolicy) or add an escape",
+                    )
+            elif isinstance(node, ast.ExceptHandler):
+                if node.type is None:
+                    continue  # bare except: R006's finding already
+                blanket = SilentExceptRule._is_blanket(
+                    SilentExceptRule(), ctx, node.type
+                )
+                if not blanket:
+                    continue
+                if SilentExceptRule._swallows(node.body):
+                    continue  # trivial swallow: R006's finding already
+                if not self._reraises(node.body):
+                    yield ctx.finding(
+                        self,
+                        node,
+                        "`except Exception` that does work but never "
+                        "re-raises hides typed failures (TelemetryError, "
+                        "WarehouseTimeoutError, ...) from their consumers; "
+                        "catch the specific errors or re-raise",
+                    )
+
+
+@register
 class NoPrintInLibraryRule(Rule):
     """R009: no ``print()`` in library code.
 

@@ -25,6 +25,19 @@ TELEMETRY_FETCH_CREDITS = 0.0008
 ACTUATOR_CALL_CREDITS = 0.0004
 MONITOR_POLL_CREDITS = 0.0002
 
+#: The client surface, grouped by effect.  These names are the vocabulary
+#: of the fault-injection layer (:mod:`repro.faults`): a ``FaultSpec``
+#: targets one of these operations (or a whole group), and the
+#: ``FaultingWarehouseClient`` overrides exactly this surface — keep them
+#: in sync when adding client methods.
+WRITE_OPERATIONS = ("alter_warehouse", "suspend_warehouse", "resume_warehouse")
+STATUS_OPERATIONS = ("show_warehouses", "describe_warehouse", "current_config")
+TELEMETRY_OPERATIONS = ("query_history", "warehouse_events")
+BILLING_OPERATIONS = ("metering_history", "credits_in_window")
+ALL_OPERATIONS = (
+    WRITE_OPERATIONS + STATUS_OPERATIONS + TELEMETRY_OPERATIONS + BILLING_OPERATIONS
+)
+
 
 @dataclass(frozen=True)
 class WarehouseInfo:

@@ -101,12 +101,37 @@ class TelemetryStore:
             records = records[lo:hi]
         if not include_overhead:
             records = [r for r in records if not r.is_overhead]
+        # Integrity gate (docs/ROBUSTNESS.md): a corrupted view must surface
+        # as a typed TelemetryError the consumers already handle (degraded
+        # monitor snapshot, retrain retry) — never as silently wrong training
+        # data.
+        previous = None
+        for r in records:
+            if not r.completed or r.total_seconds < 0 or r.queued_seconds < 0:
+                raise TelemetryError(
+                    f"malformed QUERY_HISTORY row for {warehouse!r} "
+                    f"at t={r.arrival_time:g}"
+                )
+            if previous is not None and r.arrival_time < previous:
+                raise TelemetryError(
+                    f"QUERY_HISTORY for {warehouse!r} out of order "
+                    f"at t={r.arrival_time:g}"
+                )
+            previous = r.arrival_time
         return list(records)
 
     def warehouse_events(
         self, warehouse: str, window: Window | None = None, kind: str | None = None
     ) -> list[WarehouseEvent]:
         events = self._events.get(warehouse, [])
+        # record_event appends without sorting (writers are concurrent in
+        # spirit), so ordering is verified at fetch time instead.
+        for prev, cur in zip(events, events[1:]):
+            if cur.time < prev.time:
+                raise TelemetryError(
+                    f"WAREHOUSE_EVENTS for {warehouse!r} out of order "
+                    f"at t={cur.time:g}"
+                )
         if window is not None:
             events = [e for e in events if window.contains(e.time)]
         if kind is not None:

@@ -1,0 +1,275 @@
+"""Tests for the hardened actuator: retries, circuit breaker, read-back.
+
+The flaky vendor is played by :class:`FaultingWarehouseClient` with
+probability-1.0 specs, so every test is deterministic without any RNG
+stubbing (docs/ROBUSTNESS.md).
+"""
+
+import pytest
+
+from repro.common.rng import fallback_rng
+from repro.common.simtime import HOUR, Window
+from repro.core.actuator import (
+    Actuator,
+    BreakerState,
+    CircuitBreaker,
+    RetryPolicy,
+)
+from repro.core.monitoring import Monitor
+from repro.faults import FaultingWarehouseClient, FaultKind, FaultPlan, FaultSpec
+from repro.learning.features import WorkloadBaseline
+from repro.warehouse.api import CloudWarehouseClient
+from repro.warehouse.types import WarehouseSize
+
+from tests.conftest import make_account
+
+
+def build(specs=(), retry_policy=None, breaker=None):
+    account, wh = make_account()
+    client = FaultingWarehouseClient(account, FaultPlan(specs=tuple(specs)))
+    monitor = Monitor(client, wh, WorkloadBaseline())
+    actuator = Actuator(
+        client, wh, monitor,
+        retry_policy=retry_policy, breaker=breaker, rng=fallback_rng(3),
+    )
+    return account, wh, client, actuator, monitor
+
+
+def bigger(client, wh, size=WarehouseSize.L):
+    return client.current_config(wh).with_changes(size=size)
+
+
+class TestRetryPolicy:
+    def test_exponential_growth_and_cap(self):
+        policy = RetryPolicy(
+            base_delay_seconds=10.0, multiplier=2.0,
+            max_delay_seconds=35.0, jitter_fraction=0.0,
+        )
+        rng = fallback_rng(0)
+        assert policy.delay_seconds(1, rng) == 10.0
+        assert policy.delay_seconds(2, rng) == 20.0
+        assert policy.delay_seconds(3, rng) == 35.0  # capped
+
+    def test_jitter_is_seeded_and_bounded(self):
+        policy = RetryPolicy(base_delay_seconds=10.0, jitter_fraction=0.2)
+        first = policy.delay_seconds(1, fallback_rng(9))
+        again = policy.delay_seconds(1, fallback_rng(9))
+        assert first == again  # same stream, same delay
+        assert 8.0 <= first <= 12.0
+
+
+class TestCircuitBreaker:
+    def test_opens_after_consecutive_failures(self):
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_seconds=60.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert not breaker.is_open
+        breaker.record_failure(2.0)
+        assert breaker.is_open and breaker.opens == 1
+        assert breaker.blocking(10.0)
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2)
+        breaker.record_failure(0.0)
+        breaker.record_success(1.0)
+        breaker.record_failure(2.0)
+        assert not breaker.is_open
+
+    def test_half_open_probe_closes_on_success(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_seconds=60.0)
+        breaker.record_failure(0.0)
+        assert not breaker.begin_attempt(30.0)  # still cooling down
+        assert breaker.begin_attempt(61.0)  # probe allowed
+        assert breaker.state is BreakerState.HALF_OPEN
+        breaker.record_success(61.0)
+        assert breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens(self):
+        breaker = CircuitBreaker(failure_threshold=2, cooldown_seconds=60.0)
+        breaker.record_failure(0.0)
+        breaker.record_failure(1.0)
+        assert breaker.begin_attempt(62.0)
+        breaker.record_failure(62.0)  # one failure re-opens a half-open breaker
+        assert breaker.is_open and breaker.opens == 2
+        assert breaker.blocking(100.0)
+
+    def test_threshold_must_be_positive(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)
+
+
+class TestRetries:
+    def test_failed_write_retries_and_recovers(self):
+        # The fault window covers only the first attempt; the scheduled
+        # retry (~5 s of backoff) lands after it and succeeds.
+        account, wh, client, actuator, _ = build(
+            [
+                FaultSpec(
+                    FaultKind.API_ERROR,
+                    operation="alter_warehouse",
+                    window=Window(0.0, 2.0),
+                )
+            ]
+        )
+        target = bigger(client, wh)
+        entry = actuator.apply(target, reason="grow")
+        assert not entry.succeeded and actuator.retries_scheduled == 1
+        account.run_until(60.0)
+        assert client.current_config(wh) == target
+        assert [(e.attempt, e.succeeded) for e in actuator.log] == [
+            (1, False),
+            (2, True),
+        ]
+
+    def test_attempts_are_bounded_by_the_policy(self):
+        account, wh, client, actuator, _ = build(
+            [FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse")],
+            retry_policy=RetryPolicy(max_attempts=3),
+            breaker=CircuitBreaker(failure_threshold=10),
+        )
+        actuator.apply(bigger(client, wh), reason="grow")
+        account.run_until(HOUR)
+        assert [e.attempt for e in actuator.log] == [1, 2, 3]
+        assert actuator.retries_scheduled == 2
+        assert actuator.errors == 3
+
+    def test_newer_apply_supersedes_pending_retry(self):
+        account, wh, client, actuator, _ = build(
+            [
+                FaultSpec(
+                    FaultKind.API_ERROR,
+                    operation="alter_warehouse",
+                    window=Window(0.0, 2.0),
+                )
+            ]
+        )
+        stale = bigger(client, wh, WarehouseSize.L)
+        fresh = bigger(client, wh, WarehouseSize.XL)
+        actuator.apply(stale, reason="first")  # fails, schedules a retry
+        actuator.apply(fresh, reason="second")  # fails, supersedes it
+        account.run_until(60.0)
+        assert client.current_config(wh) == fresh
+        # The stale target's retry aborted: no entry ever reached it.
+        assert all(e.to_config != stale for e in actuator.log if e.succeeded)
+
+
+class TestBreakerIntegration:
+    def plan(self, window=None):
+        return [
+            FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse", window=window)
+        ]
+
+    def test_breaker_opens_and_skips_writes(self):
+        account, wh, client, actuator, _ = build(
+            self.plan(),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_seconds=HOUR),
+        )
+        target = bigger(client, wh)
+        actuator.apply(target, reason="one")
+        actuator.apply(target, reason="two")
+        assert actuator.breaker.is_open
+        injected_before = client.total_injected()
+        entry = actuator.apply(target, reason="three")
+        assert not entry.succeeded and entry.error == "circuit breaker open"
+        assert client.total_injected() == injected_before  # vendor never called
+
+    def test_half_open_probe_recovers_after_cooldown(self):
+        account, wh, client, actuator, _ = build(
+            self.plan(window=Window(0.0, 10.0)),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_seconds=300.0),
+        )
+        target = bigger(client, wh)
+        actuator.apply(target, reason="one")
+        actuator.apply(target, reason="two")
+        assert actuator.breaker.is_open
+        account.run_until(400.0)  # cool-down elapsed, fault window over
+        entry = actuator.apply(target, reason="probe")
+        assert entry.succeeded
+        assert actuator.breaker.state is BreakerState.CLOSED
+
+    def test_failed_probe_reopens_the_breaker(self):
+        account, wh, client, actuator, _ = build(
+            self.plan(),
+            retry_policy=RetryPolicy(max_attempts=1),
+            breaker=CircuitBreaker(failure_threshold=2, cooldown_seconds=300.0),
+        )
+        target = bigger(client, wh)
+        actuator.apply(target, reason="one")
+        actuator.apply(target, reason="two")
+        account.run_until(400.0)
+        actuator.apply(target, reason="probe")  # fault still active
+        assert actuator.breaker.is_open and actuator.breaker.opens == 2
+
+
+class TestReadBackVerification:
+    def test_timeout_whose_write_landed_is_reconciled(self):
+        account, wh, client, actuator, monitor = build(
+            [FaultSpec(FaultKind.API_TIMEOUT, operation="alter_warehouse")]
+        )
+        target = bigger(client, wh)
+        entry = actuator.apply(target, reason="grow")
+        # The vendor timed out but the write landed; read-back catches it.
+        assert entry.succeeded
+        assert entry.error.startswith("reconciled by read-back after:")
+        assert monitor._expected_config == target
+        assert not actuator.breaker.is_open
+
+    def test_partial_write_leaves_monitor_expecting_live_config(self):
+        account, wh, client, actuator, monitor = build(
+            [FaultSpec(FaultKind.PARTIAL_WRITE, operation="alter_warehouse")],
+            retry_policy=RetryPolicy(max_attempts=1),
+        )
+        before = client.current_config(wh)
+        # The actuator writes all knobs; the injected partial write applies
+        # only the first sorted one (auto_suspend_seconds), dropping size.
+        target = before.with_changes(size=WarehouseSize.L, auto_suspend_seconds=90.0)
+        entry = actuator.apply(target, reason="grow")
+        live = client.current_config(wh)
+        assert not entry.succeeded
+        assert live != target and live != before  # genuinely partial
+        assert entry.to_config == live
+        assert monitor._expected_config == live  # no silent divergence
+
+    def test_failing_pre_read_is_recorded_not_raised(self):
+        # Satellite fix: the pre-write config read used to be unguarded.
+        account, wh, client, actuator, _ = build(
+            [FaultSpec(FaultKind.API_ERROR, operation="current_config")]
+        )
+        target = bigger(
+            CloudWarehouseClient(account, "keebo"), wh
+        )  # read via a clean client
+        entry = actuator.apply(target, reason="grow")
+        assert not entry.succeeded
+        assert entry.error.startswith("config read failed:")
+        assert entry.read_back_error != ""
+        assert actuator.errors == 1
+        assert actuator.retries_scheduled == 1
+
+    def test_failing_read_back_trusts_the_write_outcome(self):
+        account, wh = make_account()
+
+        class FlakyReadBack(CloudWarehouseClient):
+            """Pre-read works; every later current_config read fails."""
+
+            def __init__(self, account):
+                super().__init__(account, "keebo")
+                self.reads = 0
+
+            def current_config(self, name):
+                self.reads += 1
+                if self.reads > 1:
+                    from repro.common.errors import WarehouseTimeoutError
+
+                    raise WarehouseTimeoutError("injected: read-back lost")
+                return super().current_config(name)
+
+        client = FlakyReadBack(account)
+        monitor = Monitor(client, wh, WorkloadBaseline())
+        actuator = Actuator(client, wh, monitor, rng=fallback_rng(3))
+        target = bigger(CloudWarehouseClient(account, "keebo"), wh)
+        entry = actuator.apply(target, reason="grow")
+        assert entry.succeeded  # the write itself worked
+        assert entry.read_back_error == "injected: read-back lost"
+        assert monitor._expected_config == target

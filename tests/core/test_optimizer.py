@@ -121,6 +121,70 @@ class TestExternalConflict:
         assert len(optimizer.decisions) > n_before
 
 
+class TestExternalConflictRevert:
+    """The revert-and-pause path of §4.4 under a flaky vendor."""
+
+    def test_no_keebo_writes_after_pause(self):
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        optimizer.onboard()
+        template = make_template("opt", base_work_seconds=15.0, n_partitions=2)
+        account.schedule_workload(
+            wh, make_requests(template, [12 * HOUR + 10 + i * 400.0 for i in range(100)])
+        )
+        account.run_until(13 * HOUR)
+        CloudWarehouseClient(account, actor="customer").alter_warehouse(
+            wh, size=WarehouseSize.XL
+        )
+        account.run_until(16 * HOUR)
+        assert optimizer.paused
+        pause = account.telemetry.warehouse_events(wh, kind="keebo_paused")[0]
+        keebo_alters = [
+            e
+            for e in account.telemetry.warehouse_events(wh, kind="alter")
+            if e.initiator == "keebo" and e.time > pause.time
+        ]
+        # Pausing accepted the external state: no revert war afterwards.
+        assert keebo_alters == []
+        assert optimizer.monitor._expected_config == CloudWarehouseClient(
+            account
+        ).current_config(wh)
+
+    def test_conflict_read_failure_defers_pause(self):
+        from repro import obs
+        from repro.common.simtime import Window as W
+        from repro.faults import FaultingWarehouseClient, FaultKind, FaultPlan, FaultSpec
+
+        account, wh = seeded_account()
+        outage = W(12 * HOUR + 100.0, 12 * HOUR + 600.0)
+        client = FaultingWarehouseClient(
+            account,
+            FaultPlan(
+                specs=(
+                    FaultSpec(
+                        FaultKind.API_ERROR, operation="current_config", window=outage
+                    ),
+                )
+            ),
+        )
+        optimizer = WarehouseOptimizer(
+            account, wh, config=small_config(), client=client
+        )
+        optimizer.onboard()  # at 12 h, before the outage arms
+        account.run_until(12 * HOUR + 200.0)
+        with obs.observed() as rec:
+            optimizer._handle_external_conflict(account.sim.now)
+        # The live config was unreadable: stay unpaused and retry later.
+        assert not optimizer.paused
+        assert any(
+            r.get("name") == "optimizer.config_read_error" for r in rec.sink.records
+        )
+        account.run_until(12 * HOUR + 700.0)
+        optimizer._handle_external_conflict(account.sim.now)
+        assert optimizer.paused
+        assert len(account.telemetry.warehouse_events(wh, kind="keebo_paused")) == 1
+
+
 class TestRetraining:
     def test_periodic_retrain_updates_models(self):
         account, wh = seeded_account()

@@ -1,0 +1,151 @@
+"""Tests for degraded-mode operation: dark telemetry and SAFE_MODE.
+
+The telemetry blackout is injected with a windowed FaultPlan, so every
+scenario here is a pure function of the seed (docs/ROBUSTNESS.md).
+"""
+
+from repro import obs
+from repro.common.simtime import HOUR, Window
+from repro.core.monitoring import Monitor
+from repro.core.optimizer import WarehouseOptimizer
+from repro.core.smart_model import DecisionKind
+from repro.faults import FaultingWarehouseClient, FaultKind, FaultPlan, FaultSpec
+from repro.learning.features import WorkloadBaseline
+
+from tests.conftest import make_account
+from tests.core.test_optimizer import seeded_account, small_config
+
+
+def faulting_optimizer(specs, **config_kw):
+    """An onboarded optimizer whose every vendor call goes through a plan."""
+    account, wh = seeded_account()
+    client = FaultingWarehouseClient(account, FaultPlan(specs=tuple(specs)))
+    optimizer = WarehouseOptimizer(
+        account, wh, config=small_config(**config_kw), client=client
+    )
+    optimizer.onboard()
+    return account, wh, optimizer
+
+
+class TestMonitorDegradedSnapshot:
+    def test_blackout_yields_stale_flagged_feedback(self):
+        account, wh = make_account()
+        client = FaultingWarehouseClient(
+            account, FaultPlan(specs=(FaultSpec(FaultKind.TELEMETRY_GAP),))
+        )
+        monitor = Monitor(client, wh, WorkloadBaseline())
+        account.run_until(600.0)
+        feedback = monitor.snapshot(600.0)
+        assert not feedback.telemetry_ok
+        assert feedback.telemetry_age_seconds == 600.0
+        assert feedback.recent_queries == 0 and not feedback.external_change
+        assert monitor.telemetry_failures == 1
+
+    def test_age_resets_when_telemetry_recovers(self):
+        account, wh = make_account()
+        client = FaultingWarehouseClient(
+            account,
+            FaultPlan(
+                specs=(FaultSpec(FaultKind.TELEMETRY_GAP, window=Window(0.0, 900.0)),)
+            ),
+        )
+        monitor = Monitor(client, wh, WorkloadBaseline())
+        account.run_until(600.0)
+        assert not monitor.snapshot(600.0).telemetry_ok
+        account.run_until(1200.0)
+        feedback = monitor.snapshot(1200.0)
+        assert feedback.telemetry_ok
+        assert monitor.last_good_fetch == 1200.0
+        assert monitor.telemetry_age(1500.0) == 300.0
+
+
+class TestSafeModeLifecycle:
+    # small_config ticks every 900 s; the default staleness threshold (1800 s)
+    # means the second consecutive dark tick crosses into SAFE_MODE.
+    BLACKOUT = Window(12 * HOUR + 1200.0, 14 * HOUR)
+
+    def build(self):
+        return faulting_optimizer(
+            [FaultSpec(FaultKind.TELEMETRY_GAP, window=self.BLACKOUT)]
+        )
+
+    def test_blackout_enters_and_exits_safe_mode(self):
+        account, wh, optimizer = self.build()
+        with obs.observed() as rec:
+            account.run_until(16 * HOUR)
+        assert optimizer.safe_mode_entries == 1
+        assert not optimizer.safe_mode  # recovered by the end
+        assert optimizer.decision_counts()["safe_mode"] >= 1
+        events = account.telemetry.warehouse_events(wh, kind="keebo_safe_mode")
+        assert len(events) == 1
+        name = f"optimizer.safe_mode.{wh.lower()}"
+        lifecycle = [
+            r
+            for r in rec.sink.records
+            if r.get("type") == "event"
+            and r.get("name") in ("alert.fire", "alert.resolve")
+            and r["attrs"].get("alert") == name
+        ]
+        assert [r["name"] for r in lifecycle] == ["alert.fire", "alert.resolve"]
+        fire, resolve = lifecycle
+        assert self.BLACKOUT.contains(fire["time"])
+        assert resolve["time"] >= self.BLACKOUT.end
+        assert not rec.alerts.is_active(name)
+
+    def test_safe_mode_freezes_at_original_config(self):
+        account, wh, optimizer = self.build()
+        account.run_until(13.5 * HOUR)  # mid-blackout, past the threshold
+        assert optimizer.safe_mode
+        live = optimizer.client.account.warehouse(wh).config
+        assert live == optimizer.action_space.original
+        safe = [d for d in optimizer.decisions if d.kind == DecisionKind.SAFE_MODE]
+        assert safe and all(
+            d.target == optimizer.action_space.original for d in safe
+        )
+
+    def test_exit_takes_a_warmup_hold_then_resumes(self):
+        account, wh, optimizer = self.build()
+        account.run_until(16 * HOUR)
+        last_safe = max(
+            i
+            for i, d in enumerate(optimizer.decisions)
+            if d.kind == DecisionKind.SAFE_MODE
+        )
+        after = optimizer.decisions[last_safe + 1:]
+        assert after[0].kind == DecisionKind.HOLD
+        assert after[0].reason == "safe-mode warm-up"
+        assert any(d.kind != DecisionKind.HOLD for d in after[1:])
+
+    def test_short_gap_holds_without_safe_mode(self):
+        # One dark tick (age 900 s < the 1800 s threshold) must hold, not trip.
+        account, wh, optimizer = faulting_optimizer(
+            [
+                FaultSpec(
+                    FaultKind.TELEMETRY_GAP,
+                    # Covers the 12h+1800s tick only (ticks land every 900 s).
+                    window=Window(12 * HOUR + 1300.0, 12 * HOUR + 2300.0),
+                )
+            ]
+        )
+        account.run_until(14 * HOUR)
+        assert optimizer.safe_mode_entries == 0
+        holds = [d for d in optimizer.decisions if d.kind == DecisionKind.HOLD]
+        assert any(d.reason == "telemetry unavailable" for d in holds)
+
+
+class TestBreakerDrivenSafeMode:
+    def test_open_breaker_enters_safe_mode_and_recovers(self):
+        account, wh, optimizer = faulting_optimizer([])
+        breaker = optimizer.actuator.breaker
+        opened_at = account.sim.now
+        for _ in range(breaker.failure_threshold):
+            breaker.record_failure(opened_at)
+        assert breaker.blocking(opened_at)
+        account.run_until(opened_at + 900.0)
+        assert optimizer.safe_mode
+        last = optimizer.decisions[-1]
+        assert last.kind == DecisionKind.SAFE_MODE
+        assert last.reason == "actuation circuit breaker open"
+        # The cool-down (1800 s) elapses; blocking ends and SAFE_MODE exits.
+        account.run_until(opened_at + 3 * 900.0)
+        assert not optimizer.safe_mode

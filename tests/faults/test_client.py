@@ -1,0 +1,193 @@
+"""Tests for FaultingWarehouseClient: per-kind behaviour and determinism."""
+
+import pytest
+
+from repro.common.errors import (
+    ConfigRejectedError,
+    InjectedFaultError,
+    TelemetryError,
+    WarehouseTimeoutError,
+)
+from repro.common.rng import fallback_rng
+from repro.common.simtime import HOUR, Window
+from repro.faults import FaultingWarehouseClient, FaultKind, FaultPlan, FaultSpec
+from repro.warehouse.api import CloudWarehouseClient
+from tests.conftest import drive, make_account, make_requests, make_template
+
+
+def build(specs, seed=11, rng=None):
+    account, wh = make_account(seed=seed)
+    client = FaultingWarehouseClient(account, FaultPlan(specs=tuple(specs)), rng=rng)
+    return account, wh, client
+
+
+class TestFailureKinds:
+    def test_api_error_raises_and_counts(self):
+        account, wh, client = build(
+            [FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse", detail="boom")]
+        )
+        before = client.current_config(wh)
+        with pytest.raises(InjectedFaultError, match="boom"):
+            client.alter_warehouse(wh, auto_suspend_seconds=30.0)
+        assert client.current_config(wh) == before  # nothing landed
+        assert client.injected == {"api_error": 1}
+        assert client.injected_by_operation == {("alter_warehouse", "api_error"): 1}
+        assert client.total_injected() == 1
+
+    def test_api_timeout_on_write_lands_then_raises(self):
+        account, wh, client = build(
+            [FaultSpec(FaultKind.API_TIMEOUT, operation="alter_warehouse")]
+        )
+        with pytest.raises(WarehouseTimeoutError):
+            client.alter_warehouse(wh, auto_suspend_seconds=30.0)
+        # The ambiguous timeout: the write landed even though the call failed.
+        assert account.warehouse(wh).config.auto_suspend_seconds == 30.0
+
+    def test_config_reject_leaves_config_untouched(self):
+        account, wh, client = build(
+            [FaultSpec(FaultKind.CONFIG_REJECT, operation="alter_warehouse")]
+        )
+        before = account.warehouse(wh).config
+        with pytest.raises(ConfigRejectedError):
+            client.alter_warehouse(wh, auto_suspend_seconds=30.0)
+        assert account.warehouse(wh).config == before
+
+    def test_partial_write_applies_first_sorted_key_only(self):
+        account, wh, client = build(
+            [FaultSpec(FaultKind.PARTIAL_WRITE, operation="alter_warehouse")]
+        )
+        with pytest.raises(WarehouseTimeoutError):
+            client.alter_warehouse(wh, max_clusters=3, auto_suspend_seconds=30.0)
+        after = account.warehouse(wh).config
+        # sorted(changes)[0] == "auto_suspend_seconds": only that key landed.
+        assert after.auto_suspend_seconds == 30.0
+        assert after.max_clusters == 1
+
+    def test_stuck_suspend_times_out_without_state_change(self):
+        account, wh, client = build(
+            [FaultSpec(FaultKind.STUCK_SUSPEND, operation="suspend_warehouse")]
+        )
+        before = account.warehouse(wh).state
+        with pytest.raises(WarehouseTimeoutError):
+            client.suspend_warehouse(wh)
+        assert account.warehouse(wh).state is before
+
+    def test_telemetry_gap_raises_telemetry_error(self):
+        account, wh, client = build([FaultSpec(FaultKind.TELEMETRY_GAP)])
+        with pytest.raises(TelemetryError):
+            client.query_history(wh)
+        with pytest.raises(TelemetryError):
+            client.warehouse_events(wh)
+
+
+class TestTelemetryTransforms:
+    @staticmethod
+    def driven(specs, until=HOUR):
+        account, wh, client = build(specs)
+        template = make_template("t", base_work_seconds=2.0)
+        requests = make_requests(template, [60.0 * i for i in range(30)])
+        drive(account, wh, requests, until)
+        return account, wh, client
+
+    def test_telemetry_delay_hides_recent_rows(self):
+        # now = 1800s, horizon = 900s: arrivals at 60s intervals straddle it.
+        account, wh, client = self.driven(
+            [FaultSpec(FaultKind.TELEMETRY_DELAY, magnitude=900.0)], until=HOUR / 2
+        )
+        base = CloudWarehouseClient(account, "keebo").query_history(wh)
+        delayed = client.query_history(wh)
+        horizon = account.sim.now - 900.0
+        assert delayed == [r for r in base if r.arrival_time <= horizon]
+        assert 0 < len(delayed) < len(base)
+
+    def test_telemetry_duplicate_repeats_last_row(self):
+        account, wh, client = self.driven([FaultSpec(FaultKind.TELEMETRY_DUPLICATE)])
+        base = CloudWarehouseClient(account, "keebo").query_history(wh)
+        duplicated = client.query_history(wh)
+        assert duplicated == base + [base[-1]]
+
+    def test_billing_stale_reads_as_of_the_past(self):
+        # Stop mid-workload so a billing segment is still open: staleness
+        # clips how much of the open segment the metering view has seen.
+        account, wh, client = self.driven(
+            [FaultSpec(FaultKind.BILLING_STALE, magnitude=600.0)], until=HOUR / 2
+        )
+        window = Window(0.0, account.sim.now)
+        fresh = CloudWarehouseClient(account, "keebo").credits_in_window(wh, window)
+        stale = client.credits_in_window(wh, window)
+        assert stale < fresh  # the last ten minutes of spend are invisible
+        assert client.injected == {"billing_stale": 1}
+
+
+class TestDeterminism:
+    SPECS = (
+        FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse", probability=0.4),
+        FaultSpec(FaultKind.CONFIG_REJECT, operation="alter_warehouse", probability=0.3),
+    )
+
+    @staticmethod
+    def outcomes(client, wh, n=30):
+        out = []
+        for i in range(n):
+            try:
+                client.alter_warehouse(wh, auto_suspend_seconds=60.0 + i)
+                out.append("ok")
+            except InjectedFaultError:
+                out.append("api_error")
+            except ConfigRejectedError:
+                out.append("config_reject")
+        return out
+
+    def test_same_seed_same_injection_sequence(self):
+        _, wh_a, a = build(self.SPECS, seed=23)
+        _, wh_b, b = build(self.SPECS, seed=23)
+        seq_a = self.outcomes(a, wh_a)
+        seq_b = self.outcomes(b, wh_b)
+        assert seq_a == seq_b
+        assert a.injected == b.injected
+        assert "api_error" in seq_a and "config_reject" in seq_a and "ok" in seq_a
+
+    def test_different_seed_differs(self):
+        _, wh_a, a = build(self.SPECS, seed=23)
+        _, wh_b, b = build(self.SPECS, seed=24)
+        assert self.outcomes(a, wh_a) != self.outcomes(b, wh_b)
+
+    def test_probability_one_consumes_no_randomness(self):
+        _, wh, client = build(
+            [FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse")],
+            rng=fallback_rng(123),
+        )
+        with pytest.raises(InjectedFaultError):
+            client.alter_warehouse(wh, auto_suspend_seconds=30.0)
+        # The certain spec triggered without touching the stream: the next
+        # draw matches a fresh generator's first draw bit-for-bit.
+        assert client.rng.random() == fallback_rng(123).random()
+
+    def test_evaluation_stops_at_first_trigger(self):
+        _, wh, client = build(
+            [
+                FaultSpec(FaultKind.API_ERROR, operation="alter_warehouse"),
+                FaultSpec(FaultKind.CONFIG_REJECT, operation="alter_warehouse"),
+            ]
+        )
+        with pytest.raises(InjectedFaultError):
+            client.alter_warehouse(wh, auto_suspend_seconds=30.0)
+        assert client.injected == {"api_error": 1}
+
+    def test_window_arms_and_disarms_injection(self):
+        account, wh, client = build(
+            [
+                FaultSpec(
+                    FaultKind.API_ERROR,
+                    operation="alter_warehouse",
+                    window=Window(HOUR, 2 * HOUR),
+                )
+            ]
+        )
+        client.alter_warehouse(wh, auto_suspend_seconds=45.0)  # before: clean
+        account.run_until(1.5 * HOUR)
+        with pytest.raises(InjectedFaultError):
+            client.alter_warehouse(wh, auto_suspend_seconds=50.0)
+        account.run_until(3 * HOUR)
+        client.alter_warehouse(wh, auto_suspend_seconds=55.0)  # after: clean
+        assert client.total_injected() == 1

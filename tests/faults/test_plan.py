@@ -1,0 +1,91 @@
+"""Tests for FaultSpec/FaultPlan validation and arming semantics."""
+
+import pytest
+
+from repro.common.errors import ConfigurationError
+from repro.common.simtime import HOUR, Window
+from repro.faults import FaultKind, FaultPlan, FaultSpec, TELEMETRY_OPERATIONS
+
+
+class TestFaultSpecValidation:
+    def test_probability_out_of_range_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.API_ERROR, probability=1.5)
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.API_ERROR, probability=-0.1)
+
+    def test_illegal_operation_for_kind_rejected(self):
+        # A config rejection can only happen on a config write.
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.CONFIG_REJECT, operation="query_history")
+
+    def test_timed_kind_needs_magnitude(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.TELEMETRY_DELAY)  # no magnitude
+        spec = FaultSpec(FaultKind.TELEMETRY_DELAY, magnitude=600.0)
+        assert spec.magnitude == 600.0
+
+    def test_negative_magnitude_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultSpec(FaultKind.API_ERROR, magnitude=-1.0)
+
+    def test_legal_spec_accepted(self):
+        spec = FaultSpec(
+            FaultKind.STUCK_SUSPEND, operation="suspend_warehouse", probability=0.5
+        )
+        assert spec.targets("suspend_warehouse")
+        assert not spec.targets("alter_warehouse")
+
+
+class TestTargetingAndArming:
+    def test_wildcard_expands_to_kind_operations(self):
+        spec = FaultSpec(FaultKind.TELEMETRY_GAP)
+        for op in TELEMETRY_OPERATIONS:
+            assert spec.targets(op)
+        assert not spec.targets("alter_warehouse")
+
+    def test_window_arms_and_disarms(self):
+        spec = FaultSpec(FaultKind.API_ERROR, window=Window(HOUR, 2 * HOUR))
+        assert not spec.armed(0.0)
+        assert spec.armed(HOUR)  # inclusive start
+        assert spec.armed(1.5 * HOUR)
+        assert not spec.armed(2.5 * HOUR)
+
+    def test_no_window_always_armed(self):
+        assert FaultSpec(FaultKind.API_ERROR).armed(0.0)
+        assert FaultSpec(FaultKind.API_ERROR).armed(1e9)
+
+
+class TestFaultPlan:
+    def test_specs_coerced_to_tuple(self):
+        plan = FaultPlan(specs=[FaultSpec(FaultKind.API_ERROR)])
+        assert isinstance(plan.specs, tuple)
+        assert len(plan) == 1
+
+    def test_armed_specs_preserve_plan_order(self):
+        a = FaultSpec(FaultKind.API_ERROR, detail="first")
+        b = FaultSpec(FaultKind.API_TIMEOUT, detail="second")
+        plan = FaultPlan(specs=(a, b))
+        armed = plan.armed_specs("alter_warehouse", 0.0)
+        assert [s.detail for s in armed] == ["first", "second"]
+
+    def test_armed_specs_filter_by_operation_and_time(self):
+        gap = FaultSpec(FaultKind.TELEMETRY_GAP, window=Window(HOUR, 2 * HOUR))
+        reject = FaultSpec(FaultKind.CONFIG_REJECT, operation="alter_warehouse")
+        plan = FaultPlan(specs=(gap, reject))
+        assert plan.armed_specs("query_history", 0.0) == []
+        assert plan.armed_specs("query_history", 1.5 * HOUR) == [gap]
+        assert plan.armed_specs("alter_warehouse", 0.0) == [reject]
+
+    def test_describe_mentions_every_spec(self):
+        plan = FaultPlan(
+            name="demo",
+            specs=(
+                FaultSpec(FaultKind.API_ERROR, probability=0.25),
+                FaultSpec(FaultKind.BILLING_STALE, magnitude=3600.0),
+            ),
+        )
+        text = plan.describe()
+        assert "demo" in text
+        assert "api_error" in text and "p=0.25" in text
+        assert "billing_stale" in text and "magnitude=3600s" in text

@@ -464,3 +464,154 @@ class TestR009PrintInLibrary:
             path="src/repro/portal/reports.py",
         )
         assert found == []
+
+
+class TestR010BoundedRetries:
+    def test_escapeless_while_true_flagged(self):
+        found = findings_for(
+            """\
+            def keep_trying(client):
+                while True:
+                    try:
+                        client.alter()
+                    except ValueError:
+                        continue
+            """,
+            "R010",
+        )
+        assert [f.line for f in found] == [2]
+        assert "unbounded" in found[0].message
+
+    def test_while_one_flagged(self):
+        found = findings_for(
+            """\
+            while 1:
+                poll()
+            """,
+            "R010",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_break_escapes(self):
+        found = findings_for(
+            """\
+            def drain(queue):
+                while True:
+                    if queue.empty():
+                        break
+                    queue.pop()
+            """,
+            "R010",
+        )
+        assert found == []
+
+    def test_return_escapes_even_inside_try(self):
+        found = findings_for(
+            """\
+            def retry(client, attempts: int):
+                while True:
+                    try:
+                        return client.alter()
+                    except ValueError:
+                        attempts -= 1
+            """,
+            "R010",
+        )
+        assert found == []
+
+    def test_break_in_nested_loop_does_not_escape_outer(self):
+        found = findings_for(
+            """\
+            while True:
+                for item in batch():
+                    if item is None:
+                        break
+                process(batch)
+            """,
+            "R010",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_nested_def_return_does_not_escape(self):
+        found = findings_for(
+            """\
+            while True:
+                def helper():
+                    return 1
+                helper()
+            """,
+            "R010",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_bounded_while_clean(self):
+        found = findings_for(
+            """\
+            attempts = 0
+            while attempts < 3:
+                attempts += 1
+            """,
+            "R010",
+        )
+        assert found == []
+
+    def test_working_blanket_handler_flagged(self):
+        found = findings_for(
+            """\
+            def tick(monitor):
+                try:
+                    monitor.poll()
+                except Exception as exc:
+                    log(exc)
+            """,
+            "R010",
+        )
+        assert [f.line for f in found] == [4]
+        assert "re-raise" in found[0].message
+
+    def test_reraising_blanket_handler_clean(self):
+        found = findings_for(
+            """\
+            def tick(monitor):
+                try:
+                    monitor.poll()
+                except Exception as exc:
+                    raise RuntimeError("poll failed") from exc
+            """,
+            "R010",
+        )
+        assert found == []
+
+    def test_trivial_swallow_left_to_r006(self):
+        # `except Exception: pass` is R006's finding; R010 must not duplicate.
+        source = """\
+            try:
+                poll()
+            except Exception:
+                pass
+            """
+        assert findings_for(source, "R010") == []
+        assert len(findings_for(source, "R006")) == 1
+
+    def test_bare_except_left_to_r006(self):
+        source = """\
+            try:
+                poll()
+            except:
+                log("?")
+            """
+        assert findings_for(source, "R010") == []
+        assert len(findings_for(source, "R006")) == 1
+
+    def test_specific_handler_clean(self):
+        found = findings_for(
+            """\
+            def tick(monitor):
+                try:
+                    monitor.poll()
+                except ValueError as exc:
+                    log(exc)
+            """,
+            "R010",
+        )
+        assert found == []
