@@ -101,3 +101,79 @@ def test_fig6_tracing_overhead(benchmark):
     # <2% disabled-path claim is about instrumentation left in place while
     # *off*, which is what every other bench in this suite now measures.)
     assert t_enabled < 2.0 * t_disabled
+
+
+def test_replay_disabled_obs_overhead(benchmark):
+    """Cost of the obs hooks in ``QueryReplay.replay`` while obs is *off*.
+
+    The smart model makes thousands of what-if replays per run, so replay
+    is the one call site where per-call span bookkeeping would add up.
+    The disabled fast path returns before any span or ``config.describe()``
+    work; this bench holds it to near-parity with calling the replay
+    internals directly.
+    """
+    from repro.common.simtime import HOUR, Window
+    from repro.costmodel.replay import QueryReplay
+    from repro.costmodel.clusters import ClusterCountPredictor
+    from repro.costmodel.gaps import GapModel
+    from repro.costmodel.latency import LatencyScalingModel
+    from repro.warehouse.config import WarehouseConfig
+    from repro.warehouse.queries import QueryRecord
+    from repro.warehouse.types import WarehouseSize
+
+    records = [
+        QueryRecord(
+            query_id=i,
+            warehouse="WH",
+            text_hash=f"t{i}",
+            template_hash=f"t{i % 7}",
+            arrival_time=i * 11.0,
+            start_time=i * 11.0,
+            end_time=i * 11.0 + 8.0,
+            execution_seconds=8.0,
+            warehouse_size=WarehouseSize.S,
+            cache_hit_ratio=1.0,
+            cluster_number=1,
+            chained=False,
+            completed=True,
+        )
+        for i in range(200)
+    ]
+    replay = QueryReplay(LatencyScalingModel(), GapModel(), ClusterCountPredictor())
+    config = WarehouseConfig(size=WarehouseSize.S, auto_suspend_seconds=300.0)
+    window = Window(0.0, HOUR)
+    n = 200
+
+    def compare():
+        assert not obs.enabled()
+        # Best-of-3 per path: the per-call delta under test is a single
+        # global read and None check, far below one-shot timer noise.
+        t_public = min(
+            timeit.repeat(
+                lambda: replay.replay(records, config, window), number=n, repeat=3
+            )
+        )
+        t_internal = min(
+            timeit.repeat(
+                lambda: replay._replay_impl(records, config, window), number=n, repeat=3
+            )
+        )
+        return t_public, t_internal
+
+    t_public, t_internal = run_once(benchmark, compare)
+    delta = (t_public - t_internal) / t_internal
+    record_result(
+        "fig6_replay_disabled_overhead",
+        f"replay() with obs off: {t_public / n * 1e3:8.3f} ms/call\n"
+        f"replay internals:      {t_internal / n * 1e3:8.3f} ms/call   ({delta:+.1%})",
+        data={
+            "seconds_public": t_public,
+            "seconds_internal": t_internal,
+            "delta_fraction": delta,
+            "calls": n,
+        },
+    )
+    # The hook is one global read and a None check per call; the loose
+    # bound absorbs single-core timer noise, not real span bookkeeping
+    # (which costs well over 2x on this call count).
+    assert t_public < 1.5 * t_internal

@@ -1,0 +1,93 @@
+"""Perf gate: process-parallel fleet runs vs serial, with identical output.
+
+``run_fleet(workers=N)`` fans the §7.1 before/after protocol out to worker
+processes via ``repro.parallel`` (docs/PERFORMANCE.md).  This bench runs
+the same fleet serially and in parallel, asserts the results are equal,
+and records both wall times.  The ≥2x speedup floor is asserted only on
+machines with at least 4 usable cores — scenario simulations are CPU-bound,
+so on a 1-core container the parallel run is legitimately no faster, and
+the recorded numbers say so honestly (``cores`` travels with the result).
+
+Scale comes from ``REPRO_PERF_SCALE``: ``full`` (default, 8 scenarios,
+4 workers) or ``smoke`` (3 scenarios, 2 workers for CI).
+"""
+
+import os
+import timeit
+
+from repro.experiments.runner import run_fleet
+from repro.experiments.scenarios import fleet_scenarios
+
+from benchmarks.conftest import record_result, run_once
+
+SCALE = os.environ.get("REPRO_PERF_SCALE", "full")
+N_CUSTOMERS = {"full": 8, "smoke": 3}[SCALE]
+WORKERS = {"full": 4, "smoke": 2}[SCALE]
+SPEEDUP_FLOOR = 2.0
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        return os.cpu_count() or 1
+
+
+def test_perf_fleet(benchmark):
+    cores = _usable_cores()
+    results = {}
+
+    def compare():
+        t_serial = timeit.timeit(
+            lambda: results.__setitem__(
+                "serial",
+                run_fleet(fleet_scenarios(n_customers=N_CUSTOMERS, seed=900), workers=0),
+            ),
+            number=1,
+        )
+        t_parallel = timeit.timeit(
+            lambda: results.__setitem__(
+                "parallel",
+                run_fleet(
+                    fleet_scenarios(n_customers=N_CUSTOMERS, seed=900),
+                    workers=WORKERS,
+                ),
+            ),
+            number=1,
+        )
+        return t_serial, t_parallel
+
+    t_serial, t_parallel = run_once(benchmark, compare)
+    # Parallelism must never change the answer (the whole point of
+    # repro.parallel); tests/experiments/test_parallel.py holds the same
+    # equality down to the observability exports.
+    assert results["parallel"] == results["serial"]
+
+    speedup = t_serial / t_parallel
+    gated = cores >= WORKERS
+    lo, hi = results["serial"].savings_range
+    record_result(
+        "perf_fleet",
+        f"fleet of {N_CUSTOMERS} scenarios ({SCALE} scale, "
+        f"{WORKERS} workers, {cores} usable cores):\n"
+        f"  serial:   {t_serial:8.2f} s\n"
+        f"  parallel: {t_parallel:8.2f} s\n"
+        f"  speedup:  {speedup:8.2f}x"
+        + ("" if gated else "   (not gated: fewer cores than workers)")
+        + f"\n  savings range: {lo:.1%} .. {hi:.1%}",
+        data={
+            "n_customers": N_CUSTOMERS,
+            "workers": WORKERS,
+            "cores": cores,
+            "seconds_serial": t_serial,
+            "seconds_parallel": t_parallel,
+            "speedup": speedup,
+            "savings_lo": lo,
+            "savings_hi": hi,
+        },
+    )
+    if gated and SCALE == "full":
+        assert speedup >= SPEEDUP_FLOOR, (
+            f"parallel fleet only {speedup:.2f}x faster on {cores} cores "
+            f"(floor {SPEEDUP_FLOOR}x)"
+        )

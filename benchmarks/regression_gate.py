@@ -39,11 +39,14 @@ DEFAULT_TOLERANCE = 0.20
 GATED_RESULTS = {
     "fig6": "bench_fig6_overhead.py",
     "fig6_tracing_overhead": "bench_fig6_overhead.py",
+    "fig6_replay_disabled_overhead": "bench_fig6_overhead.py",
+    "perf_replay": "bench_perf_replay.py",
+    "perf_fleet": "bench_perf_fleet.py",
 }
 
 #: Leaf-path substrings marking wall-clock-derived values (reported
 #: separately so a red gate distinguishes noise from determinism breaks).
-_TIMING_MARKERS = ("seconds", "delta_fraction", "wall")
+_TIMING_MARKERS = ("seconds", "delta_fraction", "wall", "speedup")
 
 #: Leaves excluded from the drift check: ratios of wall-time *deltas*
 #: amplify the noise of their inputs far past any usable tolerance.  The

@@ -95,7 +95,10 @@ def _cmd_onboarding(args: argparse.Namespace) -> None:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> None:
-    result = run_fleet(fleet_scenarios(n_customers=args.customers, seed=args.seed or 900))
+    result = run_fleet(
+        fleet_scenarios(n_customers=args.customers, seed=args.seed or 900),
+        workers=args.workers,
+    )
     for row in result.rows:
         print(
             f"{row.scenario:>28}  savings {row.savings_fraction:>6.1%}  "
@@ -129,6 +132,13 @@ def build_parser() -> argparse.ArgumentParser:
         sub.add_argument("--seed", type=int, default=None, help="override the scenario seed")
         sub.add_argument("--days", type=int, default=12, help="horizon for 'onboarding'")
         sub.add_argument("--customers", type=int, default=6, help="fleet size for 'fleet'")
+        sub.add_argument(
+            "--workers",
+            type=int,
+            default=0,
+            help="worker processes for 'fleet' (0 = in-process; results are "
+            "identical either way, docs/PERFORMANCE.md)",
+        )
     lint = subparsers.add_parser(
         "lint", help="run the determinism & invariant linter (docs/INVARIANTS.md)"
     )

@@ -17,7 +17,10 @@ def percentile(values: Sequence[float], q: float) -> float:
     """
     if not 0.0 <= q <= 100.0:
         raise ValueError(f"percentile q must be in [0, 100], got {q}")
-    arr = np.asarray(list(values), dtype=float)
+    if isinstance(values, np.ndarray):
+        arr = np.asarray(values, dtype=float)
+    else:
+        arr = np.asarray(list(values), dtype=float)
     if arr.size == 0:
         return 0.0
     return float(np.percentile(arr, q))

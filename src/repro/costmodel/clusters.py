@@ -21,6 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.costmodel.kernels import IntervalArrays, as_interval_arrays, bucketed_overlap
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.queries import QueryRecord
 
@@ -28,13 +29,13 @@ from repro.warehouse.queries import QueryRecord
 MINI_WINDOW_SECONDS = 300.0
 
 
-def concurrency_profile(
+def concurrency_profile_scalar(
     intervals: list[tuple[float, float]], start: float, end: float, step: float
 ) -> np.ndarray:
-    """Average number of concurrently busy intervals per mini-window.
+    """Scalar reference for :func:`concurrency_profile` (see its docstring).
 
-    ``intervals`` are (begin, finish) busy spans; the result has one entry
-    per mini-window of width ``step`` covering [start, end).
+    Kept verbatim as the ground truth the vectorized kernel is equivalence-
+    tested against (``tests/props/test_replay_kernels.py``).
     """
     n = max(1, int(math.ceil((end - start) / step)))
     busy = np.zeros(n)
@@ -49,6 +50,37 @@ def concurrency_profile(
             w_start = start + w * step
             w_end = w_start + step
             busy[w] += max(0.0, min(hi, w_end) - max(lo, w_start))
+    return busy / step
+
+
+def concurrency_profile(
+    intervals: list[tuple[float, float]] | IntervalArrays,
+    start: float,
+    end: float,
+    step: float,
+    vectorized: bool = True,
+) -> np.ndarray:
+    """Average number of concurrently busy intervals per mini-window.
+
+    ``intervals`` are (begin, finish) busy spans — a list of pairs or a
+    ``(starts, ends)`` array pair; the result has one entry per mini-window
+    of width ``step`` covering [start, end).  The vectorized path is
+    bit-identical to :func:`concurrency_profile_scalar`.
+    """
+    if not vectorized:
+        if isinstance(intervals, tuple) and isinstance(intervals[0], np.ndarray):
+            intervals = list(zip(intervals[0].tolist(), intervals[1].tolist()))
+        return concurrency_profile_scalar(intervals, start, end, step)
+    begins, finishes = as_interval_arrays(intervals)
+    n = max(1, int(math.ceil((end - start) / step)))
+    if begins.size == 0:
+        return np.zeros(n)
+    # Clip to the profiled range first — exactly the scalar's lo/hi — so the
+    # bucket edges computed from the clipped values match bit for bit.
+    lo = np.maximum(begins, start)
+    hi = np.minimum(finishes, end)
+    keep = hi > lo
+    busy = bucketed_overlap(lo[keep], hi[keep], start, step, n)
     return busy / step
 
 
@@ -106,10 +138,17 @@ class ClusterCountPredictor:
         return peak
 
     def predict(
-        self, intervals: list[tuple[float, float]], start: float, end: float, config: WarehouseConfig
+        self,
+        intervals: list[tuple[float, float]] | IntervalArrays,
+        start: float,
+        end: float,
+        config: WarehouseConfig,
+        vectorized: bool = True,
     ) -> np.ndarray:
         """Predicted average cluster count per mini-window under ``config``."""
-        concurrency = concurrency_profile(intervals, start, end, MINI_WINDOW_SECONDS)
+        concurrency = concurrency_profile(
+            intervals, start, end, MINI_WINDOW_SECONDS, vectorized=vectorized
+        )
         analytic = self._analytic_clusters(concurrency, config)
         k = self.calibration if self.calibrate else 1.0
         predicted = analytic * k

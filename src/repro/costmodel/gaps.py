@@ -21,8 +21,11 @@ completion so the replay can reproduce it.
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from dataclasses import dataclass, field
+
+import numpy as np
 
 from repro.warehouse.queries import QueryRecord
 
@@ -52,6 +55,9 @@ class GapModel:
     _pair_support: dict[tuple[str, str], int] = field(default_factory=dict)
     _pair_lags: dict[tuple[str, str], float] = field(default_factory=dict)
     fitted: bool = False
+    #: Bumped by every :meth:`fit`; caches keyed on classification results
+    #: (``QueryReplay``'s history memo) invalidate on it.
+    fit_generation: int = 0
 
     def fit(self, records: list[QueryRecord]) -> "GapModel":
         """Learn recurring dependency pairs from completed history."""
@@ -69,6 +75,7 @@ class GapModel:
             pair: sum(values) / len(values) for pair, values in lags.items()
         }
         self.fitted = True
+        self.fit_generation += 1
         return self
 
     def is_dependent_pair(self, prev_template: str, next_template: str) -> bool:
@@ -99,6 +106,56 @@ class GapModel:
                         )
             out.append(GapObservation(record, chained, lag))
         return out
+
+    def classify_arrays(
+        self,
+        arrivals: np.ndarray,
+        end_times: np.ndarray,
+        template_hashes: list[str],
+        chained_flags: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized :meth:`classify` over columns sorted by arrival time.
+
+        Takes parallel arrays (already in arrival order — the caller sorts
+        once and extracts all replay columns in the same pass) and returns
+        ``(chained, lag)`` arrays bit-identical to the per-record
+        :class:`GapObservation` fields.  Only the dictionary lookups for
+        chaining *candidates* stay in Python; everything dense is NumPy.
+        """
+        n = int(arrivals.size)
+        chained = np.zeros(n, dtype=bool)
+        lags = np.zeros(n, dtype=np.float64)
+        if n <= 1:
+            return chained, lags
+        observed = arrivals[1:] - end_times[:-1]
+        in_window = (observed >= 0.0) & (observed <= CHAIN_WINDOW_SECONDS)
+        if self.use_flags:
+            flag_says = np.asarray(chained_flags[1:], dtype=bool)
+        else:
+            flag_says = np.zeros(n - 1, dtype=bool)
+        if self._pair_support:
+            # dict.get driven by map() keeps the per-pair lookup in C.
+            support_counts = np.fromiter(
+                map(
+                    self._pair_support.get,
+                    zip(template_hashes, template_hashes[1:]),
+                    itertools.repeat(0),
+                ),
+                dtype=np.int64,
+                count=n - 1,
+            )
+            detector_says = in_window & (support_counts >= MIN_PAIR_SUPPORT)
+        else:
+            detector_says = np.zeros(n - 1, dtype=bool)
+        is_chained = flag_says | detector_says
+        lag_tail = np.where(in_window, observed, 0.0)
+        for j in np.flatnonzero(is_chained & ~in_window).tolist():
+            lag_tail[j] = self._pair_lags.get(
+                (template_hashes[j], template_hashes[j + 1]), 5.0
+            )
+        chained[1:] = is_chained
+        lags[1:] = np.where(is_chained, lag_tail, 0.0)
+        return chained, lags
 
     @property
     def n_dependent_pairs(self) -> int:

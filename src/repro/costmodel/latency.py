@@ -54,6 +54,9 @@ class LatencyScalingModel:
     _templates: dict[str, TemplateScaling] = field(default_factory=dict)
     _warehouse_gamma: float = DEFAULT_GAMMA
     fitted: bool = False
+    #: Bumped by every :meth:`fit`; caches keyed on per-template gammas
+    #: (``QueryReplay``'s history memo) invalidate on it.
+    fit_generation: int = 0
 
     def fit(self, records: list[QueryRecord]) -> "LatencyScalingModel":
         """Fit from completed query history of one warehouse."""
@@ -97,6 +100,7 @@ class LatencyScalingModel:
                 scaling.gamma = self._warehouse_gamma
                 scaling.log2_latency_at_xs = float(ys.mean() + scaling.gamma * xs.mean())
         self.fitted = True
+        self.fit_generation += 1
         return self
 
     @property
@@ -129,6 +133,53 @@ class LatencyScalingModel:
             # Cold portion does not speed up with compute; damp the scaling.
             factor = 1.0 + (factor - 1.0) * max(record.cache_hit_ratio, 0.3)
         return record.execution_seconds * factor
+
+    def gamma_array(self, template_hashes: list[str]) -> np.ndarray:
+        """Per-record gammas via one :meth:`gamma` lookup per distinct
+        template — the config-independent half of :meth:`rescale_batch`,
+        exposed so replay can compute it once per telemetry snapshot."""
+        gamma_of = {tpl: self.gamma(tpl) for tpl in sorted(set(template_hashes))}
+        return np.fromiter(
+            map(gamma_of.__getitem__, template_hashes),
+            dtype=np.float64,
+            count=len(template_hashes),
+        )
+
+    def rescale_batch(
+        self,
+        template_hashes: list[str],
+        size_values: np.ndarray,
+        cache_hit_ratios: np.ndarray,
+        execution_seconds: np.ndarray,
+        to_size: WarehouseSize,
+        gammas: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Vectorized :meth:`rescale` over parallel record columns.
+
+        Bit-identical to calling :meth:`rescale` per record: per-record
+        gammas come from the same :meth:`gamma` lookups (resolved once per
+        distinct template), the exponent ``gamma * (from - to)`` is the same
+        elementwise multiply, ``2.0 ** x`` runs as the same Python pow per
+        *unique* exponent (a replay window has few distinct
+        template × size combinations), and the cold-cache damping is the
+        same elementwise expression.
+        """
+        to_value = to_size.value
+        if gammas is None:
+            gammas = self.gamma_array(template_hashes)
+        exponents = gammas * (size_values - to_value)
+        unique_exponents, inverse = np.unique(exponents, return_inverse=True)
+        unique_factors = np.fromiter(
+            (2.0 ** x for x in unique_exponents.tolist()),
+            dtype=np.float64,
+            count=unique_exponents.size,
+        )
+        factors = unique_factors[inverse]
+        cold = cache_hit_ratios < MIN_FIT_CACHE_HIT
+        if cold.any():
+            damped = 1.0 + (factors - 1.0) * np.maximum(cache_hit_ratios, 0.3)
+            factors = np.where(cold, damped, factors)
+        return execution_seconds * factors
 
     def predict_absolute(self, template_hash: str, size: WarehouseSize) -> float | None:
         """Expected warm latency of a known template at ``size``."""

@@ -20,11 +20,20 @@ billed:
 
 The result also carries counterfactual latency statistics so the smart
 model can ask "what would this action do to performance" (§4.3).
+
+The replay runs continuously at fleet scale, so the hot steps are
+vectorized NumPy kernels (:mod:`repro.costmodel.kernels`); the original
+per-record / per-mini-window loops are kept as ``*_scalar`` reference
+implementations, selected with ``QueryReplay(vectorized=False)`` and locked
+to bit-identical results by ``tests/props/test_replay_kernels.py``.  See
+docs/PERFORMANCE.md.
 """
 
 from __future__ import annotations
 
+import itertools
 import math
+import operator
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -32,16 +41,28 @@ import numpy as np
 from repro.common.simtime import HOUR, Window, hour_index
 from repro.common.stats import percentile
 from repro.obs import trace as obs
+from repro.costmodel import kernels
 from repro.costmodel.clusters import MINI_WINDOW_SECONDS, ClusterCountPredictor
 from repro.costmodel.gaps import GapModel
+from repro.costmodel.kernels import IntervalArrays
 from repro.costmodel.latency import LatencyScalingModel
 from repro.warehouse.billing import MINIMUM_BILLED_SECONDS
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.queries import QueryRecord
+from repro.warehouse.types import WarehouseSize
 
 #: Buckets for the what-if active-fraction histogram: coverage is a ratio
 #: in [0, 1], so the default (seconds-scaled) bucket boundaries fit badly.
 _COVERAGE_BUCKETS = (0.01, 0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0)
+
+#: Enum-member -> float(size.value), so column extraction never touches the
+#: (slow) Enum descriptor protocol per record.
+_SIZE_VALUES = {size: float(size.value) for size in WarehouseSize}
+
+#: The four float columns the timeline needs, pulled in one C-level pass.
+_FLOAT_COLUMNS = operator.attrgetter(
+    "arrival_time", "end_time", "execution_seconds", "cache_hit_ratio"
+)
 
 
 @dataclass
@@ -75,36 +96,68 @@ def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, 
 
 @dataclass
 class QueryReplay:
-    """Replays telemetry under a hypothetical configuration."""
+    """Replays telemetry under a hypothetical configuration.
+
+    ``vectorized`` selects the NumPy kernel path (default) or the scalar
+    reference loops; both produce bit-identical :class:`ReplayResult`s.
+    """
 
     latency_model: LatencyScalingModel
     gap_model: GapModel
     cluster_predictor: ClusterCountPredictor
+    vectorized: bool = True
+    #: Memo of the config-independent history prep (column extraction,
+    #: chain classification, per-record gammas).  The smart model replays
+    #: one telemetry snapshot under many candidate configs, so every
+    #: replay after the first reuses the prep.  Keyed on the *identity* of
+    #: the records list (query_history builds a fresh list per fetch and
+    #: QueryRecord is frozen) plus both models' ``fit_generation``.
+    _history_memo: tuple | None = field(default=None, init=False, repr=False, compare=False)
 
     def replay(
         self, records: list[QueryRecord], config: WarehouseConfig, window: Window
     ) -> ReplayResult:
         if not records:
             return ReplayResult(0.0, 0.0, 0.0, 0, 0, 0.0, 0.0)
-        with obs.span(
+        rec = obs.recorder()
+        if rec is None:
+            # Disabled-observability fast path: no span bookkeeping and no
+            # config.describe() dict per what-if call (the smart model makes
+            # thousands per run — bench_fig6_overhead.py measures this).
+            return self._replay_impl(records, config, window)
+        with rec.span(
             "costmodel.replay", window.end, config=config.describe()
         ) as sp:
-            intervals, latencies = self._counterfactual_timeline(records, config, window)
-            bursts = self._activation_bursts(intervals, config, window)
-            credits, cluster_seconds, hourly = self._bill(bursts, intervals, config, window)
-            active_seconds = sum(end - start for start, end in bursts)
-            result = ReplayResult(
-                credits=credits,
-                active_seconds=active_seconds,
-                cluster_seconds=cluster_seconds,
-                n_queries=len(latencies),
-                n_bursts=len(bursts),
-                avg_latency=float(np.mean(latencies)) if latencies else 0.0,
-                p99_latency=percentile(latencies, 99),
-                hourly_credits=hourly,
-            )
+            result = self._replay_impl(records, config, window)
             self._observe(sp, result, window)
         return result
+
+    def _replay_impl(
+        self, records: list[QueryRecord], config: WarehouseConfig, window: Window
+    ) -> ReplayResult:
+        if self.vectorized:
+            intervals, latencies = self._counterfactual_timeline(records, config, window)
+            bursts = self._activation_bursts(intervals, config, window)
+            burst_pairs = list(zip(bursts[0].tolist(), bursts[1].tolist()))
+        else:
+            intervals, latencies = self._counterfactual_timeline_scalar(
+                records, config, window
+            )
+            bursts = self._activation_bursts_scalar(intervals, config, window)
+            burst_pairs = bursts
+        credits, cluster_seconds, hourly = self._bill(bursts, intervals, config, window)
+        active_seconds = sum(end - start for start, end in burst_pairs)
+        n_queries = len(latencies)
+        return ReplayResult(
+            credits=credits,
+            active_seconds=active_seconds,
+            cluster_seconds=cluster_seconds,
+            n_queries=n_queries,
+            n_bursts=len(burst_pairs),
+            avg_latency=float(np.mean(latencies)) if n_queries else 0.0,
+            p99_latency=percentile(latencies, 99),
+            hourly_credits=hourly,
+        )
 
     @staticmethod
     def _observe(sp, result: ReplayResult, window: Window) -> None:
@@ -131,20 +184,154 @@ class QueryReplay:
             result.p99_latency, time=window.end
         )
 
-    # ----------------------------------------------------------------- steps
+    # ------------------------------------------------------ vectorized steps
+    def _history_prep(self, records: list[QueryRecord]):
+        """Config-independent replay prep, memoized per telemetry snapshot.
+
+        Everything here is a pure function of the records and the fitted
+        gap/latency models, so one extraction serves every what-if config
+        replayed against the same history.  The downstream kernels never
+        write into these arrays (they allocate fresh outputs), which is
+        what makes sharing them across replays safe.
+        """
+        key = (
+            len(records),
+            self.gap_model.fit_generation,
+            self.latency_model.fit_generation,
+        )
+        memo = self._history_memo
+        if memo is not None and memo[0] is records and memo[1] == key:
+            return memo[2]
+        columns = self._columns(records)
+        raw_arrivals, end_times, _, _, _, chained_flags, templates = columns
+        chained, lags = self.gap_model.classify_arrays(
+            raw_arrivals, end_times, templates, chained_flags
+        )
+        gammas = self.latency_model.gamma_array(templates)
+        prepared = (columns, chained, lags, gammas)
+        self._history_memo = (records, key, prepared)
+        return prepared
+
+    @staticmethod
+    def _columns(
+        records: list[QueryRecord],
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray, list[str]]:
+        """Arrival-ordered replay columns extracted in one pass."""
+        ordered = sorted(records, key=operator.attrgetter("arrival_time"))
+        n = len(ordered)
+        # One flattened fromiter for all four float columns beats one pass
+        # per column; attrgetter + map keeps the extraction loop in C.
+        flat = np.fromiter(
+            itertools.chain.from_iterable(map(_FLOAT_COLUMNS, ordered)),
+            dtype=np.float64,
+            count=4 * n,
+        ).reshape(n, 4)
+        # Enum attribute access per record is measurably slow; map the enum
+        # members to their float values through a precomputed dict instead.
+        size_values = np.fromiter(
+            map(
+                _SIZE_VALUES.__getitem__,
+                map(operator.attrgetter("warehouse_size"), ordered),
+            ),
+            dtype=np.float64,
+            count=n,
+        )
+        chained_flags = np.fromiter(
+            map(operator.attrgetter("chained"), ordered), dtype=bool, count=n
+        )
+        templates = list(map(operator.attrgetter("template_hash"), ordered))
+        return (
+            np.ascontiguousarray(flat[:, 0]),
+            np.ascontiguousarray(flat[:, 1]),
+            np.ascontiguousarray(flat[:, 2]),
+            np.ascontiguousarray(flat[:, 3]),
+            size_values,
+            chained_flags,
+            templates,
+        )
+
     def _counterfactual_timeline(
+        self, records: list[QueryRecord], config: WarehouseConfig, window: Window
+    ) -> tuple[IntervalArrays, np.ndarray]:
+        """Vectorized twin of :meth:`_counterfactual_timeline_scalar`.
+
+        Classification, latency rescaling, window clipping and the interval
+        sort are all array programs; only the chained-arrival recurrence —
+        a genuinely sequential float chain whose rounding order is part of
+        the contract — runs as a Python loop over the (sparse) chained
+        indices.
+        """
+        (
+            (
+                raw_arrivals,
+                end_times,
+                exec_seconds,
+                cache_hits,
+                size_values,
+                chained_flags,
+                templates,
+            ),
+            chained,
+            lags,
+            gammas,
+        ) = self._history_prep(records)
+        latencies = self.latency_model.rescale_batch(
+            templates, size_values, cache_hits, exec_seconds, config.size,
+            gammas=gammas,
+        )
+        arrivals = np.maximum(raw_arrivals, window.start)
+        chained_idx = np.flatnonzero(chained)
+        if chained_idx.size:
+            shifted_arrivals = arrivals.tolist()
+            latency_list = latencies.tolist()
+            lag_list = lags.tolist()
+            window_start = window.start
+            for i in chained_idx.tolist():
+                # prev_end + lag, clipped — the scalar loop's exact ops.
+                arrival = (
+                    shifted_arrivals[i - 1] + latency_list[i - 1]
+                ) + lag_list[i]
+                shifted_arrivals[i] = (
+                    arrival if arrival >= window_start else window_start
+                )
+            arrivals = np.asarray(shifted_arrivals, dtype=np.float64)
+        ends = np.minimum(arrivals + latencies, window.end)
+        live = ends > arrivals
+        starts = arrivals[live]
+        finishes = ends[live]
+        order = np.lexsort((finishes, starts))
+        return (starts[order], finishes[order]), latencies
+
+    @staticmethod
+    def _activation_bursts(
+        intervals: IntervalArrays, config: WarehouseConfig, window: Window
+    ) -> IntervalArrays:
+        """Merge busy interval arrays into billable activation bursts."""
+        starts, ends = intervals
+        if starts.size == 0:
+            return starts[:0], ends[:0]
+        suspend = config.auto_suspend_seconds
+        if suspend <= 0:
+            # Never auto-suspends: active from first arrival to window end.
+            return starts[:1], np.asarray([window.end], dtype=np.float64)
+        return kernels.activation_bursts(starts, ends, suspend, window.end)
+
+    # -------------------------------------------------------- scalar steps
+    # Reference implementations: the pre-vectorization loops, kept verbatim
+    # as the ground truth for the kernel equivalence tests.
+    def _counterfactual_timeline_scalar(
         self, records: list[QueryRecord], config: WarehouseConfig, window: Window
     ) -> tuple[list[tuple[float, float]], list[float]]:
         observations = self.gap_model.classify(records)
         intervals: list[tuple[float, float]] = []
         latencies: list[float] = []
         prev_end: float | None = None
-        for obs in observations:
-            latency = self.latency_model.rescale(obs.record, config.size)
-            if obs.chained and prev_end is not None:
-                arrival = prev_end + obs.lag_after_predecessor
+        for observation in observations:
+            latency = self.latency_model.rescale(observation.record, config.size)
+            if observation.chained and prev_end is not None:
+                arrival = prev_end + observation.lag_after_predecessor
             else:
-                arrival = obs.record.arrival_time
+                arrival = observation.record.arrival_time
             arrival = max(arrival, window.start)
             end = min(arrival + latency, window.end)
             if end > arrival:
@@ -155,7 +342,7 @@ class QueryReplay:
         return intervals, latencies
 
     @staticmethod
-    def _activation_bursts(
+    def _activation_bursts_scalar(
         intervals: list[tuple[float, float]], config: WarehouseConfig, window: Window
     ) -> list[tuple[float, float]]:
         """Merge busy intervals into billable activation bursts."""
@@ -177,7 +364,7 @@ class QueryReplay:
         return bursts
 
     @staticmethod
-    def _coverage(
+    def _coverage_scalar(
         spans: list[tuple[float, float]], window: Window, n_windows: int
     ) -> np.ndarray:
         """Seconds of each mini-window covered by the (disjoint) spans."""
@@ -191,26 +378,57 @@ class QueryReplay:
                 coverage[w] += max(0.0, min(span_end, w_end) - max(span_start, w_start))
         return coverage
 
+    @staticmethod
+    def _hourly_credits_scalar(
+        cluster_seconds_per_window: np.ndarray, window: Window, rate: float
+    ) -> dict[int, float]:
+        """Per-hour credit totals (scalar reference for the bincount kernel)."""
+        hourly: dict[int, float] = {}
+        for w in range(len(cluster_seconds_per_window)):
+            if cluster_seconds_per_window[w] <= 0:
+                continue
+            h = hour_index(window.start + w * MINI_WINDOW_SECONDS)
+            hourly[h] = hourly.get(h, 0.0) + cluster_seconds_per_window[w] / HOUR * rate
+        return hourly
+
+    # -------------------------------------------------------------- billing
     def _bill(
         self,
-        bursts: list[tuple[float, float]],
-        intervals: list[tuple[float, float]],
+        bursts: list[tuple[float, float]] | IntervalArrays,
+        intervals: list[tuple[float, float]] | IntervalArrays,
         config: WarehouseConfig,
         window: Window,
     ) -> tuple[float, float, dict[int, float]]:
         rate = config.size.credits_per_hour
         n_windows = max(1, int(math.ceil(window.duration / MINI_WINDOW_SECONDS)))
-        predicted = self.cluster_predictor.predict(
-            intervals, window.start, window.end, config
-        )
+        if self.vectorized:
+            burst_starts, burst_ends = bursts
+            predicted = self.cluster_predictor.predict(
+                intervals, window.start, window.end, config, vectorized=True
+            )
+            burst_overlap = kernels.bucketed_overlap(
+                burst_starts, burst_ends, window.start, MINI_WINDOW_SECONDS, n_windows
+            )
+            merged_starts, merged_ends = kernels.merge_intervals(*intervals)
+            busy_overlap = kernels.bucketed_overlap(
+                merged_starts, merged_ends, window.start, MINI_WINDOW_SECONDS, n_windows
+            )
+            burst_pairs = list(zip(burst_starts.tolist(), burst_ends.tolist()))
+        else:
+            predicted = self.cluster_predictor.predict(
+                intervals, window.start, window.end, config, vectorized=False
+            )
+            burst_overlap = self._coverage_scalar(bursts, window, n_windows)
+            busy_overlap = self._coverage_scalar(
+                _merge_intervals(intervals), window, n_windows
+            )
+            burst_pairs = bursts
         if len(predicted) < n_windows:  # pad defensively
             predicted = np.pad(predicted, (0, n_windows - len(predicted)))
-        burst_overlap = self._coverage(bursts, window, n_windows)
         # Extra clusters only bill while there is concurrent work for them:
         # cluster 1 stays up through idle gaps (until suspend), but scale-out
         # clusters retire shortly after the queue drains, so their billed
         # time tracks the *busy* coverage, not the whole activation burst.
-        busy_overlap = self._coverage(_merge_intervals(intervals), window, n_windows)
         base_clusters = float(max(config.min_clusters, 1))
         clusters = np.maximum(predicted, base_clusters)
         cluster_seconds_per_window = (
@@ -220,15 +438,17 @@ class QueryReplay:
         cluster_seconds = float(cluster_seconds_per_window.sum())
         credits = cluster_seconds / HOUR * rate
         # 60 s minimum per activation (the burst's first cluster start).
-        for burst_start, burst_end in bursts:
+        for burst_start, burst_end in burst_pairs:
             duration = burst_end - burst_start
             if duration < MINIMUM_BILLED_SECONDS:
                 credits += (MINIMUM_BILLED_SECONDS - duration) / HOUR * rate
                 cluster_seconds += MINIMUM_BILLED_SECONDS - duration
-        hourly: dict[int, float] = {}
-        for w in range(n_windows):
-            if cluster_seconds_per_window[w] <= 0:
-                continue
-            h = hour_index(window.start + w * MINI_WINDOW_SECONDS)
-            hourly[h] = hourly.get(h, 0.0) + cluster_seconds_per_window[w] / HOUR * rate
+        if self.vectorized:
+            hourly = kernels.hourly_credit_sums(
+                cluster_seconds_per_window, window.start, MINI_WINDOW_SECONDS, HOUR, rate
+            )
+        else:
+            hourly = self._hourly_credits_scalar(
+                cluster_seconds_per_window, window, rate
+            )
         return credits, cluster_seconds, hourly

@@ -18,6 +18,7 @@ from repro.costmodel.model import WarehouseCostModel
 from repro.experiments.scenarios import Scenario, fig7_scenario
 from repro.faults import FaultingWarehouseClient
 from repro.obs import RunManifest
+from repro.parallel import WorkerJob, register_protocol, run_jobs
 from repro.portal.dashboards import (
     OverheadDashboard,
     SavingsDashboard,
@@ -117,8 +118,25 @@ class AccuracyRow:
         return abs(self.estimated_credits - self.actual_credits) / self.actual_credits
 
 
+@register_protocol("accuracy.row")
+def _accuracy_row(scenario: Scenario, train_days: float = 2.0) -> AccuracyRow:
+    """One §7.2 measurement: fit on early telemetry, estimate the rest."""
+    manifest = scenario.manifest()
+    scenario.schedule()
+    account = scenario.account
+    account.run_until(scenario.horizon + HOUR)  # let trailing queries finish
+    client = CloudWarehouseClient(account, actor="keebo")
+    train = Window(0.0, train_days * DAY)
+    evaluate = Window(train_days * DAY, scenario.horizon)
+    model = WarehouseCostModel(client, scenario.warehouse).fit(train)
+    config = client.current_config(scenario.warehouse)
+    estimate = model.estimate_cost(evaluate, config)
+    actual = client.credits_in_window(scenario.warehouse, evaluate)
+    return AccuracyRow(scenario.name, actual, estimate.credits, manifest=manifest)
+
+
 def run_cost_model_accuracy(
-    scenarios: list[Scenario], train_days: float = 2.0
+    scenarios: list[Scenario], train_days: float = 2.0, workers: int = 0
 ) -> list[AccuracyRow]:
     """§7.2 protocol: estimate costs from metadata alone vs actual billing.
 
@@ -127,21 +145,15 @@ def run_cost_model_accuracy(
     estimates the cost of the remaining days, which is compared to the
     credits the simulator actually billed for those days.
     """
-    rows = []
-    for scenario in scenarios:
-        manifest = scenario.manifest()
-        scenario.schedule()
-        account = scenario.account
-        account.run_until(scenario.horizon + HOUR)  # let trailing queries finish
-        client = CloudWarehouseClient(account, actor="keebo")
-        train = Window(0.0, train_days * DAY)
-        evaluate = Window(train_days * DAY, scenario.horizon)
-        model = WarehouseCostModel(client, scenario.warehouse).fit(train)
-        config = client.current_config(scenario.warehouse)
-        estimate = model.estimate_cost(evaluate, config)
-        actual = client.credits_in_window(scenario.warehouse, evaluate)
-        rows.append(AccuracyRow(scenario.name, actual, estimate.credits, manifest=manifest))
-    return rows
+    jobs = [
+        WorkerJob(
+            protocol="accuracy.row",
+            scenario=scenario,
+            kwargs=(("train_days", float(train_days)),),
+        )
+        for scenario in scenarios
+    ]
+    return run_jobs(jobs, workers=workers)
 
 
 @dataclass
@@ -199,36 +211,41 @@ class SliderSweepRow:
     manifest: RunManifest | None = None
 
 
-def run_slider_sweep(seed: int = 700) -> list[SliderSweepRow]:
+@register_protocol("slider.point")
+def _slider_point(scenario: Scenario) -> SliderSweepRow:
+    """One §7.4 measurement: run KWO at the scenario's slider position."""
+    manifest = scenario.manifest()
+    scenario.schedule()
+    account = scenario.account
+    account.run_until(scenario.keebo_start)
+    service = KeeboService(account)
+    optimizer = service.onboard_warehouse(
+        scenario.warehouse, slider=scenario.slider, config=scenario.optimizer_config
+    )
+    account.run_until(scenario.horizon)
+    window = Window(scenario.keebo_start, scenario.horizon)
+    client = CloudWarehouseClient(account)
+    credits = client.credits_in_window(scenario.warehouse, window)
+    records = client.query_history(scenario.warehouse, window)
+    latencies = [r.total_seconds for r in records]
+    row = SliderSweepRow(
+        slider=scenario.slider,
+        total_credits=credits,
+        avg_latency=float(np.mean(latencies)) if latencies else 0.0,
+        p99_latency=percentile(latencies, 99),
+        manifest=manifest,
+    )
+    optimizer.shutdown()
+    return row
+
+
+def run_slider_sweep(seed: int = 700, workers: int = 0) -> list[SliderSweepRow]:
     """§7.4 protocol: same workload, five slider positions."""
-    rows = []
-    for position in SliderPosition:
-        scenario = fig7_scenario(position, seed=seed)
-        manifest = scenario.manifest()
-        scenario.schedule()
-        account = scenario.account
-        account.run_until(scenario.keebo_start)
-        service = KeeboService(account)
-        optimizer = service.onboard_warehouse(
-            scenario.warehouse, slider=position, config=scenario.optimizer_config
-        )
-        account.run_until(scenario.horizon)
-        window = Window(scenario.keebo_start, scenario.horizon)
-        client = CloudWarehouseClient(account)
-        credits = client.credits_in_window(scenario.warehouse, window)
-        records = client.query_history(scenario.warehouse, window)
-        latencies = [r.total_seconds for r in records]
-        rows.append(
-            SliderSweepRow(
-                slider=position,
-                total_credits=credits,
-                avg_latency=float(np.mean(latencies)) if latencies else 0.0,
-                p99_latency=percentile(latencies, 99),
-                manifest=manifest,
-            )
-        )
-        optimizer.shutdown()
-    return rows
+    jobs = [
+        WorkerJob(protocol="slider.point", scenario=fig7_scenario(position, seed=seed))
+        for position in SliderPosition
+    ]
+    return run_jobs(jobs, workers=workers)
 
 
 @dataclass
@@ -265,10 +282,10 @@ class OnboardingCurve:
         return None
 
 
-def run_onboarding_curve(
+@register_protocol("onboarding.curve")
+def _onboarding_curve(
     scenario: Scenario, bucket_hours: float = 4.0, trailing_hours: float = 24.0
 ) -> OnboardingCurve:
-    """Measure savings ramp-up after onboarding."""
     manifest = scenario.manifest()
     scenario.schedule()
     account = scenario.account
@@ -289,6 +306,24 @@ def run_onboarding_curve(
         t += bucket_hours * HOUR
     optimizer.shutdown()
     return OnboardingCurve(hours, rates, manifest=manifest)
+
+
+def run_onboarding_curve(
+    scenario: Scenario,
+    bucket_hours: float = 4.0,
+    trailing_hours: float = 24.0,
+    workers: int = 0,
+) -> OnboardingCurve:
+    """Measure savings ramp-up after onboarding."""
+    job = WorkerJob(
+        protocol="onboarding.curve",
+        scenario=scenario,
+        kwargs=(
+            ("bucket_hours", float(bucket_hours)),
+            ("trailing_hours", float(trailing_hours)),
+        ),
+    )
+    return run_jobs([job], workers=workers)[0]
 
 
 @dataclass
@@ -373,9 +408,38 @@ def run_chaos(scenario: Scenario) -> tuple[ChaosResult, WarehouseOptimizer]:
     return chaos, optimizer
 
 
-def run_fleet(scenarios: list[Scenario]) -> FleetResult:
-    result = FleetResult()
-    for scenario in scenarios:
-        row, _ = run_before_after(scenario)
-        result.rows.append(row)
+@register_protocol("before_after.row")
+def _before_after_row(scenario: Scenario) -> BeforeAfterResult:
+    """The §7.1 protocol, result row only (optimizers stay in-process)."""
+    result, _ = run_before_after(scenario)
     return result
+
+
+@register_protocol("chaos.row")
+def _chaos_row(scenario: Scenario) -> ChaosResult:
+    """The chaos protocol, result only (optimizers stay in-process)."""
+    chaos, _ = run_chaos(scenario)
+    return chaos
+
+
+def run_fleet(scenarios: list[Scenario], workers: int = 0) -> FleetResult:
+    """Run the §7.1 protocol across a fleet, optionally process-parallel.
+
+    ``workers=0`` runs inline; ``workers>0`` fans scenarios out to that
+    many worker processes.  Results (and, under an active observation
+    session, the merged trace/metrics/series exports) are identical either
+    way — see docs/PERFORMANCE.md for the determinism contract.
+    """
+    jobs = [
+        WorkerJob(protocol="before_after.row", scenario=scenario)
+        for scenario in scenarios
+    ]
+    return FleetResult(rows=run_jobs(jobs, workers=workers))
+
+
+def run_chaos_fleet(scenarios: list[Scenario], workers: int = 0) -> list[ChaosResult]:
+    """Run the chaos protocol across a fleet of fault-plan scenarios."""
+    jobs = [
+        WorkerJob(protocol="chaos.row", scenario=scenario) for scenario in scenarios
+    ]
+    return run_jobs(jobs, workers=workers)

@@ -20,7 +20,10 @@ Configuration choices mirror the paper's narrative:
 
 from __future__ import annotations
 
+import functools
+import inspect
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.rng import RngRegistry
 from repro.common.simtime import DAY, HOUR, Window
@@ -60,6 +63,13 @@ class Scenario:
     #: When set, the runner hands every optimizer a FaultingWarehouseClient
     #: injecting this plan (chaos protocol, docs/ROBUSTNESS.md).
     fault_plan: FaultPlan | None = None
+    #: The picklable recipe that built this scenario (attached by the
+    #: ``@scenario_factory`` decorator).  Worker processes rebuild the
+    #: scenario from it — the Scenario object itself (live Account, heaps,
+    #: RNG streams) never crosses a process boundary.  Excluded from
+    #: equality/manifests: two scenarios are the same run regardless of
+    #: which recipe produced them.
+    spec: "ScenarioSpec | None" = field(default=None, compare=False, repr=False)
 
     @property
     def horizon(self) -> float:
@@ -102,6 +112,85 @@ class Scenario:
         )
 
 
+# ---------------------------------------------------------------- specs
+#: Factory registry: spec name -> builder.  Worker processes look builders
+#: up here by name, so a spec is just (name, kwargs, index) — all picklable.
+SCENARIO_FACTORIES: dict[str, Callable] = {}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A picklable scenario recipe: factory name + kwargs (+ list index).
+
+    Determinism contract (docs/PERFORMANCE.md): factories are pure
+    functions of their kwargs, so ``spec.build()`` in any process yields a
+    scenario byte-equivalent to the one the original factory call returned.
+    ``index`` selects one element of a list-returning factory (``fig5``,
+    ``fleet``).
+    """
+
+    factory: str
+    kwargs: tuple[tuple[str, object], ...] = ()
+    index: int | None = None
+
+    def build(self) -> Scenario:
+        try:
+            builder = SCENARIO_FACTORIES[self.factory]
+        except KeyError:
+            raise KeyError(
+                f"unknown scenario factory {self.factory!r}; registered: "
+                f"{sorted(SCENARIO_FACTORIES)}"
+            ) from None
+        built = builder(**dict(self.kwargs))
+        if self.index is not None:
+            built = built[self.index]
+        if not isinstance(built, Scenario):
+            raise TypeError(
+                f"factory {self.factory!r} returned {type(built).__name__}; "
+                "list-returning factories need an index"
+            )
+        return built
+
+    def describe(self) -> str:
+        """Human-readable recipe, for logs and worker error messages."""
+        kwargs = ", ".join(f"{k}={v!r}" for k, v in self.kwargs)
+        suffix = "" if self.index is None else f"[{self.index}]"
+        return f"{self.factory}({kwargs}){suffix}"
+
+
+def scenario_factory(name: str) -> Callable:
+    """Register a scenario builder and stamp its products with their spec.
+
+    The wrapped builder behaves identically; additionally every
+    :class:`Scenario` it returns (directly or in a list) carries a
+    :class:`ScenarioSpec` with the *fully-bound* call arguments, so the
+    parallel layer can rebuild it in a worker process.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        signature = inspect.signature(fn)
+
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            bound = signature.bind(*args, **kwargs)
+            bound.apply_defaults()
+            spec_kwargs = tuple(sorted(bound.arguments.items()))
+            built = fn(*args, **kwargs)
+            if isinstance(built, Scenario):
+                built.spec = ScenarioSpec(name, spec_kwargs)
+            else:
+                for i, scenario in enumerate(built):
+                    scenario.spec = ScenarioSpec(name, spec_kwargs, index=i)
+            return built
+
+        if name in SCENARIO_FACTORIES:
+            raise ValueError(f"duplicate scenario factory {name!r}")
+        SCENARIO_FACTORIES[name] = wrapper
+        return wrapper
+
+    return decorate
+
+
 def _default_optimizer_config(**overrides) -> OptimizerConfig:
     base = dict(
         training_window=3 * DAY,
@@ -115,6 +204,7 @@ def _default_optimizer_config(**overrides) -> OptimizerConfig:
 
 
 # --------------------------------------------------------------------- Fig 4
+@scenario_factory("fig4a")
 def fig4a_scenario(seed: int = 401) -> Scenario:
     """Unpredictable warehouse, heavily over-provisioned (paper: −59.7%)."""
     account = Account(name="fig4a", seed=seed)
@@ -140,6 +230,7 @@ def fig4a_scenario(seed: int = 401) -> Scenario:
     )
 
 
+@scenario_factory("fig4b")
 def fig4b_scenario(seed: int = 402) -> Scenario:
     """Predictable ETL+BI warehouse, already mostly well-tuned (paper: −13.2%).
 
@@ -167,6 +258,7 @@ def fig4b_scenario(seed: int = 402) -> Scenario:
 
 
 # --------------------------------------------------------------------- Fig 5
+@scenario_factory("fig5")
 def fig5_scenarios(seed: int = 500) -> list[Scenario]:
     """Four warehouses of different characters for cost-model accuracy.
 
@@ -231,6 +323,7 @@ def fig5_scenarios(seed: int = 500) -> list[Scenario]:
 
 
 # --------------------------------------------------------------------- Fig 6
+@scenario_factory("fig6")
 def fig6_scenario(seed: int = 600) -> Scenario:
     """Static hourly ETL warehouse with KWO active (overhead measurement)."""
     account = Account(name="fig6", seed=seed)
@@ -251,6 +344,7 @@ def fig6_scenario(seed: int = 600) -> Scenario:
 
 
 # --------------------------------------------------------------------- Fig 7
+@scenario_factory("fig7")
 def fig7_scenario(slider: SliderPosition, seed: int = 700) -> Scenario:
     """One slider sweep point: the same workload and warehouse, with KWO
     configured at ``slider`` (paper runs the same workload at all five)."""
@@ -287,6 +381,7 @@ def fig7_scenario(slider: SliderPosition, seed: int = 700) -> Scenario:
 
 
 # --------------------------------------------------------------------- smoke
+@scenario_factory("smoke")
 def smoke_scenario(seed: int = 123) -> Scenario:
     """A deliberately small traced-run scenario (seconds, not minutes).
 
@@ -327,6 +422,7 @@ def smoke_scenario(seed: int = 123) -> Scenario:
 # throws at it (docs/ROBUSTNESS.md).
 
 
+@scenario_factory("chaos_smoke")
 def chaos_smoke_scenario(seed: int = 131) -> Scenario:
     """The smoke scenario under weather: ≥10% API failures, one blackout.
 
@@ -381,6 +477,7 @@ def chaos_smoke_scenario(seed: int = 131) -> Scenario:
     return base
 
 
+@scenario_factory("flaky_api")
 def flaky_api_scenario(seed: int = 132) -> Scenario:
     """Persistent vendor flakiness on the write path: retries and the
     circuit breaker carry the run (no blackout; telemetry stays up)."""
@@ -425,6 +522,7 @@ def flaky_api_scenario(seed: int = 132) -> Scenario:
     return base
 
 
+@scenario_factory("telemetry_blackout")
 def telemetry_blackout_scenario(seed: int = 133) -> Scenario:
     """A long hard blackout plus lag on recovery: SAFE_MODE end to end."""
     base = smoke_scenario(seed=seed)
@@ -472,6 +570,7 @@ CHAOS_SCENARIOS = {
 
 
 # -------------------------------------------------------- onboarding / fleet
+@scenario_factory("onboarding")
 def onboarding_scenario(seed: int = 800, total_days: int = 12) -> Scenario:
     """Long horizon with periodic retraining: savings ramp vs hours (§1/§9)."""
     account = Account(name="onboarding", seed=seed)
@@ -493,6 +592,7 @@ def onboarding_scenario(seed: int = 800, total_days: int = 12) -> Scenario:
     )
 
 
+@scenario_factory("fleet")
 def fleet_scenarios(n_customers: int = 6, seed: int = 900) -> list[Scenario]:
     """A fleet of synthetic customers for the 20-70% savings-range claim."""
     registry = RngRegistry(seed)

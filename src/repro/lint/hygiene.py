@@ -270,6 +270,59 @@ class NoPrintInLibraryRule(Rule):
 
 
 @register
+class ProcessPoolConfinementRule(Rule):
+    """R011: process parallelism lives only in ``repro/parallel/``.
+
+    Spawning processes anywhere else breaks the determinism story that
+    makes ``workers=N`` safe: ``repro.parallel`` is the one place that
+    ships scenarios as :class:`ScenarioSpec` recipes, isolates observation
+    sessions per job, and merges payloads in submission order
+    (docs/PERFORMANCE.md).  An ad-hoc ``multiprocessing.Pool`` elsewhere
+    would fork live simulation state and record into the parent's session
+    from several processes at once.
+    """
+
+    rule_id = "R011"
+    name = "process-pool-confinement"
+    severity = "error"
+    summary = (
+        "multiprocessing / concurrent.futures imports are confined to "
+        "repro/parallel — route parallel work through repro.parallel.run_jobs"
+    )
+
+    _FORBIDDEN = ("multiprocessing", "concurrent")
+
+    def _applies(self, path: str) -> bool:
+        return "repro/" in path and "repro/parallel/" not in path
+
+    @classmethod
+    def _forbidden(cls, module: str | None) -> bool:
+        if not module:
+            return False
+        top = module.split(".", 1)[0]
+        return top in cls._FORBIDDEN
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                names = [a.name for a in node.names if self._forbidden(a.name)]
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                names = [node.module] if self._forbidden(node.module) else []
+            else:
+                continue
+            for name in names:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"import of {name!r} outside repro/parallel: spawn "
+                    "worker processes through repro.parallel.run_jobs so "
+                    "results stay byte-identical to a serial run",
+                )
+
+
+@register
 class PublicAnnotationsRule(Rule):
     """R007: complete type annotations on public functions in the unit-critical
     packages (``core/``, ``costmodel/``, ``warehouse/``).

@@ -58,6 +58,7 @@ from repro.obs.trace import (
     histogram,
     observed,
     recorder,
+    resume,
     span,
     start,
     stop,
@@ -101,6 +102,7 @@ __all__ = [
     "observed",
     "profile_records",
     "recorder",
+    "resume",
     "span",
     "start",
     "stop",

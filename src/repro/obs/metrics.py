@@ -213,6 +213,50 @@ class MetricsRegistry:
         """Byte-stable JSON export (sorted keys, compact separators)."""
         return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":")) + "\n"
 
+    def merge(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold another registry's :meth:`snapshot` into this one.
+
+        Sequential-composition semantics (the parallel experiment layer's
+        merge rule, docs/PERFORMANCE.md): the result equals a registry that
+        recorded everything already here followed by everything the snapshot
+        summarizes — counters accumulate, gauges take the snapshot's last
+        value and widen their extremes, histograms add bucket counts.
+        Series are *not* touched: the bucketed history merges separately
+        through :meth:`repro.obs.series.SeriesRegistry.merge`.
+        """
+        for name in sorted(snapshot):
+            snap = snapshot[name]
+            kind = snap["kind"]
+            if kind == "counter":
+                self.counter(name).value += float(snap["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(name)
+                updates = int(snap["updates"])
+                if updates == 0:
+                    continue
+                if gauge.updates == 0:
+                    gauge.min = float(snap["min"])
+                    gauge.max = float(snap["max"])
+                else:
+                    gauge.min = min(gauge.min, float(snap["min"]))
+                    gauge.max = max(gauge.max, float(snap["max"]))
+                gauge.value = float(snap["value"])
+                gauge.updates += updates
+            elif kind == "histogram":
+                hist = self.histogram(name, tuple(snap["buckets"]))
+                if len(snap["counts"]) != len(hist.counts):
+                    raise ObservabilityError(
+                        f"histogram {name!r} merge: bucket count mismatch"
+                    )
+                for i, count in enumerate(snap["counts"]):
+                    hist.counts[i] += int(count)
+                hist.total += float(snap["sum"])
+                hist.count += int(snap["count"])
+            else:
+                raise ObservabilityError(
+                    f"cannot merge metric {name!r}: unknown kind {kind!r}"
+                )
+
 
 class _NullCounter:
     """No-op counter returned while observation is disabled."""

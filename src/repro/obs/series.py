@@ -132,6 +132,39 @@ class MetricSeries:
             ],
         }
 
+    def merge_snapshot(self, payload: dict[str, object]) -> None:
+        """Fold another series' :meth:`snapshot` into this one, *after* every
+        value already recorded here.
+
+        This is the sequential-composition rule the parallel experiment
+        layer relies on (docs/PERFORMANCE.md): merging snapshot B into the
+        series that produced snapshot A yields exactly the series of a run
+        that recorded all of A's values and then all of B's — ``last`` takes
+        B's, extremes widen, ``sum``/``count`` accumulate per bucket.
+        """
+        width = float(payload["bucket_seconds"])
+        if width != self.bucket_seconds:
+            raise ObservabilityError(
+                f"cannot merge series {self.name!r}: bucket width {width} "
+                f"differs from {self.bucket_seconds}"
+            )
+        for index, last, mn, mx, total, count in payload["buckets"]:
+            bucket = self._buckets.get(int(index))
+            if bucket is None:
+                bucket = self._buckets[int(index)] = _Bucket(float(last))
+                bucket.min = float(mn)
+                bucket.max = float(mx)
+                bucket.sum = float(total)
+                bucket.count = int(count)
+            else:
+                bucket.last = float(last)
+                if float(mn) < bucket.min:
+                    bucket.min = float(mn)
+                if float(mx) > bucket.max:
+                    bucket.max = float(mx)
+                bucket.sum += float(total)
+                bucket.count += int(count)
+
 
 class SeriesRegistry:
     """Get-or-create store of metric series with a byte-stable export."""
@@ -174,6 +207,13 @@ class SeriesRegistry:
     def to_json(self) -> str:
         """Byte-stable JSON export (sorted keys, compact separators)."""
         return json.dumps(self.snapshot(), sort_keys=True, separators=(",", ":")) + "\n"
+
+    def merge(self, snapshot: dict[str, dict[str, object]]) -> None:
+        """Fold a whole registry :meth:`snapshot` into this one, name by
+        name in sorted order (see :meth:`MetricSeries.merge_snapshot`)."""
+        for name in sorted(snapshot):
+            payload = snapshot[name]
+            self.series(name, str(payload["kind"])).merge_snapshot(payload)
 
     @classmethod
     def from_snapshot(cls, snapshot: dict[str, dict[str, object]]) -> "SeriesRegistry":

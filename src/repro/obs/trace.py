@@ -220,6 +220,74 @@ class Recorder:
             }
         )
 
+    # ------------------------------------------------------- session merging
+    def reserve_span_ids(self, n: int) -> int:
+        """Consume a contiguous block of ``n`` span ids; return the first.
+
+        The parallel experiment layer renumbers a worker session's spans
+        into this block, so the merged trace carries exactly the ids a
+        serial run would have assigned (docs/PERFORMANCE.md).
+        """
+        if n <= 0:
+            raise ObservabilityError("must reserve a positive span id block")
+        first = next(self._ids)
+        for _ in range(n - 1):
+            next(self._ids)
+        return first
+
+    def to_payload(self) -> dict:
+        """This session's state as a plain (picklable) value tree.
+
+        Captured in a worker process after its scenario finishes; the
+        parent folds it back with :meth:`merge_payload`.  Only complete
+        sessions can travel — open spans mean the run is still in flight.
+        """
+        if self._stack:
+            raise ObservabilityError(
+                "cannot capture a session payload with open spans"
+            )
+        return {
+            "records": self.sink.records,
+            # Ids are allocated at span open and every opened span has
+            # closed (empty stack), so the consumed-id count is the number
+            # of span records.
+            "span_ids": sum(1 for r in self.sink.records if r["type"] == "span"),
+            "metrics": self.metrics.snapshot(),
+            "series": self.series.snapshot(),
+        }
+
+    def merge_payload(self, payload: dict) -> None:
+        """Fold a worker session's :meth:`to_payload` into this session.
+
+        Deterministic by construction: span ids are renumbered into a block
+        reserved off this session's counter, trace records append in the
+        worker's emission order, and metrics/series merge with sequential-
+        composition semantics — so merging worker payloads in submission
+        order reproduces, byte for byte, the session a serial run of the
+        same scenarios would have produced.  Alert *dedup state* does not
+        travel: each scenario runs its own alert lifecycle (the fire/resolve
+        events are already in the records).
+        """
+        if self._stack:
+            raise ObservabilityError(
+                "cannot merge a session payload while spans are open"
+            )
+        n = int(payload["span_ids"])
+        offset = (self.reserve_span_ids(n) - 1) if n else 0
+        for record in payload["records"]:
+            rtype = record.get("type")
+            if rtype == "span":
+                record = dict(record)
+                record["id"] = record["id"] + offset
+                if record["parent"] is not None:
+                    record["parent"] = record["parent"] + offset
+            elif rtype == "event" and record.get("span") is not None:
+                record = dict(record)
+                record["span"] = record["span"] + offset
+            self.sink.write(record)
+        self.metrics.merge(payload["metrics"])
+        self.series.merge(payload["series"])
+
     # --------------------------------------------------------------- metrics
     def counter(self, name: str) -> Counter:
         return self.metrics.counter(name)
@@ -267,6 +335,23 @@ def stop() -> Recorder:
     if _RECORDER is None:
         raise ObservabilityError("no observation session is active")
     rec, _RECORDER = _RECORDER, None
+    return rec
+
+
+def resume(rec: Recorder) -> Recorder:
+    """Reinstall a previously-:func:`stop`-ped recorder as the session.
+
+    The parallel layer's serial path runs each scenario in an isolated
+    session: it stops the caller's recorder, records the scenario into a
+    fresh one, then resumes the original and merges the isolated session's
+    payload into it.
+    """
+    global _RECORDER
+    if _RECORDER is not None:
+        raise ObservabilityError(
+            "an observation session is already active; stop() it first"
+        )
+    _RECORDER = rec
     return rec
 
 

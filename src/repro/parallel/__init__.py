@@ -1,0 +1,37 @@
+"""repro.parallel — deterministic process-parallel experiment execution.
+
+The paper's evaluation sweeps many independent warehouses (the Figure 4/5
+fleet, the Figure 7 slider sweep); each is an isolated simulation, so they
+parallelize embarrassingly — *if* parallelism cannot change the results.
+This package provides that guarantee (docs/PERFORMANCE.md):
+
+* scenarios cross the process boundary as picklable
+  :class:`~repro.experiments.scenarios.ScenarioSpec` recipes, never as live
+  objects — each worker rebuilds its scenario from the registered factory,
+  and ``RngRegistry``'s name-derived streams make the rebuild exact;
+* each scenario runs in an isolated observation session (in a worker *or*
+  inline), and the parent folds the captured payloads back **in submission
+  order** through :meth:`repro.obs.Recorder.merge_payload`;
+* the serial (``workers=0``) path uses the very same isolate-and-merge
+  machinery, so ``workers=N`` output is byte-identical to ``workers=0``
+  by construction, not by luck.
+
+This is the only module allowed to touch :mod:`multiprocessing`
+(lint rule R011, docs/INVARIANTS.md).
+"""
+
+from repro.parallel.pool import (
+    ParallelExecutionError,
+    WorkerJob,
+    register_protocol,
+    resolve_protocol,
+    run_jobs,
+)
+
+__all__ = [
+    "ParallelExecutionError",
+    "WorkerJob",
+    "register_protocol",
+    "resolve_protocol",
+    "run_jobs",
+]

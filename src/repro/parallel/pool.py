@@ -1,0 +1,236 @@
+"""The process pool: job specs, the worker entrypoint, and ``run_jobs``.
+
+Execution model
+---------------
+
+A :class:`WorkerJob` names a *protocol* (a registered per-scenario
+function, e.g. the §7.1 before/after row) and the scenario to run it on.
+``run_jobs`` executes the jobs and returns their results in submission
+order:
+
+* ``workers=0`` (default) runs everything inline, one isolated
+  observation session per job when a session is active;
+* ``workers>0`` runs jobs in ``spawn``-context worker processes.  Each
+  worker rebuilds its scenario from the job's
+  :class:`~repro.experiments.scenarios.ScenarioSpec`, records into a
+  fresh session, and ships the result plus the session payload back.
+
+Either way the parent merges the per-job payloads in submission order, so
+the two paths produce byte-identical traces, metrics and series exports
+(tests/experiments/test_parallel.py states this as an equality).
+
+``spawn`` (not ``fork``) is deliberate: workers start from a clean
+interpreter, so they cannot inherit the parent's active recorder, warmed
+caches, or any other ambient state that could make a worker run diverge
+from a fresh serial run.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import pathlib
+import sys
+from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Callable, Iterator, Sequence
+
+from repro.common.errors import ReproError
+from repro.obs import trace as obs_trace
+from repro.obs.series import DEFAULT_BUCKET_SECONDS
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
+    from repro.experiments.scenarios import Scenario, ScenarioSpec
+
+
+class ParallelExecutionError(ReproError):
+    """A job could not be shipped to or completed by a worker process.
+
+    Always names the failing scenario's spec (``factory(kwargs)[index]``)
+    so a fleet failure points at the one rebuildable scenario to rerun.
+    """
+
+
+#: Protocol registry: name -> per-scenario callable.  Populated by
+#: :func:`register_protocol` when :mod:`repro.experiments.runner` imports;
+#: workers resolve lazily through :func:`resolve_protocol`.
+_PROTOCOLS: dict[str, Callable] = {}
+
+
+def register_protocol(name: str) -> Callable:
+    """Register a per-scenario protocol function under ``name``.
+
+    Protocol functions take a built ``Scenario`` (plus keyword arguments
+    from the job) and must return a **picklable** result — optimizers and
+    accounts stay behind in the worker.
+    """
+
+    def decorate(fn: Callable) -> Callable:
+        if name in _PROTOCOLS:
+            raise ParallelExecutionError(f"duplicate protocol {name!r}")
+        _PROTOCOLS[name] = fn
+        return fn
+
+    return decorate
+
+
+def resolve_protocol(name: str) -> Callable:
+    """Look up a protocol by name, importing the runner module first.
+
+    The lazy import breaks the ``runner -> parallel`` cycle and doubles as
+    the worker-side bootstrap: a freshly spawned process only needs the
+    job to know which code to run.
+    """
+    import repro.experiments.runner  # noqa: F401  (registers protocols)
+
+    try:
+        return _PROTOCOLS[name]
+    except KeyError:
+        raise ParallelExecutionError(
+            f"unknown protocol {name!r}; registered: {sorted(_PROTOCOLS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class WorkerJob:
+    """One unit of work: run ``protocol`` on one scenario.
+
+    Callers in the same process may attach the live ``scenario`` object
+    (used by the serial path, and the source of the spec when shipping);
+    only the picklable ``(protocol, spec, kwargs)`` triple ever crosses a
+    process boundary.
+    """
+
+    protocol: str
+    spec: "ScenarioSpec | None" = None
+    scenario: "Scenario | None" = field(default=None, compare=False)
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def build_scenario(self) -> "Scenario":
+        if self.scenario is not None:
+            return self.scenario
+        if self.spec is None:
+            raise ParallelExecutionError(
+                f"job for protocol {self.protocol!r} has neither a scenario "
+                "nor a spec"
+            )
+        return self.spec.build()
+
+    def shippable(self) -> "WorkerJob":
+        """A copy safe to pickle: spec only, live scenario stripped."""
+        spec = self.spec
+        if spec is None and self.scenario is not None:
+            spec = self.scenario.spec
+        if spec is None:
+            name = getattr(self.scenario, "name", None)
+            raise ParallelExecutionError(
+                f"cannot ship scenario {name!r} to a worker: it carries no "
+                "ScenarioSpec — build it through a registered "
+                "@scenario_factory (docs/PERFORMANCE.md)"
+            )
+        return replace(self, spec=spec, scenario=None)
+
+
+def _execute(job: WorkerJob, observe: bool, bucket_seconds: float):
+    """Worker entrypoint: rebuild, run, and capture the session payload.
+
+    Module-level so ``spawn`` can pickle it by reference.  Also the serial
+    path's per-job body — both paths run *exactly* this code.
+    """
+    fn = resolve_protocol(job.protocol)
+    scenario = job.build_scenario()
+    if not observe:
+        return fn(scenario, **dict(job.kwargs)), None
+    rec = obs_trace.start(bucket_seconds=bucket_seconds)
+    try:
+        result = fn(scenario, **dict(job.kwargs))
+    finally:
+        obs_trace.stop()
+    return result, rec.to_payload()
+
+
+@contextmanager
+def _child_import_path() -> Iterator[None]:
+    """Make ``repro`` importable in spawned children via ``PYTHONPATH``.
+
+    ``spawn`` children start a fresh interpreter that inherits the
+    environment but not the parent's ``sys.path`` edits; prepending this
+    package's source root covers parents that imported ``repro`` through a
+    path hack rather than an install.
+    """
+    src = str(pathlib.Path(__file__).resolve().parents[2])
+    old = os.environ.get("PYTHONPATH")
+    if old is None or src not in old.split(os.pathsep):
+        os.environ["PYTHONPATH"] = src if old is None else os.pathsep.join([src, old])
+    try:
+        yield
+    finally:
+        if old is None:
+            os.environ.pop("PYTHONPATH", None)
+        else:
+            os.environ["PYTHONPATH"] = old
+
+
+def run_jobs(jobs: Sequence[WorkerJob], workers: int = 0) -> list:
+    """Run jobs and return their results in submission order.
+
+    ``workers=0`` runs inline; ``workers>0`` uses that many ``spawn``
+    worker processes.  When an observation session is active, both paths
+    run each job in an isolated session and merge the captured payloads
+    back in submission order, so the exported trace/metrics/series are
+    identical regardless of ``workers``.
+    """
+    jobs = list(jobs)
+    if workers < 0:
+        raise ParallelExecutionError(f"workers must be >= 0, got {workers}")
+    if not jobs:
+        return []
+    if workers == 0:
+        return _run_serial(jobs)
+    return _run_parallel(jobs, workers)
+
+
+def _run_serial(jobs: list[WorkerJob]) -> list:
+    parent = obs_trace.recorder()
+    if parent is None:
+        return [_execute(job, False, DEFAULT_BUCKET_SECONDS)[0] for job in jobs]
+    bucket_seconds = parent.series.bucket_seconds
+    outcomes = []
+    obs_trace.stop()
+    try:
+        for job in jobs:
+            outcomes.append(_execute(job, True, bucket_seconds))
+    finally:
+        obs_trace.resume(parent)
+    for _, payload in outcomes:
+        parent.merge_payload(payload)
+    return [result for result, _ in outcomes]
+
+
+def _run_parallel(jobs: list[WorkerJob], workers: int) -> list:
+    parent = obs_trace.recorder()
+    observe = parent is not None
+    bucket_seconds = parent.series.bucket_seconds if observe else DEFAULT_BUCKET_SECONDS
+    shipped = [job.shippable() for job in jobs]
+    context = multiprocessing.get_context("spawn")
+    outcomes = []
+    with _child_import_path():
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [
+                pool.submit(_execute, job, observe, bucket_seconds) for job in shipped
+            ]
+            for job, future in zip(shipped, futures):
+                try:
+                    outcomes.append(future.result())
+                except ParallelExecutionError:
+                    raise
+                except BaseException as exc:
+                    raise ParallelExecutionError(
+                        f"worker failed for scenario {job.spec.describe()} "
+                        f"(protocol {job.protocol!r}): {exc!r}"
+                    ) from exc
+    if observe:
+        for _, payload in outcomes:
+            parent.merge_payload(payload)
+    return [result for result, _ in outcomes]

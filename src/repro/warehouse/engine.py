@@ -40,16 +40,24 @@ class _Event:
     callback: Callable[[], None] = field(compare=False)
     cancelled: bool = field(default=False, compare=False)
     label: str | None = field(default=None, compare=False)
+    #: Set when the event leaves the heap, so a late ``cancel()`` (e.g. a
+    #: controller stopping itself mid-dispatch) does not touch the pending
+    #: counter for an event that is no longer pending.
+    popped: bool = field(default=False, compare=False)
 
 
 class EventHandle:
     """Returned by :meth:`Simulation.schedule`; allows cancellation."""
 
-    def __init__(self, event: _Event):
+    def __init__(self, sim: "Simulation", event: _Event):
+        self._sim = sim
         self._event = event
 
     def cancel(self) -> None:
-        self._event.cancelled = True
+        event = self._event
+        if not event.cancelled and not event.popped:
+            self._sim._pending -= 1
+        event.cancelled = True
 
     @property
     def cancelled(self) -> bool:
@@ -68,6 +76,10 @@ class Simulation:
         self._heap: list[_Event] = []
         self._seq = itertools.count()
         self.processed_events = 0
+        # Live count of schedulable (non-cancelled, not-yet-popped) events.
+        # Maintained incrementally so ``pending_events`` — read by the obs
+        # queue-depth gauge after every run — is O(1), not an O(heap) scan.
+        self._pending = 0
 
     def schedule(
         self, time: float, callback: Callable[[], None], label: str | None = None
@@ -81,7 +93,8 @@ class Simulation:
             raise SimulationError(f"cannot schedule at {time} before now={self.now}")
         event = _Event(max(time, self.now), next(self._seq), callback, label=label)
         heapq.heappush(self._heap, event)
-        return EventHandle(event)
+        self._pending += 1
+        return EventHandle(self, event)
 
     def schedule_in(
         self, delay: float, callback: Callable[[], None], label: str | None = None
@@ -129,8 +142,10 @@ class Simulation:
         before = self.processed_events
         while self._heap and self._heap[0].time <= end_time:
             event = heapq.heappop(self._heap)
+            event.popped = True
             if event.cancelled:
-                continue
+                continue  # removed from the pending count at cancel time
+            self._pending -= 1
             self.now = event.time
             self._dispatch(event)
             self.processed_events += 1
@@ -143,11 +158,13 @@ class Simulation:
         while self._heap:
             head = self._heap[0]
             if head.cancelled:
-                heapq.heappop(self._heap)
+                heapq.heappop(self._heap).popped = True
                 continue
             if hard_stop is not None and head.time > hard_stop:
                 break
             heapq.heappop(self._heap)
+            head.popped = True
+            self._pending -= 1
             self.now = head.time
             self._dispatch(head)
             self.processed_events += 1
@@ -167,7 +184,14 @@ class Simulation:
 
     @property
     def pending_events(self) -> int:
-        return sum(1 for e in self._heap if not e.cancelled)
+        """Live (non-cancelled, not-yet-dispatched) event count, O(1).
+
+        ``_record_progress`` reads this after every ``run_until`` — with the
+        old full-heap scan that made an observed run O(events²).  The
+        counter is maintained at schedule/cancel/pop time; the invariant is
+        locked by ``tests/warehouse/test_engine.py::TestPendingCounter``.
+        """
+        return self._pending
 
 
 class PeriodicController:

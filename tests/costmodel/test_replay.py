@@ -131,3 +131,36 @@ class TestChainedReplays:
         fast = replay.replay(records, config(size=WarehouseSize.M, auto_suspend_seconds=60.0), window)
         assert slow.active_seconds > fast.active_seconds
         assert slow.avg_latency > fast.avg_latency
+
+
+class TestObsFastPath:
+    """With observability disabled, replay must skip *all* span work.
+
+    The smart model issues thousands of what-if replays per run; the
+    disabled fast path (no span record, no ``config.describe()`` dict) is
+    what keeps the obs layer's overhead near zero when it is off
+    (benchmarks/bench_fig6_overhead.py puts a number on it).
+    """
+
+    def test_disabled_skips_describe_entirely(self, replay, monkeypatch):
+        from repro.warehouse.config import WarehouseConfig
+
+        def boom(self):  # pragma: no cover - must never run
+            raise AssertionError("config.describe() called on the fast path")
+
+        monkeypatch.setattr(WarehouseConfig, "describe", boom)
+        result = replay.replay([rec(100.0, 60.0)], config(), Window(0, HOUR))
+        assert result.n_queries == 1
+
+    def test_disabled_result_matches_observed_result(self, replay):
+        from repro import obs
+
+        records = [rec(100.0, 60.0), rec(900.0, 30.0, template="u")]
+        window = Window(0, HOUR)
+        disabled = replay.replay(records, config(), window)
+        with obs.observed() as recorder:
+            observed = replay.replay(records, config(), window)
+            spans = [r for r in recorder.sink.records if r["type"] == "span"]
+        assert observed == disabled
+        assert [s["name"] for s in spans] == ["costmodel.replay"]
+        assert spans[0]["attrs"]["n_queries"] == 2

@@ -615,3 +615,54 @@ class TestR010BoundedRetries:
             "R010",
         )
         assert found == []
+
+
+class TestR011ProcessPoolConfinement:
+    def test_multiprocessing_import_flagged(self):
+        found = findings_for(
+            """\
+            import multiprocessing
+
+            def fan_out(jobs):
+                with multiprocessing.Pool(4) as pool:
+                    return pool.map(run, jobs)
+            """,
+            "R011",
+            path="src/repro/experiments/runner.py",
+        )
+        assert [f.line for f in found] == [1]
+        assert "repro.parallel.run_jobs" in found[0].message
+
+    def test_concurrent_futures_from_import_flagged(self):
+        found = findings_for(
+            "from concurrent.futures import ProcessPoolExecutor\n",
+            "R011",
+            path="src/repro/core/optimizer.py",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_parallel_package_exempt(self):
+        found = findings_for(
+            """\
+            import multiprocessing
+            from concurrent.futures import ProcessPoolExecutor
+            """,
+            "R011",
+            path="src/repro/parallel/pool.py",
+        )
+        assert found == []
+
+    def test_outside_repro_tree_ignored(self):
+        found = findings_for(
+            "import multiprocessing\n", "R011", path="scripts/load_test.py"
+        )
+        assert found == []
+
+    def test_relative_import_not_confused(self):
+        # `from .concurrent import x` is a local module, not the stdlib.
+        found = findings_for(
+            "from .concurrent import helpers\n",
+            "R011",
+            path="src/repro/costmodel/model.py",
+        )
+        assert found == []

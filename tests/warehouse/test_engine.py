@@ -189,3 +189,81 @@ class TestFailureContext:
         # a SimulationError-in-SimulationError-in-... chain.
         assert isinstance(excinfo.value.__cause__, SimulationError)
         assert excinfo.value.__cause__.__cause__ is None
+
+
+class TestPendingCounter:
+    """`pending_events` is a live counter now, not a heap scan — these lock
+    the counter to the ground truth under every schedule/cancel/pop path."""
+
+    @staticmethod
+    def _scan(sim):
+        """The old O(heap) definition: ground truth for the counter."""
+        return sum(1 for e in sim._heap if not e.cancelled)
+
+    def test_schedule_and_run_keep_counter_exact(self):
+        sim = Simulation()
+        for t in range(10):
+            sim.schedule(float(t), lambda: None)
+        assert sim.pending_events == self._scan(sim) == 10
+        sim.run_until(4.0)
+        assert sim.pending_events == self._scan(sim) == 5
+        sim.run_all()
+        assert sim.pending_events == self._scan(sim) == 0
+
+    def test_cancel_decrements_once(self):
+        sim = Simulation()
+        handle = sim.schedule(10.0, lambda: None)
+        sim.schedule(20.0, lambda: None)
+        handle.cancel()
+        assert sim.pending_events == self._scan(sim) == 1
+        handle.cancel()  # double-cancel must not decrement again
+        assert sim.pending_events == self._scan(sim) == 1
+        sim.run_all()
+        assert sim.pending_events == self._scan(sim) == 0
+
+    def test_cancel_after_dispatch_is_a_noop(self):
+        # A callback cancelling its *own* handle (a controller stopping
+        # itself mid-dispatch) touches an event that already left the heap.
+        sim = Simulation()
+        handles = []
+
+        def self_cancel():
+            handles[0].cancel()
+
+        handles.append(sim.schedule(10.0, self_cancel))
+        sim.schedule(20.0, lambda: None)
+        sim.run_until(15.0)
+        assert sim.pending_events == self._scan(sim) == 1
+        sim.run_all()
+        assert sim.pending_events == self._scan(sim) == 0
+
+    def test_cancelled_events_skipped_by_run_all(self):
+        sim = Simulation()
+        keep = []
+        first = sim.schedule(10.0, lambda: keep.append("a"))
+        sim.schedule(30.0, lambda: keep.append("b"))
+        first.cancel()
+        sim.run_all(hard_stop=20.0)  # pops the cancelled head lazily
+        assert keep == []
+        assert sim.pending_events == self._scan(sim) == 1
+        sim.run_all()
+        assert keep == ["b"]
+        assert sim.pending_events == self._scan(sim) == 0
+
+    def test_random_interleaving_matches_scan(self):
+        from repro.common.rng import RngRegistry
+
+        rng = RngRegistry(seed=20260806).stream("test.pending")
+        sim = Simulation()
+        live = []
+        for step in range(300):
+            choice = rng.random()
+            if choice < 0.5:
+                live.append(sim.schedule(sim.now + float(rng.integers(1, 50)), lambda: None))
+            elif choice < 0.75 and live:
+                live.pop(int(rng.integers(0, len(live)))).cancel()
+            else:
+                sim.run_until(sim.now + float(rng.integers(0, 25)))
+            assert sim.pending_events == self._scan(sim)
+        sim.run_all()
+        assert sim.pending_events == self._scan(sim) == 0
