@@ -1,0 +1,40 @@
+"""Whole-program static analysis for the repro codebase (docs/ANALYSIS.md).
+
+Layered on :mod:`repro.lint` (which stays the per-file pass runner): both
+share one :class:`~repro.lint.findings.Finding` model, the suppression
+table, and the JSON/SARIF output machinery in :mod:`repro.lint.output`.
+Where the linter rejects constructs a single file can prove wrong, the
+analyzer proves cross-module properties: the import graph obeys the
+declared layer contract (R012), randomness and wall-clock values flow
+where the determinism story says they may (R013–R015), everything shipped
+to spawn workers is picklable by name (R016), and the vendor surface
+raises only the typed error hierarchy (R017).
+
+Findings ratchet against a committed baseline — see
+:mod:`repro.analysis.baseline`.
+"""
+
+from repro.analysis.baseline import Baseline, render_baseline, write_baseline
+from repro.analysis.contract import REPRO_CONTRACT, LayerContract
+from repro.analysis.engine import (
+    RULE_DOCS,
+    RULE_IDS,
+    AnalysisResult,
+    analyze_paths,
+    analyze_project,
+)
+from repro.analysis.project import Project
+
+__all__ = [
+    "AnalysisResult",
+    "Baseline",
+    "LayerContract",
+    "Project",
+    "REPRO_CONTRACT",
+    "RULE_DOCS",
+    "RULE_IDS",
+    "analyze_paths",
+    "analyze_project",
+    "render_baseline",
+    "write_baseline",
+]

@@ -1,0 +1,114 @@
+"""The ratcheting findings baseline.
+
+A baseline is a committed JSON file listing known findings as
+``(file, rule_id, message) -> count`` entries (no line numbers — those
+churn with every unrelated edit).  The ratchet:
+
+* a finding **not** covered by the baseline fails the run (new debt);
+* a baseline entry whose findings are gone (or fewer than blessed) is
+  *stale* and fails the run too — the file must be re-blessed with
+  ``--update-baseline`` so the recorded count only ever goes down;
+* ``--update-baseline`` rewrites the file from the current findings,
+  byte-stably.
+
+A missing baseline file is an empty baseline: everything is new.  The
+shipped ``analysis-baseline.json`` is empty and must stay empty — fix
+findings, don't bless them (docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+from dataclasses import dataclass, field
+from typing import IO, Sequence
+
+from repro.lint.findings import Finding
+from repro.lint.output import dump_json
+
+BASELINE_VERSION = 1
+DEFAULT_BASELINE = "analysis-baseline.json"
+
+_Key = tuple  # (file, rule_id, message)
+
+
+@dataclass
+class Baseline:
+    """Blessed finding counts keyed by ``(file, rule_id, message)``."""
+
+    entries: dict = field(default_factory=dict)  # _Key -> int
+    errors: list = field(default_factory=list)  # load problems (malformed file)
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "Baseline":
+        baseline = cls()
+        path = pathlib.Path(path)
+        if not path.exists():
+            return baseline
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, UnicodeDecodeError, json.JSONDecodeError) as exc:
+            baseline.errors.append(f"{path.as_posix()}: unreadable baseline: {exc}")
+            return baseline
+        if not isinstance(payload, dict) or payload.get("version") != BASELINE_VERSION:
+            baseline.errors.append(
+                f"{path.as_posix()}: unsupported baseline version "
+                f"{payload.get('version') if isinstance(payload, dict) else payload!r}"
+            )
+            return baseline
+        for entry in payload.get("entries", []):
+            try:
+                key = (entry["file"], entry["rule_id"], entry["message"])
+                baseline.entries[key] = int(entry["count"])
+            except (TypeError, KeyError, ValueError):
+                baseline.errors.append(
+                    f"{path.as_posix()}: malformed baseline entry {entry!r}"
+                )
+        return baseline
+
+    def apply(
+        self, findings: Sequence[Finding]
+    ) -> tuple[list[Finding], int, list[str]]:
+        """Split findings into (new, baselined_count, stale_entry_errors)."""
+        remaining = dict(self.entries)
+        new: list[Finding] = []
+        baselined = 0
+        for finding in sorted(findings, key=Finding.sort_key):
+            key = (finding.file, finding.rule_id, finding.message)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                baselined += 1
+            else:
+                new.append(finding)
+        stale = [
+            (
+                f"stale baseline entry: {key[0]}: {key[1]} "
+                f"({count} blessed finding(s) no longer present: {key[2]!r}); "
+                "run --update-baseline to ratchet the count down"
+            )
+            for key, count in sorted(remaining.items())
+            if count > 0
+        ]
+        return new, baselined, stale
+
+
+def render_baseline(findings: Sequence[Finding], out: IO[str]) -> None:
+    """Serialize the baseline that blesses exactly ``findings``."""
+    counts: dict = {}
+    for finding in findings:
+        key = (finding.file, finding.rule_id, finding.message)
+        counts[key] = counts.get(key, 0) + 1
+    payload = {
+        "version": BASELINE_VERSION,
+        "entries": [
+            {"count": count, "file": key[0], "message": key[2], "rule_id": key[1]}
+            for key, count in sorted(counts.items())
+        ],
+    }
+    dump_json(payload, out)
+
+
+def write_baseline(findings: Sequence[Finding], path: str | pathlib.Path) -> None:
+    path = pathlib.Path(path)
+    with path.open("w", encoding="utf-8") as handle:
+        render_baseline(findings, handle)

@@ -1,0 +1,186 @@
+"""Command-line front-end for the whole-program analyzer.
+
+Invocations (equivalent)::
+
+    python -m repro.analysis [paths ...]
+    python -m repro.cli analyze [paths ...]
+
+Exit codes match the linter: 0 clean, 1 findings or stale baseline
+entries, 2 unparseable files or bad usage.  ``--format json`` and
+``--format sarif`` are byte-stable; ``--graph PATH`` additionally writes
+the first-level import graph (Graphviz DOT, or markdown when the path
+ends in ``.md``).  The baseline ratchet is on by default against
+``analysis-baseline.json``; ``--update-baseline`` re-blesses the current
+findings (docs/ANALYSIS.md).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import IO
+
+from repro.analysis.baseline import DEFAULT_BASELINE, Baseline, write_baseline
+from repro.analysis.contract import REPRO_CONTRACT
+from repro.analysis.engine import AnalysisResult, analyze_paths, iter_rule_docs
+from repro.analysis.graph import to_dot, to_markdown
+from repro.analysis.project import Project
+from repro.lint.output import dump_json, render_sarif
+
+#: Bumped whenever the JSON output shape changes incompatibly.
+JSON_SCHEMA_VERSION = 1
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach the analyzer's arguments (shared with ``repro.cli analyze``)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("human", "json", "sarif"),
+        default="human",
+        help="output format (default: human)",
+    )
+    parser.add_argument(
+        "--select",
+        metavar="R012,R013,...",
+        default=None,
+        help="comma-separated analysis rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--graph",
+        metavar="PATH",
+        default=None,
+        help="write the import-graph artifact (.md for markdown, else DOT)",
+    )
+    parser.add_argument(
+        "--baseline",
+        metavar="PATH",
+        default=DEFAULT_BASELINE,
+        help=f"baseline file for the ratchet (default: {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="report raw findings without applying the baseline ratchet",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="bless the current findings into the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the analysis rule catalogue and exit",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-analyze",
+        description="Whole-program static analysis for the repro codebase "
+        "(layering, determinism dataflow, pickle-safety, exception contracts).",
+    )
+    configure_parser(parser)
+    return parser
+
+
+def render_human(result: AnalysisResult, out: IO[str]) -> None:
+    for finding in result.findings:
+        print(finding.render(), file=out)
+    for entry in result.stale:
+        print(f"error: {entry}", file=out)
+    for error in result.errors:
+        print(f"error: {error}", file=out)
+    summary = (
+        f"{len(result.findings)} finding(s) in {result.files_scanned} file(s) "
+        f"({result.modules} module(s))"
+        + (f", {result.suppressed} suppressed" if result.suppressed else "")
+        + (f", {result.baselined} baselined" if result.baselined else "")
+        + (f", {len(result.stale)} stale baseline entr(ies)" if result.stale else "")
+        + (f", {len(result.errors)} file error(s)" if result.errors else "")
+    )
+    print(summary, file=out)
+
+
+def render_json(result: AnalysisResult, out: IO[str]) -> None:
+    payload = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_scanned": result.files_scanned,
+        "modules": result.modules,
+        "suppressed": result.suppressed,
+        "baselined": result.baselined,
+        "findings": [f.to_dict() for f in result.findings],
+        "stale": list(result.stale),
+        "errors": list(result.errors),
+        "exit_code": result.exit_code(),
+    }
+    dump_json(payload, out)
+
+
+def _write_graph(paths, graph_path: str) -> None:
+    project = Project.load(paths)
+    if graph_path.endswith(".md"):
+        text = to_markdown(project, REPRO_CONTRACT.package)
+    else:
+        text = to_dot(project, REPRO_CONTRACT.package, REPRO_CONTRACT.layers)
+    with open(graph_path, "w", encoding="utf-8") as handle:
+        handle.write(text)
+
+
+def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
+    """Execute a parsed analyze invocation; returns the process exit code."""
+    out = out if out is not None else sys.stdout
+    if args.list_rules:
+        for rule_id, name, severity, summary in iter_rule_docs():
+            print(f"{rule_id}  {name:<24} [{severity}] {summary}", file=out)
+        return 0
+    select = [s.strip() for s in args.select.split(",")] if args.select else None
+    baseline = None if args.no_baseline else Baseline.load(args.baseline)
+    try:
+        if args.update_baseline:
+            raw = analyze_paths(args.paths, select=select, baseline=None)
+            if raw.errors:
+                for error in raw.errors:
+                    print(f"error: {error}", file=sys.stderr)
+                return 2
+            write_baseline(raw.findings, args.baseline)
+            print(
+                f"baseline updated: {len(raw.findings)} finding(s) blessed "
+                f"into {args.baseline}",
+                file=out,
+            )
+            return 0
+        result = analyze_paths(args.paths, select=select, baseline=baseline)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    if args.graph:
+        _write_graph(args.paths, args.graph)
+    if args.format == "json":
+        render_json(result, out)
+    elif args.format == "sarif":
+        render_sarif(
+            result.findings,
+            list(result.stale) + list(result.errors),
+            out,
+            tool_name="repro-analyze",
+            rule_docs=iter_rule_docs(),
+        )
+    else:
+        render_human(result, out)
+    return result.exit_code()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return run(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,191 @@
+"""Analysis driver: build the project once, run every pass, filter, ratchet.
+
+Mirrors ``repro.lint.engine`` in shape — :func:`analyze_paths` returns an
+:class:`AnalysisResult`; rendering and exit codes live in the CLI — but the
+passes are whole-program, so suppression filtering happens after all
+findings exist.  The same ``# repro-lint: disable=Rxxx`` directives work,
+scoped per line like the per-file linter.
+
+Rule catalogue (all ``error`` severity):
+
+=====  ======================  ==============================================
+R012   layering-contract       import graph obeys the declared architecture
+R013   rng-provenance          generators flow from RngRegistry/fallback_rng
+R014   wallclock-taint         wall-clock values never reach persisted state
+R015   unordered-iteration     no unsorted fs/set order frozen into output
+R016   pickle-safety           registered factories/payloads are spawn-safe
+R017   exception-contract      vendor surface raises typed ReproErrors only
+=====  ======================  ==============================================
+"""
+
+from __future__ import annotations
+
+import pathlib
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+from repro.analysis.baseline import Baseline
+from repro.analysis.contract import REPRO_CONTRACT, LayerContract, check_layering
+from repro.analysis.dataflow import check_dataflow
+from repro.analysis.exceptions import check_exception_contracts
+from repro.analysis.pickles import check_pickle_safety
+from repro.analysis.project import Project
+from repro.lint.findings import Finding
+from repro.lint.suppressions import scan_suppressions
+
+#: (rule_id, name, severity, summary) — the analysis rule catalogue.
+RULE_DOCS: tuple[tuple[str, str, str, str], ...] = (
+    (
+        "R012",
+        "layering-contract",
+        "error",
+        "import-time imports obey the declared layer contract and form no cycles",
+    ),
+    (
+        "R013",
+        "rng-provenance",
+        "error",
+        "generators drawn from must flow from RngRegistry/fallback_rng "
+        "(catches aliased constructors the per-file R002 cannot resolve)",
+    ),
+    (
+        "R014",
+        "wallclock-taint",
+        "error",
+        "wall-clock values may not reach persisted state, spans, or payloads",
+    ),
+    (
+        "R015",
+        "unordered-iteration",
+        "error",
+        "unsorted filesystem listings / set-valued attributes may not be "
+        "frozen into ordered output",
+    ),
+    (
+        "R016",
+        "pickle-safety",
+        "error",
+        "scenario factories, protocols, and WorkerJob payloads are spawn-safe "
+        "(no closures, lambdas, or registry bypasses)",
+    ),
+    (
+        "R017",
+        "exception-contract",
+        "error",
+        "the vendor surface (warehouse/faults/core/costmodel) raises only "
+        "typed common.errors exceptions",
+    ),
+)
+
+RULE_IDS: tuple[str, ...] = tuple(doc[0] for doc in RULE_DOCS)
+
+
+@dataclass
+class AnalysisResult:
+    """Outcome of one whole-program analysis run."""
+
+    findings: list[Finding] = field(default_factory=list)
+    errors: list[str] = field(default_factory=list)  # unparseable files etc.
+    stale: list[str] = field(default_factory=list)  # ratchet violations
+    files_scanned: int = 0
+    modules: int = 0
+    suppressed: int = 0
+    baselined: int = 0
+
+    @property
+    def clean(self) -> bool:
+        return not self.findings and not self.errors and not self.stale
+
+    def exit_code(self) -> int:
+        if self.errors:
+            return 2
+        return 1 if self.findings or self.stale else 0
+
+
+def iter_rule_docs() -> Iterator[tuple[str, str, str, str]]:
+    yield from RULE_DOCS
+
+
+def analyze_project(
+    project: Project,
+    select: Iterable[str] | None = None,
+    contract: LayerContract | None = None,
+) -> list[Finding]:
+    """Run the selected passes over a prepared project (unfiltered)."""
+    wanted = _validate_select(select)
+    contract = contract if contract is not None else REPRO_CONTRACT
+    findings: list[Finding] = []
+    if "R012" in wanted:
+        findings.extend(check_layering(project, contract))
+    if wanted & {"R013", "R014", "R015"}:
+        findings.extend(
+            f for f in check_dataflow(project) if f.rule_id in wanted
+        )
+    if "R016" in wanted:
+        findings.extend(check_pickle_safety(project))
+    if "R017" in wanted:
+        findings.extend(check_exception_contracts(project))
+    # One import statement can carry several aliases of the same module;
+    # identical findings collapse (Finding is frozen, so hashable).
+    return sorted(set(findings), key=Finding.sort_key)
+
+
+def analyze_paths(
+    paths: Sequence[str | pathlib.Path],
+    select: Iterable[str] | None = None,
+    contract: LayerContract | None = None,
+    baseline: Baseline | None = None,
+) -> AnalysisResult:
+    """Analyze every ``.py`` file under ``paths`` (the CLI entry point)."""
+    wanted = _validate_select(select)
+    project = Project.load(paths)
+    result = AnalysisResult(
+        errors=list(project.errors),
+        files_scanned=project.files_scanned,
+        modules=len(project.modules),
+    )
+    raw = analyze_project(project, select=sorted(wanted), contract=contract)
+    result.findings, result.suppressed = _filter_suppressions(project, raw, wanted)
+    if baseline is not None:
+        result.errors.extend(baseline.errors)
+        result.findings, result.baselined, result.stale = baseline.apply(
+            result.findings
+        )
+    return result
+
+
+def _validate_select(select: Iterable[str] | None) -> set:
+    if select is None:
+        return set(RULE_IDS)
+    wanted = {s for s in select}
+    unknown = wanted - set(RULE_IDS)
+    if unknown:
+        raise KeyError(f"unknown analysis rule id(s): {', '.join(sorted(unknown))}")
+    return wanted
+
+
+def _filter_suppressions(
+    project: Project, findings: Sequence[Finding], ran: set
+) -> tuple[list[Finding], int]:
+    """Apply per-line ``# repro-lint: disable=`` directives to the findings.
+
+    Unused-directive detection stays conservative here: only analysis rule
+    ids that actually ran are judged (a ``disable=R001`` or ``disable=all``
+    belongs to the per-file linter, which owns that check).
+    """
+    tables = {
+        info.ctx.path: scan_suppressions(info.ctx.source, info.ctx.path)
+        for info in project.sorted_modules()
+    }
+    kept: list[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        table = tables.get(finding.file)
+        if table is not None and table.is_suppressed(finding.line, finding.rule_id):
+            suppressed += 1
+        else:
+            kept.append(finding)
+    for path in sorted(tables):
+        kept.extend(tables[path].unused_findings(path, ran, full_run=False))
+    kept.sort(key=Finding.sort_key)
+    return kept, suppressed

@@ -9,7 +9,8 @@ Usage::
     python -m repro.cli fig7
     python -m repro.cli onboarding [--days 12]
     python -m repro.cli fleet [--customers 6]
-    python -m repro.cli lint [paths ...] [--format json]
+    python -m repro.cli lint [paths ...] [--format json|sarif]
+    python -m repro.cli analyze [paths ...] [--format json|sarif] [--graph out.dot]
     python -m repro.cli obs {smoke,summarize,diff,profile,slo,alerts,report} ...
     python -m repro.cli faults {list,describe,run} ...
 
@@ -26,6 +27,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+import repro.analysis.cli as analysis_cli
 import repro.faults.cli as faults_cli
 import repro.lint.cli as lint_cli
 import repro.obs.cli as obs_cli
@@ -143,6 +145,10 @@ def build_parser() -> argparse.ArgumentParser:
         "lint", help="run the determinism & invariant linter (docs/INVARIANTS.md)"
     )
     lint_cli.configure_parser(lint)
+    analyze = subparsers.add_parser(
+        "analyze", help="run the whole-program static analyzer (docs/ANALYSIS.md)"
+    )
+    analysis_cli.configure_parser(analyze)
     obs = subparsers.add_parser(
         "obs", help="inspect observability traces (docs/OBSERVABILITY.md)"
     )
@@ -162,6 +168,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "lint":
         return lint_cli.run(args)
+    if args.command == "analyze":
+        return analysis_cli.run(args)
     if args.command == "obs":
         return obs_cli.run(args)
     if args.command == "faults":

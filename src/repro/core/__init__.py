@@ -4,7 +4,7 @@ Action space, constraint engine, slider mapping, monitoring, actuator,
 smart model, value-based pricing, and the Algorithm-1 optimization loop.
 """
 
-from repro.core.actions import (
+from repro.learning.actions import (
     CLUSTER_DELTAS,
     RESIZE_DELTAS,
     SUSPEND_CHOICES,

@@ -1,144 +1,29 @@
-"""The discrete action space of the warehouse optimizer (§3's three levers).
+"""Compatibility shim: the action vocabulary moved to ``repro.learning.actions``.
 
-Each action jointly sets the three optimization surfaces the paper focuses
-on — warehouse size (resize up/down/keep), the auto-suspend interval
-(memory optimization), and the multi-cluster cap (parallelism).  The smart
-model picks one action per decision interval; the actuator translates it to
-ALTER WAREHOUSE calls.
-
-The joint (rather than independent) action space matters: the paper notes
-optimizations "interact and compete with one another in complex and
-non-linear ways" (e.g. downsizing is only safe if the cluster cap is not
-simultaneously slashed), so the learner must evaluate combinations.
+The joint action space is shared vocabulary between the learning layer
+(env, baselines) and the control loop (constraints, optimizer, smart
+model).  It originally lived here in ``repro.core``, which put a
+``learning -> core`` import under a ``core -> learning`` one — a layering
+cycle the analyzer (R012, docs/ANALYSIS.md) rejects.  The definitions now
+live one layer down in :mod:`repro.learning.actions`; this module re-exports
+them so existing ``repro.core.actions`` imports keep working (core may
+import learning — downward — freely).
 """
 
-from __future__ import annotations
+from repro.learning.actions import (
+    CLUSTER_DELTAS,
+    KEEP_SUSPEND,
+    RESIZE_DELTAS,
+    SUSPEND_CHOICES,
+    Action,
+    ActionSpace,
+)
 
-import itertools
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.common.errors import InvalidActionError
-from repro.warehouse.config import MAX_CLUSTER_COUNT, WarehouseConfig
-from repro.warehouse.types import WarehouseSize
-
-#: Sentinel suspend value meaning "leave the current interval unchanged".
-KEEP_SUSPEND = 0.0
-#: Auto-suspend intervals (seconds) the optimizer may choose between; the
-#: KEEP sentinel lets actions adjust size/clusters without touching the
-#: customer's suspend setting (important early in onboarding, when the
-#: confidence ramp has not yet unlocked aggressive suspension).
-SUSPEND_CHOICES = (KEEP_SUSPEND, 60.0, 300.0, 600.0)
-#: Relative size moves per decision: at most one T-shirt step per interval,
-#: so a mistake is never more than one step from correction.
-RESIZE_DELTAS = (-1, 0, 1)
-#: Relative max-cluster moves per decision.
-CLUSTER_DELTAS = (-1, 0, 1)
-
-
-@dataclass(frozen=True)
-class Action:
-    """One joint optimization decision."""
-
-    resize_delta: int
-    suspend_seconds: float
-    max_cluster_delta: int
-
-    @property
-    def is_noop_shape(self) -> bool:
-        """True when the action changes neither size nor cluster cap.
-
-        (It may still change the suspend interval.)
-        """
-        return self.resize_delta == 0 and self.max_cluster_delta == 0
-
-    @property
-    def keeps_suspend(self) -> bool:
-        return self.suspend_seconds == KEEP_SUSPEND
-
-    def describe(self) -> str:
-        size = {-1: "downsize", 0: "keep size", 1: "upsize"}[self.resize_delta]
-        cl = {-1: "clusters-1", 0: "clusters=", 1: "clusters+1"}[self.max_cluster_delta]
-        suspend = "keep" if self.keeps_suspend else f"{self.suspend_seconds:.0f}s"
-        return f"{size}, suspend={suspend}, {cl}"
-
-
-class ActionSpace:
-    """The fixed enumeration of joint actions plus apply/mask helpers.
-
-    The space is anchored to the warehouse's *original* configuration: the
-    optimizer may downsize below the original size but never grows beyond
-    ``max_size_headroom`` steps above it (provisioning far beyond what the
-    customer ever asked for is a business decision, not an optimization),
-    and the cluster cap stays within [1, original max].
-    """
-
-    def __init__(
-        self,
-        original: WarehouseConfig,
-        max_size_headroom: int = 1,
-        min_size: WarehouseSize = WarehouseSize.XS,
-    ):
-        self.original = original
-        self.min_size = min_size
-        self.max_size = original.size.step(max_size_headroom)
-        self.actions: list[Action] = [
-            Action(resize, suspend, clusters)
-            for resize, suspend, clusters in itertools.product(
-                RESIZE_DELTAS, SUSPEND_CHOICES, CLUSTER_DELTAS
-            )
-        ]
-        self._index = {a: i for i, a in enumerate(self.actions)}
-
-    def __len__(self) -> int:
-        return len(self.actions)
-
-    def index(self, action: Action) -> int:
-        try:
-            return self._index[action]
-        except KeyError:
-            raise InvalidActionError(f"action {action} is not in this space") from None
-
-    @property
-    def noop_index(self) -> int:
-        """The fully conservative action: change nothing at all."""
-        return self.index(Action(0, KEEP_SUSPEND, 0))
-
-    def apply(self, config: WarehouseConfig, action: Action) -> WarehouseConfig:
-        """The configuration that results from taking ``action`` now."""
-        new_size = config.size.step(action.resize_delta)
-        new_size = WarehouseSize(
-            int(np.clip(new_size.value, self.min_size.value, self.max_size.value))
-        )
-        new_max = int(
-            np.clip(
-                config.max_clusters + action.max_cluster_delta,
-                1,
-                min(self.original.max_clusters, MAX_CLUSTER_COUNT),
-            )
-        )
-        new_min = min(config.min_clusters, new_max)
-        suspend = (
-            config.auto_suspend_seconds
-            if action.keeps_suspend
-            else float(action.suspend_seconds)
-        )
-        return config.with_changes(
-            size=new_size,
-            auto_suspend_seconds=suspend,
-            max_clusters=new_max,
-            min_clusters=new_min,
-        )
-
-    def effective_mask(self, config: WarehouseConfig) -> np.ndarray:
-        """Actions that actually change something reachable from ``config``.
-
-        Clamped actions that collapse onto an identical resulting config are
-        still valid (they become no-ops); this mask is all-True and exists
-        as the base the constraint engine and guardrails AND into.
-        """
-        return np.ones(len(self.actions), dtype=bool)
-
-    def resulting_configs(self, config: WarehouseConfig) -> list[WarehouseConfig]:
-        return [self.apply(config, a) for a in self.actions]
+__all__ = [
+    "Action",
+    "ActionSpace",
+    "CLUSTER_DELTAS",
+    "KEEP_SUSPEND",
+    "RESIZE_DELTAS",
+    "SUSPEND_CHOICES",
+]

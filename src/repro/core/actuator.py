@@ -32,7 +32,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import WarehouseError
+from repro.common.errors import ConfigurationError, WarehouseError
 from repro.common.rng import fallback_rng
 from repro.core.monitoring import Monitor
 from repro.obs import trace as obs
@@ -78,7 +78,7 @@ class CircuitBreaker:
 
     def __init__(self, failure_threshold: int = 3, cooldown_seconds: float = 1800.0):
         if failure_threshold < 1:
-            raise ValueError("failure_threshold must be >= 1")
+            raise ConfigurationError("failure_threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.cooldown_seconds = cooldown_seconds
         self.state = BreakerState.CLOSED

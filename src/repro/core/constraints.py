@@ -20,7 +20,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.simtime import DAY, hour_of_day
-from repro.core.actions import ActionSpace
+from repro.learning.actions import ActionSpace
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.types import WarehouseSize
 

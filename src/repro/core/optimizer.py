@@ -29,7 +29,7 @@ from repro.common.errors import (
 )
 from repro.common.simtime import DAY, HOUR, Window
 from repro.obs import trace as obs
-from repro.core.actions import ActionSpace
+from repro.learning.actions import ActionSpace
 from repro.core.actuator import Actuator
 from repro.core.constraints import ConstraintSet
 from repro.core.ledger import SavingsLedger

@@ -32,7 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.simtime import HOUR, Window
-from repro.core.actions import ActionSpace
+from repro.learning.actions import ActionSpace
 from repro.core.constraints import ConstraintSet
 from repro.core.monitoring import RealTimeFeedback
 from repro.core.sliders import SliderParams

@@ -1,6 +1,14 @@
 """The data-learning stack (§6): featurization, numpy DQN, telemetry-
 reconstructed training environments and baseline policies."""
 
+from repro.learning.actions import (
+    CLUSTER_DELTAS,
+    KEEP_SUSPEND,
+    RESIZE_DELTAS,
+    SUSPEND_CHOICES,
+    Action,
+    ActionSpace,
+)
 from repro.learning.agent import DQNAgent, DQNConfig
 from repro.learning.baselines import (
     GreedyDownsizerPolicy,
@@ -20,6 +28,12 @@ from repro.learning.reward import RewardConfig, interval_reward
 from repro.learning.trainer import EpisodeStats, OfflineTrainer, TrainingReport
 
 __all__ = [
+    "Action",
+    "ActionSpace",
+    "CLUSTER_DELTAS",
+    "KEEP_SUSPEND",
+    "RESIZE_DELTAS",
+    "SUSPEND_CHOICES",
     "MLP",
     "ReplayBuffer",
     "Transition",

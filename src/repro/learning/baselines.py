@@ -20,7 +20,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.stats import percentile
-from repro.core.actions import KEEP_SUSPEND, Action
+from repro.learning.actions import KEEP_SUSPEND, Action
 from repro.learning.features import WorkloadBaseline
 from repro.warehouse.api import WarehouseInfo
 from repro.warehouse.queries import QueryRecord

@@ -29,7 +29,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.simtime import Window
-from repro.core.actions import ActionSpace
+from repro.learning.actions import ActionSpace
 from repro.learning.features import FeatureExtractor, WorkloadBaseline, interval_windows
 from repro.learning.reward import RewardConfig, interval_reward
 from repro.costmodel.latency import MIN_FIT_CACHE_HIT, LatencyScalingModel

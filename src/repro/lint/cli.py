@@ -14,12 +14,12 @@ The ``--format=json`` schema is versioned and documented in
 from __future__ import annotations
 
 import argparse
-import json
 import sys
 from typing import IO
 
 from repro.lint.engine import LintResult, lint_paths
 from repro.lint.findings import SEVERITIES
+from repro.lint.output import dump_json, render_sarif
 from repro.lint.rules import iter_rule_docs
 
 #: Bumped whenever the JSON output shape changes incompatibly.
@@ -36,7 +36,7 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
         help="output format (default: human)",
     )
@@ -90,8 +90,7 @@ def render_json(result: LintResult, out: IO[str]) -> None:
         "errors": list(result.errors),
         "exit_code": result.exit_code(),
     }
-    json.dump(payload, out, indent=2, sort_keys=True)
-    out.write("\n")
+    dump_json(payload, out)
 
 
 def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
@@ -109,6 +108,14 @@ def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
         return 2
     if args.format == "json":
         render_json(result, out)
+    elif args.format == "sarif":
+        render_sarif(
+            result.findings,
+            result.errors,
+            out,
+            tool_name="repro-lint",
+            rule_docs=iter_rule_docs(),
+        )
     else:
         render_human(result, out)
     return result.exit_code()

@@ -53,11 +53,15 @@ def iter_python_files(paths: Sequence[str | pathlib.Path]) -> list[pathlib.Path]
     return sorted(out)
 
 
-def lint_context(ctx: FileContext, rules: Sequence[Rule]) -> tuple[list[Finding], int]:
+def lint_context(
+    ctx: FileContext, rules: Sequence[Rule], full_run: bool = True
+) -> tuple[list[Finding], int]:
     """Run ``rules`` over one prepared file context.
 
-    Returns (kept findings, suppressed count); malformed suppression
-    directives are reported as R000 findings and cannot be suppressed.
+    Returns (kept findings, suppressed count); malformed and *unused*
+    suppression directives are reported as R000 findings and cannot be
+    suppressed.  ``full_run`` says whether the complete rule catalogue ran,
+    which is what lets ``disable=all`` directives be judged for staleness.
     """
     table = scan_suppressions(ctx.source, ctx.path)
     kept: list[Finding] = list(table.malformed)
@@ -68,6 +72,9 @@ def lint_context(ctx: FileContext, rules: Sequence[Rule]) -> tuple[list[Finding]
                 suppressed += 1
             else:
                 kept.append(finding)
+    kept.extend(
+        table.unused_findings(ctx.path, {rule.rule_id for rule in rules}, full_run)
+    )
     return kept, suppressed
 
 
@@ -85,7 +92,7 @@ def lint_source(
     """
     rule_objs = list(rules) if rules is not None else get_rules(select)
     ctx = FileContext.from_source(source, path)
-    findings, _ = lint_context(ctx, rule_objs)
+    findings, _ = lint_context(ctx, rule_objs, full_run=select is None and rules is None)
     for rule in rule_objs:
         findings.extend(rule.finalize())
     findings.sort(key=Finding.sort_key)
@@ -113,7 +120,7 @@ def lint_paths(
         except (SyntaxError, UnicodeDecodeError, OSError) as exc:
             result.errors.append(f"{path.as_posix()}: {exc}")
             continue
-        findings, suppressed = lint_context(ctx, rules)
+        findings, suppressed = lint_context(ctx, rules, full_run=select is None)
         result.findings.extend(findings)
         result.suppressed += suppressed
     for rule in rules:

@@ -10,6 +10,13 @@ so directive-looking text inside string literals is never misparsed.
 Malformed directives (unknown syntax after ``repro-lint:``) are reported as
 R000 findings rather than silently ignored — a typo in a suppression must
 not reopen a hole.
+
+Suppressions are also *use-tracked*: a directive whose rule never fires on
+that line is itself an R000 finding ("unused suppression").  Stale
+suppressions are holes waiting to reopen — the rule they silence can start
+firing again behind them without anyone noticing — so the count is only
+allowed to go down.  Unused detection is scoped to the rules that actually
+ran (``--select R003`` must not flag an R001 directive as unused).
 """
 
 from __future__ import annotations
@@ -31,10 +38,53 @@ class SuppressionTable:
 
     by_line: dict[int, set[str]] = field(default_factory=dict)
     malformed: list[Finding] = field(default_factory=list)
+    #: Directive location per line (col of the comment), for unused reports.
+    directive_cols: dict[int, int] = field(default_factory=dict)
+    #: ``(line, rule_id)`` pairs that actually suppressed a finding.
+    used: set = field(default_factory=set)
 
     def is_suppressed(self, line: int, rule_id: str) -> bool:
         ids = self.by_line.get(line)
-        return bool(ids) and ("all" in ids or rule_id in ids)
+        if not ids or ("all" not in ids and rule_id not in ids):
+            return False
+        self.used.add((line, rule_id))
+        return True
+
+    def unused_findings(self, path: str, ran_rule_ids: set, full_run: bool) -> list[Finding]:
+        """R000 findings for directives that silenced nothing.
+
+        A specific id is unused when its rule ran on this pass and no finding
+        on that line matched it.  ``disable=all`` is only judged on a full
+        run (``full_run``), since a partial ``--select`` pass cannot prove it
+        idle.  Unused findings are unsuppressible by construction (they carry
+        rule id R000 and R000 is never consulted against the table).
+        """
+        out: list[Finding] = []
+        for line in sorted(self.by_line):
+            ids = self.by_line[line]
+            used_here = {rid for (ln, rid) in self.used if ln == line}
+            stale: list[str] = []
+            for rule_id in sorted(ids):
+                if rule_id == "all":
+                    if full_run and not used_here:
+                        stale.append("all")
+                elif rule_id in ran_rule_ids and rule_id not in used_here:
+                    stale.append(rule_id)
+            if stale:
+                out.append(
+                    Finding(
+                        file=path,
+                        line=line,
+                        col=self.directive_cols.get(line, 0),
+                        rule_id="R000",
+                        severity="error",
+                        message=(
+                            f"unused suppression for {', '.join(stale)}: "
+                            "no such finding on this line; remove the directive"
+                        ),
+                    )
+                )
+        return out
 
 
 def scan_suppressions(source: str, path: str) -> SuppressionTable:
@@ -69,4 +119,5 @@ def scan_suppressions(source: str, path: str) -> SuppressionTable:
             continue
         ids = {part.strip() for part in disable.group("ids").split(",") if part.strip()}
         table.by_line.setdefault(line, set()).update(ids)
+        table.directive_cols.setdefault(line, tok.start[1])
     return table

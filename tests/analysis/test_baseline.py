@@ -1,0 +1,87 @@
+"""The ratcheting baseline: blessing, new-debt failures, stale entries."""
+
+import io
+
+from repro.analysis.baseline import (
+    BASELINE_VERSION,
+    Baseline,
+    render_baseline,
+    write_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def finding(file="pkg/mod.py", line=3, rule_id="R013", message="boom"):
+    return Finding(
+        file=file, line=line, col=0, rule_id=rule_id, severity="error", message=message
+    )
+
+
+class TestApply:
+    def test_blessed_finding_is_absorbed(self):
+        baseline = Baseline(entries={("pkg/mod.py", "R013", "boom"): 1})
+        new, baselined, stale = baseline.apply([finding()])
+        assert (new, baselined, stale) == ([], 1, [])
+
+    def test_unblessed_finding_is_new_debt(self):
+        new, baselined, stale = Baseline().apply([finding()])
+        assert len(new) == 1 and baselined == 0 and not stale
+
+    def test_count_is_a_ratchet_not_a_blanket(self):
+        # Two identical findings against a count of 1: one absorbed, one new.
+        baseline = Baseline(entries={("pkg/mod.py", "R013", "boom"): 1})
+        new, baselined, _ = baseline.apply([finding(line=3), finding(line=9)])
+        assert baselined == 1 and len(new) == 1
+
+    def test_stale_entry_is_an_error(self):
+        baseline = Baseline(entries={("pkg/gone.py", "R013", "boom"): 2})
+        new, baselined, stale = baseline.apply([])
+        assert not new and baselined == 0
+        (entry,) = stale
+        assert "stale baseline entry: pkg/gone.py: R013" in entry
+        assert "--update-baseline" in entry
+
+    def test_line_numbers_do_not_churn_the_key(self):
+        # The key is (file, rule_id, message): moving a finding within its
+        # file must not invalidate the baseline.
+        baseline = Baseline(entries={("pkg/mod.py", "R013", "boom"): 1})
+        new, baselined, stale = baseline.apply([finding(line=77)])
+        assert (new, baselined, stale) == ([], 1, [])
+
+
+class TestSerialization:
+    def test_render_is_byte_stable(self):
+        findings = [finding(line=9), finding(file="a.py", rule_id="R014")]
+        first, second = io.StringIO(), io.StringIO()
+        render_baseline(findings, first)
+        render_baseline(list(reversed(findings)), second)
+        assert first.getvalue() == second.getvalue()
+        assert first.getvalue().endswith("\n")
+
+    def test_write_load_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline([finding(), finding()], path)
+        loaded = Baseline.load(path)
+        assert not loaded.errors
+        assert loaded.entries == {("pkg/mod.py", "R013", "boom"): 2}
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        loaded = Baseline.load(tmp_path / "nope.json")
+        assert loaded.entries == {} and not loaded.errors
+
+    def test_malformed_file_is_an_error(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        loaded = Baseline.load(path)
+        assert loaded.errors and "unreadable baseline" in loaded.errors[0]
+
+    def test_unsupported_version_is_an_error(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text('{"version": 99, "entries": []}')
+        loaded = Baseline.load(path)
+        assert loaded.errors and "unsupported baseline version" in loaded.errors[0]
+
+    def test_version_constant_matches_rendered_payload(self):
+        out = io.StringIO()
+        render_baseline([], out)
+        assert f'"version": {BASELINE_VERSION}' in out.getvalue()

@@ -1,0 +1,103 @@
+"""The analysis driver: rule selection, suppressions, result plumbing."""
+
+import pytest
+
+from repro.analysis.engine import (
+    RULE_IDS,
+    analyze_paths,
+    analyze_project,
+)
+from repro.analysis.project import Project
+
+RNG_ALIAS = (
+    "import numpy as np\n"
+    "\n"
+    "def sample():\n"
+    "    mk = np.random.default_rng\n"
+    "    rng = mk(7)\n"
+    "    return rng.normal()\n"
+)
+
+
+class TestSelection:
+    def test_rule_ids_are_the_r012_r017_band(self):
+        assert RULE_IDS == ("R012", "R013", "R014", "R015", "R016", "R017")
+
+    def test_select_restricts_passes(self):
+        project = Project.from_sources({"mod": RNG_ALIAS})
+        assert analyze_project(project, select=["R014"]) == []
+        assert {f.rule_id for f in analyze_project(project, select=["R013"])} == {
+            "R013"
+        }
+
+    def test_unknown_rule_id_raises(self):
+        project = Project.from_sources({"mod": "x = 1\n"})
+        with pytest.raises(KeyError, match="R999"):
+            analyze_project(project, select=["R999"])
+
+    def test_duplicate_findings_collapse(self):
+        # One from-import with two aliases is one violation, not two.
+        from repro.analysis.contract import LayerContract
+
+        project = Project.from_sources(
+            {"pkg.a": "from pkg.b import one, two\n", "pkg.b": "one = two = 1\n"}
+        )
+        contract = LayerContract(package="pkg", layers=(("a",), ("b",)))
+        findings = analyze_project(project, select=["R012"], contract=contract)
+        assert len(findings) == 1
+
+
+class TestSuppressions:
+    def write(self, tmp_path, source):
+        target = tmp_path / "mod.py"
+        target.write_text(source)
+        return target
+
+    def test_directive_silences_an_analysis_finding(self, tmp_path):
+        target = self.write(
+            tmp_path,
+            "import numpy as np\n"
+            "\n"
+            "def sample():\n"
+            "    mk = np.random.default_rng\n"
+            "    rng = mk(7)  # repro-lint: disable=R013\n"
+            "    return rng.normal()  # repro-lint: disable=R013\n",
+        )
+        result = analyze_paths([target])
+        assert result.clean and result.suppressed == 2
+
+    def test_unused_analysis_directive_is_flagged(self, tmp_path):
+        target = self.write(tmp_path, "x = 1  # repro-lint: disable=R013\n")
+        result = analyze_paths([target])
+        (finding,) = result.findings
+        assert finding.rule_id == "R000"
+        assert "unused suppression for R013" in finding.message
+
+    def test_lint_rule_directives_are_not_judged_here(self, tmp_path):
+        # disable=R001 belongs to the per-file linter; the analyzer must not
+        # call it unused just because R001 did not run in this tool.
+        target = self.write(tmp_path, "x = 1  # repro-lint: disable=R001\n")
+        result = analyze_paths([target])
+        assert result.clean
+
+    def test_disable_all_is_not_judged_here(self, tmp_path):
+        target = self.write(tmp_path, "x = 1  # repro-lint: disable=all\n")
+        result = analyze_paths([target])
+        assert result.clean
+
+
+class TestResultPlumbing:
+    def test_exit_codes(self, tmp_path):
+        clean = tmp_path / "clean.py"
+        clean.write_text("x = 1\n")
+        assert analyze_paths([clean]).exit_code() == 0
+        dirty = tmp_path / "dirty.py"
+        dirty.write_text(RNG_ALIAS)
+        assert analyze_paths([dirty]).exit_code() == 1
+        assert analyze_paths([tmp_path / "nope"]).exit_code() == 2
+
+    def test_module_and_file_counts(self, tmp_path):
+        (tmp_path / "a.py").write_text("x = 1\n")
+        (tmp_path / "b.py").write_text("y = 2\n")
+        result = analyze_paths([tmp_path])
+        assert result.files_scanned == 2 and result.modules == 2

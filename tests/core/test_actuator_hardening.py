@@ -7,6 +7,7 @@ stubbing (docs/ROBUSTNESS.md).
 
 import pytest
 
+from repro.common.errors import ConfigurationError
 from repro.common.rng import fallback_rng
 from repro.common.simtime import HOUR, Window
 from repro.core.actuator import (
@@ -94,7 +95,9 @@ class TestCircuitBreaker:
         assert breaker.blocking(100.0)
 
     def test_threshold_must_be_positive(self):
-        with pytest.raises(ValueError):
+        # Regression for analyzer rule R017: the vendor surface raises the
+        # typed ConfigurationError, not a bare ValueError.
+        with pytest.raises(ConfigurationError):
             CircuitBreaker(failure_threshold=0)
 
 

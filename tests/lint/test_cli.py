@@ -99,6 +99,41 @@ class TestJsonOutput:
         assert first == second
 
 
+class TestSarifOutput:
+    def test_two_runs_byte_identical(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY)
+        _, first = run_cli([str(target), "--format", "sarif"])
+        _, second = run_cli([str(target), "--format", "sarif"])
+        assert first == second
+
+    def test_sarif_shape(self, tmp_path):
+        target = tmp_path / "dirty.py"
+        target.write_text(DIRTY)
+        code, out = run_cli([str(target), "--format", "sarif"])
+        assert code == 1
+        sarif = json.loads(out)
+        assert sarif["version"] == "2.1.0"
+        (sarif_run,) = sarif["runs"]
+        driver = sarif_run["tool"]["driver"]
+        assert driver["name"] == "repro-lint"
+        assert any(rule["id"] == "R001" for rule in driver["rules"])
+        results = sarif_run["results"]
+        assert any(r["ruleId"] == "R001" for r in results)
+        region = results[0]["locations"][0]["physicalLocation"]["region"]
+        # SARIF columns are 1-based; Finding.col is 0-based.
+        assert region["startLine"] == 2 and region["startColumn"] >= 1
+
+    def test_file_errors_surface_as_notifications(self, tmp_path):
+        target = tmp_path / "broken.py"
+        target.write_text("def f(:\n")
+        code, out = run_cli([str(target), "--format", "sarif"])
+        assert code == 2
+        sarif = json.loads(out)
+        notes = sarif["runs"][0]["invocations"][0]["toolExecutionNotifications"]
+        assert notes and "broken.py" in notes[0]["message"]["text"]
+
+
 class TestSelection:
     def test_select_restricts_rules(self, tmp_path):
         target = tmp_path / "dirty.py"

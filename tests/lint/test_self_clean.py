@@ -32,3 +32,15 @@ class TestSelfClean:
 
     def test_exit_code_contract(self):
         assert lint_paths([REPO_ROOT / "src"]).exit_code() == 0
+
+    def test_tests_and_benchmarks_pass_hygiene_rules(self):
+        # tests/ and benchmarks/ are exempt from the simulation-purity rules
+        # (they may seed ad-hoc RNGs, compare exact times, etc.) but not from
+        # the hygiene rules: shared mutable defaults, swallowed exceptions,
+        # hash-order iteration, unbounded retries.
+        result = lint_paths(
+            [REPO_ROOT / "tests", REPO_ROOT / "benchmarks"],
+            select=["R005", "R006", "R008", "R010"],
+        )
+        assert result.clean, f"hygiene violations in tests/benchmarks:\n{render(result)}"
+        assert result.files_scanned >= 100

@@ -31,7 +31,10 @@ class TestSuppression:
             t = time.time()  # repro-lint: disable=R002
             """
         )
-        assert [f.rule_id for f in found] == ["R001"]
+        # The R001 violation still fires, and the R002 directive (which
+        # silenced nothing) is itself reported as an unused suppression.
+        assert [f.rule_id for f in found] == ["R001", "R000"]
+        assert "unused suppression" in found[1].message
 
     def test_multiple_ids_in_one_directive(self):
         found = lint(
@@ -61,7 +64,10 @@ class TestSuppression:
             t = time.time()
             """
         )
-        assert [f.rule_id for f in found] == ["R001"]
+        # The misplaced directive suppresses nothing (R001 fires on line 3)
+        # and is flagged as unused on its own line.
+        assert [f.rule_id for f in found] == ["R000", "R001"]
+        assert found[0].line == 2 and "unused suppression" in found[0].message
 
     def test_directive_inside_string_is_inert(self):
         found = lint(
@@ -84,3 +90,34 @@ class TestSuppression:
         kept, suppressed = lint_context(ctx, get_rules())
         assert kept == []
         assert suppressed == 1
+
+
+class TestUnusedSuppressions:
+    def test_used_directive_is_not_flagged(self):
+        assert lint("import time\nt = time.time()  # repro-lint: disable=R001\n") == []
+
+    def test_unused_specific_id_is_flagged(self):
+        found = lint("x = 1  # repro-lint: disable=R005\n")
+        assert [f.rule_id for f in found] == ["R000"]
+        assert "unused suppression for R005" in found[0].message
+
+    def test_unused_disable_all_is_flagged_on_full_run(self):
+        found = lint("x = 1  # repro-lint: disable=all\n")
+        assert [f.rule_id for f in found] == ["R000"]
+        assert "unused suppression for all" in found[0].message
+
+    def test_unused_check_scoped_to_selected_rules(self):
+        # Under --select R002 an idle R001 directive cannot be judged: R001
+        # never ran, so the pass must not call it unused.
+        source = "import time\nt = time.time()  # repro-lint: disable=R001\n"
+        assert lint_source(source, path="snippet.py", select=["R002"]) == []
+
+    def test_disable_all_not_judged_on_partial_run(self):
+        source = "x = 1  # repro-lint: disable=all\n"
+        assert lint_source(source, path="snippet.py", select=["R002"]) == []
+
+    def test_partially_unused_directive_reports_only_stale_ids(self):
+        found = lint("import time\nt = time.time()  # repro-lint: disable=R001,R005\n")
+        assert [f.rule_id for f in found] == ["R000"]
+        assert "unused suppression for R005" in found[0].message
+        assert "R001" not in found[0].message
