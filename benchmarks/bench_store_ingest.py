@@ -1,0 +1,184 @@
+"""Perf gate: FleetStore ingest/query/rollup throughput on a synthetic fleet.
+
+The fleet telemetry store (``repro.obs.store``) is meant to absorb whole
+sweeps of traced runs — provenance, outcomes, attributions, alerts — and
+then answer joined queries from its in-memory indexes.  This bench ingests
+a deterministic synthetic fleet (many runs × warehouses × decision ticks),
+then exercises the indexed read paths, recording both wall-time and the
+deterministic row/rollup counts.  The counts must never drift on the same
+code; the seconds are gated loosely like every other wall-clock leaf
+(``benchmarks/regression_gate.py``, 20% tolerance, non-blocking in CI).
+
+Scale comes from ``REPRO_PERF_SCALE``: ``full`` (default, 24 runs) or
+``smoke`` (6 runs for CI).
+"""
+
+import os
+import timeit
+
+from repro.obs.store import FleetStore
+
+from benchmarks.conftest import record_result, run_once
+
+SCALE = os.environ.get("REPRO_PERF_SCALE", "full")
+N_RUNS = {"full": 24, "smoke": 6}[SCALE]
+N_WAREHOUSES = 4
+N_TICKS = 96  # one simulated day at a 15-minute decision interval
+
+
+def synthetic_trace(run_index: int) -> list[dict]:
+    """One run's trace records: decisions, outcomes, attributions, alerts.
+
+    Fully deterministic arithmetic — no RNG, no clocks — so the archived
+    row counts are a pure function of the scale knobs.
+    """
+    records: list[dict] = [
+        {
+            "type": "manifest",
+            "scenario": "bench_store",
+            "seed": run_index,
+            "config_hash": f"{run_index:08x}",
+            "slider": "balanced",
+        }
+    ]
+    interval = 900.0
+    for w in range(N_WAREHOUSES):
+        warehouse = f"WH_{w}"
+        for tick in range(N_TICKS):
+            time = tick * interval
+            seq = tick
+            kind = ("learned", "hold", "backoff")[(tick + w + run_index) % 3]
+            records.append(
+                {
+                    "type": "event",
+                    "name": "provenance.decision",
+                    "time": time,
+                    "attrs": {
+                        "warehouse": warehouse,
+                        "seq": seq,
+                        "kind": kind,
+                        "reason_code": f"{kind}.bench",
+                        "target": "cfg",
+                        "interval": interval,
+                    },
+                }
+            )
+            if tick > 0:
+                realized = 0.25 + 0.01 * ((tick + w) % 7)
+                predicted = 0.25 + 0.01 * ((tick + run_index) % 5)
+                records.append(
+                    {
+                        "type": "event",
+                        "name": "provenance.outcome",
+                        "time": time,
+                        "attrs": {
+                            "warehouse": warehouse,
+                            "seq": seq - 1,
+                            "window_start": time - interval,
+                            "window_end": time,
+                            "realized_credits": realized,
+                            "predicted_credits": predicted,
+                            "error_credits": realized - predicted,
+                        },
+                    }
+                )
+            if tick % 8 == 4:
+                records.append(
+                    {
+                        "type": "event",
+                        "name": "alert.fire",
+                        "time": time,
+                        "attrs": {
+                            "alert": f"optimizer.backoff.wh_{w}",
+                            "severity": "warning",
+                            "warehouse": warehouse,
+                        },
+                    }
+                )
+            if tick % 8 == 6:
+                records.append(
+                    {
+                        "type": "event",
+                        "name": "alert.resolve",
+                        "time": time,
+                        "attrs": {
+                            "alert": f"optimizer.backoff.wh_{w}",
+                            "warehouse": warehouse,
+                        },
+                    }
+                )
+            if tick % 12 == 11:
+                savings = 0.5 + 0.05 * (w + run_index % 3)
+                records.append(
+                    {
+                        "type": "event",
+                        "name": "provenance.attribution",
+                        "time": time,
+                        "attrs": {
+                            "warehouse": warehouse,
+                            "window_start": time - 12 * interval,
+                            "window_end": time,
+                            "savings_credits": savings,
+                            "shares": [
+                                {
+                                    "decision_seq": seq - d,
+                                    "overlap_seconds": interval,
+                                    "credits": savings / 12,
+                                }
+                                for d in range(12)
+                            ],
+                        },
+                    }
+                )
+    return records
+
+
+def test_store_ingest(benchmark):
+    traces = [synthetic_trace(i) for i in range(N_RUNS)]
+
+    def workload():
+        store = FleetStore()
+        t_ingest = timeit.default_timer()
+        for i, trace in enumerate(traces):
+            store.ingest_trace_records(trace, run=f"run_{i:03d}")
+        t_ingest = timeit.default_timer() - t_ingest
+
+        t_query = timeit.default_timer()
+        n_decisions = len(store.decisions())
+        n_during = len(store.decisions_during_alerts())
+        rollup = store.rollup(bucket_seconds=3600.0)
+        top = store.top_savings(k=10)
+        regret = store.top_regret(k=10)
+        t_query = timeit.default_timer() - t_query
+        return store, t_ingest, t_query, n_decisions, n_during, rollup, top, regret
+
+    store, t_ingest, t_query, n_decisions, n_during, rollup, top, regret = run_once(
+        benchmark, workload
+    )
+    rows_per_second = len(store) / t_ingest if t_ingest else 0.0
+    record_result(
+        "store_ingest",
+        f"fleet store ingest ({SCALE} scale, {N_RUNS} runs x "
+        f"{N_WAREHOUSES} warehouses x {N_TICKS} ticks):\n"
+        f"  rows ingested:   {len(store):8d}  ({t_ingest * 1e3:8.2f} ms, "
+        f"{rows_per_second:,.0f} rows/s)\n"
+        f"  decisions join:  {n_decisions:8d}  rows\n"
+        f"  during alerts:   {n_during:8d}  rows\n"
+        f"  rollup buckets:  {len(rollup):8d}\n"
+        f"  top-k rows:      {len(top) + len(regret):8d}  "
+        f"(reads {t_query * 1e3:8.2f} ms total)",
+        data={
+            "scale": {"n_runs": N_RUNS, "n_warehouses": N_WAREHOUSES, "n_ticks": N_TICKS},
+            "n_rows": len(store),
+            "n_decisions": n_decisions,
+            "n_decisions_during_alerts": n_during,
+            "n_rollup_buckets": len(rollup),
+            "seconds_ingest": t_ingest,
+            "seconds_queries": t_query,
+        },
+    )
+    # Structural sanity: joins and rollups actually produced the fleet view.
+    assert n_decisions == N_RUNS * N_WAREHOUSES * N_TICKS
+    assert len(store.runs()) == N_RUNS
+    assert n_during > 0
+    assert len(top) == 10 and len(regret) == 10

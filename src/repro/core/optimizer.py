@@ -18,6 +18,7 @@ value-based invoicing.
 
 from __future__ import annotations
 
+import re
 from collections.abc import Callable
 from dataclasses import dataclass, field
 
@@ -28,7 +29,9 @@ from repro.common.errors import (
     WarehouseError,
 )
 from repro.common.simtime import DAY, HOUR, Window
+from repro.common.stats import percentile
 from repro.obs import trace as obs
+from repro.obs.provenance import DecisionContext, DecisionOutcome, ProvenanceLog
 from repro.learning.actions import ActionSpace
 from repro.core.actuator import Actuator
 from repro.core.constraints import ConstraintSet
@@ -120,6 +123,8 @@ class WarehouseOptimizer:
         self.decisions: list[Decision] = []
         self.training_reports: list[TrainingReport] = []
         self.ledger = SavingsLedger(warehouse)
+        #: Decision audit trail + savings attribution (docs/OBSERVABILITY.md).
+        self.provenance = ProvenanceLog(warehouse, self.config.decision_interval)
         self._last_retrain = -1e18
         self._last_report = -1e18
         self._decisions_at_last_report = 0
@@ -279,6 +284,9 @@ class WarehouseOptimizer:
         if self.paused:
             return
         with obs.span("optimizer.tick", now, warehouse=self.warehouse) as sp:
+            # Seal every earlier decision's provenance record with the
+            # realized outcome of the interval it governed.
+            self._seal_provenance(now)
             if not self.safe_mode:
                 if now - self._last_retrain >= self.config.retrain_interval:
                     self._retrain(now)
@@ -293,6 +301,10 @@ class WarehouseOptimizer:
                 obs.counter(
                     f"repro.optimizer.decisions.{decision.kind.value}"
                 ).inc(time=now)
+                self._record_provenance(now, feedback, decision)
+                last = self.actuator.last_applied
+                if last is not None and last.time == now:
+                    self.provenance.note_apply(last.succeeded, last.error)
                 return
             if self.safe_mode:
                 self._exit_safe_mode(now)
@@ -300,28 +312,25 @@ class WarehouseOptimizer:
                 # Dark telemetry below the SAFE_MODE threshold, or the
                 # warm-up tick right after leaving SAFE_MODE: hold position
                 # rather than decide on stale features.
-                reason = (
-                    "safe-mode warm-up"
-                    if feedback.telemetry_ok
-                    else "telemetry unavailable"
+                if feedback.telemetry_ok:
+                    reason, code = "safe-mode warm-up", "hold.warmup"
+                else:
+                    reason, code = "telemetry unavailable", "hold.telemetry_dark"
+                decision = Decision(
+                    DecisionKind.HOLD, self._held_config(), reason, reason_code=code
                 )
-                decision = Decision(DecisionKind.HOLD, self._held_config(), reason)
+                context = None
             else:
                 try:
                     decision = self.smart_model.next_action(now, feedback)
+                    context = self.smart_model.last_context
                 except (TelemetryError, WarehouseError) as exc:
-                    obs.emit(
-                        "optimizer.decision_error",
-                        now,
-                        warehouse=self.warehouse,
-                        error=str(exc),
-                    )
-                    decision = Decision(
-                        DecisionKind.HOLD, self._held_config(), f"decision error: {exc}"
-                    )
+                    decision = self._decision_error_fallback(now, exc)
+                    context = None
             self.decisions.append(decision)
             sp.set(decision=decision.kind.value)
             obs.counter(f"repro.optimizer.decisions.{decision.kind.value}").inc(time=now)
+            self._record_provenance(now, feedback, decision, context=context)
             self._record_alerts(now, feedback, decision)
             if decision.kind == DecisionKind.BACKOFF:
                 obs.emit(
@@ -346,11 +355,82 @@ class WarehouseOptimizer:
                 )
                 return
             if decision.target != current:
-                self.actuator.apply(
+                applied = self.actuator.apply(
                     decision.target, reason=f"{decision.kind.value}: {decision.reason}"
                 )
+                self.provenance.note_apply(applied.succeeded, applied.error)
                 sp.set(applied=decision.target.describe())
             self._advise_scaling_policy(now, feedback)
+
+    # ------------------------------------------------------------ provenance
+    def _decision_error_fallback(self, now: float, exc: Exception) -> Decision:
+        """A decision-path failure becomes a typed, counted HOLD.
+
+        The exception type survives as a reason code and a per-type counter,
+        and the ``__cause__`` chain is recorded — "decision error: <msg>"
+        alone made vendor flakiness indistinguishable from telemetry rot.
+        """
+        exc_type = type(exc).__name__
+        cause = exc.__cause__
+        # Metric names are dotted lowercase; CamelCase class names become
+        # snake_case segments (TelemetryError -> telemetry_error).
+        segment = re.sub(r"(?<=[a-z0-9])(?=[A-Z])", "_", exc_type).lower()
+        obs.counter(f"repro.optimizer.decision_errors.{segment}").inc(time=now)
+        obs.emit(
+            "optimizer.decision_error",
+            now,
+            warehouse=self.warehouse,
+            error=str(exc),
+            error_type=exc_type,
+            cause_type=type(cause).__name__ if cause is not None else "",
+            cause=str(cause) if cause is not None else "",
+        )
+        return Decision(
+            DecisionKind.HOLD,
+            self._held_config(),
+            f"decision error: {exc}",
+            reason_code=f"decision_error.{exc_type}",
+        )
+
+    def _record_provenance(
+        self, now: float, feedback, decision: Decision, context=None
+    ) -> None:
+        breaker = self.actuator.breaker
+        self.provenance.record(
+            now,
+            kind=decision.kind.value,
+            reason=decision.reason,
+            reason_code=decision.typed_reason,
+            target=decision.target.describe(),
+            feedback=feedback,
+            context=context if context is not None else DecisionContext(),
+            action_index=decision.action_index,
+            q_value=decision.q_value,
+            safe_mode=self.safe_mode,
+            breaker_state=breaker.state.value,
+            breaker_consecutive_failures=breaker.consecutive_failures,
+            retries_scheduled=self.actuator.retries_scheduled,
+        )
+
+    def _seal_provenance(self, now: float) -> None:
+        self.provenance.seal_until(now, self._realized_outcome)
+
+    def _realized_outcome(self, window: Window) -> DecisionOutcome:
+        """Ground truth for sealing: account-side billing + telemetry.
+
+        Deliberately *not* read through ``self.client`` — extra vendor-client
+        calls would be metered as KWO overhead and would consume fault-plan
+        randomness, so sealing through the client would change the very run
+        it observes.
+        """
+        meter = self.account.warehouse(self.warehouse).meter
+        records = self.account.telemetry.query_history(self.warehouse, window)
+        latencies = [r.total_seconds for r in records]
+        return DecisionOutcome(
+            credits=meter.credits_in_window(window),
+            p99_latency=percentile(latencies, 99),
+            n_queries=len(records),
+        )
 
     # ---------------------------------------------------------- degraded mode
     def _held_config(self) -> WarehouseConfig:
@@ -403,7 +483,9 @@ class WarehouseOptimizer:
             last = self.actuator.last_applied
             if last is None or not last.succeeded or last.to_config != original:
                 self.actuator.apply(original, reason=f"safe mode: {reason}")
-        return Decision(DecisionKind.SAFE_MODE, original, reason)
+        return Decision(
+            DecisionKind.SAFE_MODE, original, reason, reason_code="safe_mode.frozen"
+        )
 
     def _exit_safe_mode(self, now: float) -> None:
         self.safe_mode = False
@@ -508,10 +590,13 @@ class WarehouseOptimizer:
             )
             return  # retried next tick; the period simply grows
         recent = self.decisions[self._decisions_at_last_report:]
-        self.ledger.report(
+        entry = self.ledger.report(
             estimate,
             n_actions=sum(1 for d in recent if d.kind == DecisionKind.LEARNED),
             n_backoffs=sum(1 for d in recent if d.kind == DecisionKind.BACKOFF),
+        )
+        self.provenance.attribution.attribute(
+            entry.window, entry.savings_credits, self.provenance.records
         )
         self._decisions_at_last_report = len(self.decisions)
         self._last_report = now
@@ -520,6 +605,9 @@ class WarehouseOptimizer:
             now,
             warehouse=self.warehouse,
             savings_fraction=estimate.savings_fraction,
+            savings_credits=entry.savings_credits,
+            window_start=entry.window.start,
+            window_end=entry.window.end,
         )
         obs.gauge(f"repro.optimizer.savings_fraction.{self.warehouse.lower()}").set(
             estimate.savings_fraction, time=now
@@ -571,6 +659,10 @@ class WarehouseOptimizer:
         alerts.resolve(f"monitor.external_change.{wh}", now)
 
     def shutdown(self) -> None:
+        if self.provenance.records:
+            # Seal trailing records so the provenance export never ends on an
+            # interval with no realized outcome.
+            self._seal_provenance(self.account.sim.now)
         if self._controller is not None:
             self._controller.stop()
 

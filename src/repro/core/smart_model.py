@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.simtime import HOUR, Window
+from repro.obs.provenance import CandidateEvaluation, DecisionContext
 from repro.learning.actions import ActionSpace
 from repro.core.constraints import ConstraintSet
 from repro.core.monitoring import RealTimeFeedback
@@ -74,13 +75,25 @@ class DecisionKind(enum.Enum):
 
 @dataclass(frozen=True)
 class Decision:
-    """One decision tick's outcome."""
+    """One decision tick's outcome.
+
+    ``reason_code`` is the machine-readable variant of ``reason``: a stable
+    dotted identifier (``learned.apply``, ``hold.cooldown``,
+    ``decision_error.TelemetryError``, ...) that provenance records, counters
+    and the fleet store key on, while ``reason`` stays free-form prose.
+    """
 
     kind: DecisionKind
     target: WarehouseConfig
     reason: str
     action_index: int | None = None
     q_value: float | None = None
+    reason_code: str = ""
+
+    @property
+    def typed_reason(self) -> str:
+        """The reason code, falling back to the decision kind."""
+        return self.reason_code or self.kind.value
 
 
 class SmartModel:
@@ -113,6 +126,10 @@ class SmartModel:
         self._confidence_anchor: float | None = None
         self._confidence_tau: float = 0.0
         self.guardrail_vetoes = 0
+        #: What the model evaluated during the most recent ``next_action``
+        #: call — candidate what-ifs and the chosen target's predicted
+        #: cost rate.  Read by the optimizer's provenance log.
+        self.last_context = DecisionContext()
 
     # ----------------------------------------------------------- slider swap
     def set_slider(self, params: SliderParams) -> None:
@@ -147,6 +164,7 @@ class SmartModel:
 
     # ------------------------------------------------------------- decisions
     def next_action(self, now: float, feedback: RealTimeFeedback) -> Decision:
+        self.last_context = DecisionContext()
         current = self.client.current_config(self.warehouse)
 
         if feedback.external_change:
@@ -154,13 +172,17 @@ class SmartModel:
                 DecisionKind.EXTERNAL_CONFLICT,
                 current,
                 "external configuration change detected",
+                reason_code="external_conflict.detected",
             )
 
         # Mandatory resource floors from active rules apply before anything.
         floored = self.constraints.enforce_floor(now, current)
         if floored != current:
             return Decision(
-                DecisionKind.CONSTRAINT_FLOOR, floored, "active rule requires resources"
+                DecisionKind.CONSTRAINT_FLOOR,
+                floored,
+                "active rule requires resources",
+                reason_code="constraint_floor.active_rule",
             )
 
         if feedback.needs_backoff(self.params) or feedback.spike_detected(self.params):
@@ -168,15 +190,24 @@ class SmartModel:
             self._cooldown_until = now + BACKOFF_COOLDOWN
             if self._is_structural(current, target):
                 self._last_structural_change = now
-            cause = (
-                "performance degradation"
-                if feedback.needs_backoff(self.params)
-                else "arrival spike"
+            degradation = feedback.needs_backoff(self.params)
+            cause = "performance degradation" if degradation else "arrival spike"
+            return Decision(
+                DecisionKind.BACKOFF,
+                target,
+                f"self-correct: {cause}",
+                reason_code=(
+                    "backoff.degradation" if degradation else "backoff.spike"
+                ),
             )
-            return Decision(DecisionKind.BACKOFF, target, f"self-correct: {cause}")
 
         if now < self._cooldown_until:
-            return Decision(DecisionKind.HOLD, current, "cooldown after back-off")
+            return Decision(
+                DecisionKind.HOLD,
+                current,
+                "cooldown after back-off",
+                reason_code="hold.cooldown",
+            )
 
         return self._learned_decision(now, current, feedback)
 
@@ -192,10 +223,17 @@ class SmartModel:
     def _learned_decision(
         self, now: float, current: WarehouseConfig, feedback: RealTimeFeedback
     ) -> Decision:
+        context = self.last_context
         state = self._state(now)
         mask = self._admissible_mask(now, current)
+        context.admissible_actions = int(mask.sum())
         if not mask.any():
-            return Decision(DecisionKind.HOLD, current, "no admissible action")
+            return Decision(
+                DecisionKind.HOLD,
+                current,
+                "no admissible action",
+                reason_code="hold.no_admissible",
+            )
         q = self.agent.q_values(state)
         order = np.argsort(np.where(mask, q, -np.inf))[::-1]
         candidates = [int(i) for i in order[:GUARDRAIL_CANDIDATES] if mask[i]]
@@ -203,28 +241,86 @@ class SmartModel:
         quiet = feedback.recent_queries < MIN_ACTIVITY_FOR_STRUCTURAL
         pressure = feedback.queue_length > 0 or feedback.latency_ratio > 1.15
         guard = self._guardrail_context(now, current)
+        window_hours = guard["window"].duration / HOUR
+        base_rate = guard["base"].credits / window_hours if window_hours > 0 else None
+        decision: Decision | None = None
         for idx in candidates:
-            target = self.action_space.apply(current, self.action_space.actions[idx])
+            action = self.action_space.actions[idx]
+            target = self.action_space.apply(current, action)
+            if decision is not None:
+                context.candidates.append(
+                    CandidateEvaluation(idx, action.describe(), float(q[idx]), "not_reached")
+                )
+                continue
             if target == current:
-                return Decision(
+                context.candidates.append(
+                    CandidateEvaluation(
+                        idx, action.describe(), float(q[idx]), "chosen",
+                        predicted_credits_per_hour=base_rate,
+                        predicted_avg_latency=guard["base"].avg_latency,
+                    )
+                )
+                context.predicted_credits_per_hour = base_rate
+                context.predicted_avg_latency = guard["base"].avg_latency
+                decision = Decision(
                     DecisionKind.LEARNED, current, "best action keeps settings",
                     action_index=idx, q_value=float(q[idx]),
+                    reason_code="learned.keep",
                 )
+                continue
             structural = self._is_structural(current, target)
             if structural and (dwelling or quiet):
-                continue  # too soon, or no workload evidence to judge by
-            if self._passes_guardrail(guard, target, pressure):
+                # Too soon, or no workload evidence to judge by.
+                context.candidates.append(
+                    CandidateEvaluation(
+                        idx, action.describe(), float(q[idx]),
+                        "dwell" if dwelling else "quiet",
+                    )
+                )
+                continue
+            passes, estimate = self._guardrail_verdict(guard, target, pressure)
+            rate = estimate.credits / window_hours if window_hours > 0 else None
+            if passes:
                 if structural:
                     self._last_structural_change = now
-                return Decision(
+                context.candidates.append(
+                    CandidateEvaluation(
+                        idx, action.describe(), float(q[idx]), "chosen",
+                        predicted_credits_per_hour=rate,
+                        predicted_avg_latency=estimate.avg_latency,
+                    )
+                )
+                context.predicted_credits_per_hour = rate
+                context.predicted_avg_latency = estimate.avg_latency
+                decision = Decision(
                     DecisionKind.LEARNED,
                     target,
-                    self.action_space.actions[idx].describe(),
+                    action.describe(),
                     action_index=idx,
                     q_value=float(q[idx]),
+                    reason_code="learned.apply",
                 )
+                continue
+            context.candidates.append(
+                CandidateEvaluation(
+                    idx, action.describe(), float(q[idx]), "vetoed",
+                    predicted_credits_per_hour=rate,
+                    predicted_avg_latency=estimate.avg_latency,
+                )
+            )
             self.guardrail_vetoes += 1
-        return Decision(DecisionKind.HOLD, current, "all candidates vetoed by cost model")
+        if decision is not None:
+            return decision
+        # Holding keeps the current configuration, whose what-if is the
+        # already-computed base replay.
+        context.predicted_credits_per_hour = base_rate
+        context.predicted_avg_latency = guard["base"].avg_latency
+        return Decision(
+            DecisionKind.HOLD,
+            current,
+            "all candidates vetoed by cost model",
+            reason_code="hold.all_vetoed",
+        )
 
     # ------------------------------------------------------------- internals
     def _state(self, now: float) -> np.ndarray:
@@ -292,11 +388,17 @@ class SmartModel:
     def _passes_guardrail(
         self, guard: dict, target: WarehouseConfig, pressure: bool
     ) -> bool:
+        return self._guardrail_verdict(guard, target, pressure)[0]
+
+    def _guardrail_verdict(
+        self, guard: dict, target: WarehouseConfig, pressure: bool
+    ):
         """Cost-model veto: reject actions predicted to slow queries beyond
         the slider's ceiling, or to raise cost beyond the slider's cost
         tolerance.  This is C4's safety net against a mistrained Q-function:
         whatever the agent believes, an action must look good to the
-        what-if replay before it is applied.
+        what-if replay before it is applied.  Returns ``(passes, estimate)``
+        so provenance can record the what-if that justified the verdict.
 
         Latency is judged against the *original* configuration's replay, not
         the current one.  Judging against the current config creates a
@@ -315,22 +417,22 @@ class SmartModel:
             candidate.avg_latency / reference_latency if original.avg_latency > 0 else 1.0
         )
         if latency_factor > self.params.max_latency_factor + 1e-9:
-            return False
+            return False, candidate
         credits_delta = candidate.credits - base.credits
         slows_vs_base = candidate.avg_latency > base.avg_latency + 1e-9
         if slows_vs_base and credits_delta >= 0:
-            return False
+            return False, candidate
         current = guard["current"]
         # Upsizing costs money; it needs either live performance pressure, a
         # predicted saving, or a slider so performance-leaning (tolerance
         # >= 0.5, i.e. Best Performance) that speed is worth buying outright.
         speed_buyer = self.params.cost_increase_tolerance >= 0.5
         if target.size > current.size and not pressure and not speed_buyer and credits_delta >= 0:
-            return False
+            return False, candidate
         allowed_increase = self.params.cost_increase_tolerance * max(base.credits, 1e-6)
         if credits_delta > allowed_increase + 1e-9:
-            return False
-        return True
+            return False, candidate
+        return True, candidate
 
     def _safe_config(self, now: float, current: WarehouseConfig) -> WarehouseConfig:
         """The back-off target: one step toward the original configuration,

@@ -18,6 +18,7 @@ from repro.costmodel.model import WarehouseCostModel
 from repro.experiments.scenarios import Scenario, fig7_scenario
 from repro.faults import FaultingWarehouseClient
 from repro.obs import RunManifest
+from repro.obs.provenance import AttributionSummary
 from repro.parallel import WorkerJob, register_protocol, run_jobs
 from repro.portal.dashboards import (
     OverheadDashboard,
@@ -38,6 +39,9 @@ class BeforeAfterResult:
     estimated_savings_fraction: float
     guardrail_vetoes: int
     manifest: RunManifest | None = None
+    #: Decision-provenance rollup (savings attribution + calibration);
+    #: ``None`` only for results built by code predating provenance v3.
+    attribution: AttributionSummary | None = None
 
     @property
     def savings_fraction(self) -> float:
@@ -90,6 +94,9 @@ def run_before_after(scenario: Scenario) -> tuple[BeforeAfterResult, WarehouseOp
     )
     post_window = Window(scenario.keebo_start, scenario.horizon)
     estimate = optimizer.estimate_savings(post_window)
+    # Shut down before summarizing: shutdown seals the trailing provenance
+    # records, so the attribution rollup sees realized outcomes.
+    optimizer.shutdown()
     result = BeforeAfterResult(
         scenario=scenario.name,
         dashboard=dashboard,
@@ -97,8 +104,10 @@ def run_before_after(scenario: Scenario) -> tuple[BeforeAfterResult, WarehouseOp
         estimated_savings_fraction=estimate.savings_fraction,
         guardrail_vetoes=optimizer.smart_model.guardrail_vetoes,
         manifest=manifest,
+        attribution=optimizer.provenance.summary(
+            optimizer.ledger.total_savings_credits()
+        ),
     )
-    optimizer.shutdown()
     return result, optimizer
 
 
@@ -341,6 +350,34 @@ class FleetResult:
         fractions = self.savings_fractions
         return (min(fractions), max(fractions)) if fractions else (0.0, 0.0)
 
+    def attribution_rollup(self) -> dict:
+        """Fleet-wide provenance rollup: one row per warehouse plus totals.
+
+        ``conserved`` is the AND over warehouses of the exact float
+        equality between attributed and ledger credits — any drift
+        anywhere in the fleet flips it.
+        """
+        summaries = [r.attribution for r in self.rows if r.attribution is not None]
+        return {
+            "warehouses": [
+                {
+                    "warehouse": s.warehouse,
+                    "n_decisions": s.n_decisions,
+                    "n_sealed": s.n_sealed,
+                    "attributed_credits": s.attributed_credits,
+                    "ledger_credits": s.ledger_credits,
+                    "conserved": s.conserved,
+                    "mean_abs_error_credits": s.mean_abs_error_credits,
+                }
+                for s in summaries
+            ],
+            "n_decisions": sum(s.n_decisions for s in summaries),
+            "n_sealed": sum(s.n_sealed for s in summaries),
+            "attributed_credits": sum(s.attributed_credits for s in summaries),
+            "ledger_credits": sum(s.ledger_credits for s in summaries),
+            "conserved": all(s.conserved for s in summaries),
+        }
+
 
 @dataclass
 class ChaosResult:
@@ -379,6 +416,16 @@ class ChaosResult:
         lines.extend(
             f"    {key}: {value}" for key, value in sorted(self.observed.items())
         )
+        attribution = self.result.attribution
+        if attribution is not None:
+            conserved = "conserved" if attribution.conserved else "VIOLATED"
+            lines.append(
+                f"  provenance: {attribution.n_decisions} decisions "
+                f"({attribution.n_sealed} sealed), "
+                f"attributed={attribution.attributed_credits:+.4f}cr "
+                f"[{conserved}], "
+                f"calibration mean |err|={attribution.mean_abs_error_credits:.4f}cr"
+            )
         return lines
 
 

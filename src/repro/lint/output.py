@@ -23,10 +23,20 @@ SARIF_SCHEMA = "https://json.schemastore.org/sarif-2.1.0.json"
 _SARIF_LEVEL = {"warning": "warning", "error": "error"}
 
 
+def dumps_json(payload: dict) -> str:
+    """The byte-stable JSON text: sorted keys, 2-space indent, trailing LF.
+
+    The single serializer behind every JSON artifact the repo diffs in CI
+    (lint/analyze output, portal exports, attribution reports) — one place
+    to define "stable", so artifacts from different subsystems never drift
+    in formatting.
+    """
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
 def dump_json(payload: dict, out: IO[str]) -> None:
-    """Serialize ``payload`` byte-stably: sorted keys, 2-space indent, LF."""
-    json.dump(payload, out, indent=2, sort_keys=True)
-    out.write("\n")
+    """Serialize ``payload`` byte-stably onto ``out`` (see :func:`dumps_json`)."""
+    out.write(dumps_json(payload))
 
 
 def findings_to_sarif(

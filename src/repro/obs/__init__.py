@@ -35,7 +35,24 @@ from repro.obs.profile import (
     diff_profiles,
     profile_records,
 )
+from repro.obs.provenance import (
+    PROVENANCE_SCHEMA_VERSION,
+    UNATTRIBUTED,
+    AttributionEntry,
+    AttributionLedger,
+    AttributionShare,
+    AttributionSummary,
+    CalibrationReport,
+    CalibrationRow,
+    CandidateEvaluation,
+    DecisionContext,
+    DecisionOutcome,
+    DecisionRecord,
+    ProvenanceLog,
+    split_exact,
+)
 from repro.obs.series import DEFAULT_BUCKET_SECONDS, MetricSeries, SeriesRegistry
+from repro.obs.store import STORE_SCHEMA_VERSION, FleetStore
 from repro.obs.slo import (
     SLOReport,
     SLOResult,
@@ -66,9 +83,20 @@ from repro.obs.trace import (
 
 __all__ = [
     "AlertManager",
+    "AttributionEntry",
+    "AttributionLedger",
+    "AttributionShare",
+    "AttributionSummary",
+    "CalibrationReport",
+    "CalibrationRow",
+    "CandidateEvaluation",
     "Counter",
     "DEFAULT_BUCKETS",
     "DEFAULT_BUCKET_SECONDS",
+    "DecisionContext",
+    "DecisionOutcome",
+    "DecisionRecord",
+    "FleetStore",
     "Gauge",
     "Histogram",
     "MetricSeries",
@@ -76,18 +104,22 @@ __all__ = [
     "NULL_ALERTS",
     "NULL_SPAN",
     "ObservabilityError",
+    "PROVENANCE_SCHEMA_VERSION",
     "Profile",
+    "ProvenanceLog",
     "Recorder",
     "RunManifest",
     "SLOReport",
     "SLOResult",
     "SLOSpec",
     "SLOViolation",
+    "STORE_SCHEMA_VERSION",
     "SeriesRegistry",
     "Span",
     "SpanStats",
     "TRACE_SCHEMA_VERSION",
     "TraceSink",
+    "UNATTRIBUTED",
     "alerts",
     "config_hash",
     "counter",
@@ -104,6 +136,7 @@ __all__ = [
     "recorder",
     "resume",
     "span",
+    "split_exact",
     "start",
     "stop",
 ]

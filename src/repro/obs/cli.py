@@ -9,6 +9,9 @@ Invocations (via the main CLI)::
     python -m repro.cli obs slo trace.jsonl               # burn-rate SLO evaluation
     python -m repro.cli obs alerts trace.jsonl            # alert fire/resolve timeline
     python -m repro.cli obs report trace.jsonl            # per-run markdown report
+    python -m repro.cli obs decisions trace.jsonl         # decision provenance timeline
+    python -m repro.cli obs attribution trace.jsonl       # per-decision savings split
+    python -m repro.cli obs store ingest|query|rollup|top # fleet telemetry store
 
 ``summarize`` exits 1 for a trace with zero spans (CI uses this to guard
 against silent instrumentation rot) and 2 for unreadable input; ``profile``
@@ -16,7 +19,10 @@ shares that contract.  ``slo`` exits 1 when *no* SLO could be evaluated
 (no series recorded — the same rot guard for the analysis layer).  ``diff``
 exits 0 when the two traces are byte-identical, 1 when they differ — the
 determinism contract makes identical the expected answer for same-seed
-runs.
+runs.  ``decisions`` exits 1 for a trace with zero ``provenance.decision``
+events, and ``attribution`` exits 1 when the conservation invariant does
+not hold (per-decision shares must sum exactly to the reported savings —
+docs/OBSERVABILITY.md §v3).
 """
 
 from __future__ import annotations
@@ -28,9 +34,12 @@ import sys
 from typing import IO
 
 from repro.common.simtime import format_time
+from repro.lint.output import dumps_json
+from repro.obs.metrics import ObservabilityError
 from repro.obs.profile import critical_path, diff_profiles, profile_records
 from repro.obs.series import SeriesRegistry
 from repro.obs.slo import DEFAULT_SPEND_BUDGET_PER_HOUR, default_slos, evaluate_all
+from repro.obs.store import FleetStore
 
 
 def configure_parser(parser: argparse.ArgumentParser) -> None:
@@ -95,6 +104,70 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
         "--budget", type=float, default=DEFAULT_SPEND_BUDGET_PER_HOUR,
         help="spend-rate budget in credits/hour for the inferred spend SLO",
     )
+
+    decisions = sub.add_parser(
+        "decisions", help="decision provenance timeline with realized outcomes"
+    )
+    decisions.add_argument("trace", help="path to a trace .jsonl file")
+    decisions.add_argument(
+        "--warehouse", default=None, help="only decisions of this warehouse"
+    )
+    decisions.add_argument(
+        "--kind", default=None,
+        help="only decisions of this kind (hold, learned, backoff, ...)",
+    )
+    decisions.add_argument(
+        "--top", type=int, default=20, help="timeline rows to show"
+    )
+
+    attribution = sub.add_parser(
+        "attribution",
+        help="per-decision savings attribution and calibration (conservation-checked)",
+    )
+    attribution.add_argument("trace", help="path to a trace .jsonl file")
+    attribution.add_argument(
+        "--top", type=int, default=10, help="top/bottom decisions to show"
+    )
+    attribution.add_argument(
+        "--out", default=None,
+        help="also write a JSON attribution report to this path",
+    )
+
+    store = sub.add_parser(
+        "store", help="fleet telemetry store: ingest traces, query, roll up"
+    )
+    store_sub = store.add_subparsers(dest="store_command", required=True)
+    ingest = store_sub.add_parser(
+        "ingest", help="extract store rows from trace files into a store JSONL"
+    )
+    ingest.add_argument("traces", nargs="+", help="trace .jsonl files to ingest")
+    ingest.add_argument(
+        "--out", default="fleet_store.jsonl", help="store JSONL output path"
+    )
+    query = store_sub.add_parser("query", help="filter store rows as JSON lines")
+    query.add_argument("store", help="store .jsonl file (from `obs store ingest`)")
+    query.add_argument("--warehouse", default=None)
+    query.add_argument("--kind", default=None, help="decision, outcome, attribution, …")
+    query.add_argument("--run", default=None)
+    query.add_argument("--since", type=float, default=None, help="sim-time lower bound")
+    query.add_argument("--until", type=float, default=None, help="sim-time upper bound")
+    query.add_argument(
+        "--during-alerts", default=None, metavar="PREFIX", dest="during_alerts",
+        help="instead: decisions whose window overlaps an alert (name prefix)",
+    )
+    query.add_argument("--limit", type=int, default=50, help="rows to print")
+    rollup = store_sub.add_parser(
+        "rollup", help="per-(run, warehouse, bucket) decision/credit aggregates"
+    )
+    rollup.add_argument("store", help="store .jsonl file")
+    rollup.add_argument(
+        "--bucket", type=float, default=3600.0, help="bucket width in sim seconds"
+    )
+    top = store_sub.add_parser(
+        "top", help="best decisions by attributed savings / worst by regret"
+    )
+    top.add_argument("store", help="store .jsonl file")
+    top.add_argument("--k", type=int, default=10, help="rows per ranking")
 
 
 def _load(path: str) -> list[dict]:
@@ -170,6 +243,7 @@ def summarize(path: str, out: IO[str]) -> int:
     _render_counts("spans by name", spans, out)
     _render_counts("events by name", events, out)
     _summarize_metrics(path, out)
+    _summarize_alerts(path, out)
     if n_spans == 0:
         print("error: trace contains no spans (instrumentation rot?)", file=sys.stderr)
         return 1
@@ -211,6 +285,48 @@ def _summarize_metrics(trace_path: str, out: IO[str], top: int = 5) -> None:
                 f"  {name:<44} last={g['value']:g} min={lo:g} max={hi:g}",
                 file=out,
             )
+
+
+def _summarize_alerts(trace_path: str, out: IO[str], top: int = 5) -> None:
+    """Render the alert lifecycle sidecar next to a trace, when present.
+
+    ``obs smoke`` (and the chaos runners) write ``<trace>.alerts.json``
+    alongside the trace; show fire/resolve counts, the loudest alerts,
+    and whatever is still burning.  Silently skipped when absent or
+    unreadable — same tolerance as :func:`_summarize_metrics`.
+    """
+    alerts_path = pathlib.Path(trace_path + ".alerts.json")
+    try:
+        snapshot = json.loads(alerts_path.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return
+    if not isinstance(snapshot, dict):
+        return
+    history = snapshot.get("history", [])
+    active = snapshot.get("active", [])
+    if not history and not active:
+        return
+    fires = sum(1 for row in history if row.get("state") == "fire")
+    resolves = sum(1 for row in history if row.get("state") == "resolve")
+    print(
+        f"alerts sidecar: {len(history)} lifecycle events "
+        f"({fires} fires, {resolves} resolves) ({alerts_path.name})",
+        file=out,
+    )
+    per_alert: dict[str, int] = {}
+    for row in history:
+        if row.get("state") == "fire":
+            name = str(row.get("alert", "<unnamed>"))
+            per_alert[name] = per_alert.get(name, 0) + 1
+    if per_alert:
+        print("top alerts by fires:", file=out)
+        for name in sorted(per_alert, key=lambda n: (-per_alert[n], n))[:top]:
+            print(f"  {name:<44} {per_alert[name]:>8}", file=out)
+    if active:
+        names = ", ".join(
+            f"{a.get('alert', '?')} ({a.get('severity', '?')})" for a in active
+        )
+        print(f"still active at end of run: {names}", file=out)
 
 
 def diff(path_a: str, path_b: str, out: IO[str]) -> int:
@@ -431,6 +547,303 @@ def report(
     return 0
 
 
+def _store_from_trace(path: str) -> FleetStore:
+    """Ingest one trace file into a fresh store (run label = file stem)."""
+    store = FleetStore()
+    store.ingest_trace_records(_load(path), run=pathlib.Path(path).stem)
+    return store
+
+
+def decisions(
+    path: str,
+    out: IO[str],
+    warehouse: str | None = None,
+    kind: str | None = None,
+    top: int = 20,
+) -> int:
+    """Decision provenance timeline; exit 1 when the trace recorded none."""
+    try:
+        store = _store_from_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    everything = store.decisions()
+    if not everything:
+        print(
+            "error: trace contains no provenance.decision events "
+            "(provenance rot? traces predating schema v1 have none)",
+            file=sys.stderr,
+        )
+        return 1
+    rows = store.decisions(warehouse=warehouse, decision_kind=kind)
+    sealed = [r for r in rows if r.get("outcome")]
+    print(
+        f"decisions: {len(rows)} shown of {len(everything)} recorded "
+        f"({len(sealed)} sealed), warehouses: "
+        f"{', '.join(store.warehouses()) or '-'}",
+        file=out,
+    )
+    by_kind: dict[str, int] = {}
+    by_reason: dict[str, int] = {}
+    for row in rows:
+        by_kind[str(row.get("kind", "?"))] = by_kind.get(str(row.get("kind", "?")), 0) + 1
+        code = str(row.get("reason_code", "") or "?")
+        by_reason[code] = by_reason.get(code, 0) + 1
+    _render_counts("decisions by kind", by_kind, out)
+    _render_counts("decisions by reason code", by_reason, out)
+    shown = rows[-max(top, 0):] if top else []
+    if shown:
+        print(f"last {len(shown)} decisions:", file=out)
+    for row in shown:
+        outcome = row.get("outcome")
+        detail = ""
+        if outcome:
+            realized = outcome.get("realized_credits")
+            error = outcome.get("error_credits")
+            detail = f"  realized={realized:.4f}cr" if realized is not None else ""
+            if error is not None:
+                detail += f" err={error:+.4f}cr"
+            if outcome.get("applied") is False:
+                detail += f" APPLY-FAILED[{outcome.get('apply_error', '')}]"
+        print(
+            f"{format_time(row['time']):>12} {str(row.get('kind', '?')):<10} "
+            f"{str(row.get('reason_code', '') or '?'):<30} "
+            f"-> {row.get('target', '?')}{detail}",
+            file=out,
+        )
+    return 0
+
+
+def _attribution_report(store: FleetStore) -> dict:
+    """The attribution/calibration facts of one store, as plain data.
+
+    ``conserved`` does float comparisons with ``==`` on purpose: the
+    provenance layer guarantees bit-exact conservation (split_exact), so
+    any drift at all is a bug worth failing on.
+    """
+    warehouses: dict[str, dict] = {}
+
+    def bucket(warehouse: str) -> dict:
+        if warehouse not in warehouses:
+            warehouses[warehouse] = {
+                "n_entries": 0,
+                "entries_conserved": True,
+                "attributed_credits": 0.0,
+                "ledger_credits": None,
+                "n_decisions": 0,
+                "n_sealed": 0,
+                "n_with_prediction": 0,
+                "sum_abs_error_credits": 0.0,
+                "sum_error_credits": 0.0,
+                "total_predicted_credits": 0.0,
+                "total_realized_credits": 0.0,
+            }
+        return warehouses[warehouse]
+
+    for row in store.query(kind="attribution"):
+        agg = bucket(row["warehouse"])
+        shares_total = 0.0
+        for share in row["data"].get("shares", []):
+            shares_total += float(share["credits"])
+        if shares_total != row["data"].get("savings_credits"):
+            agg["entries_conserved"] = False
+        agg["n_entries"] += 1
+        agg["attributed_credits"] += shares_total
+    for row in store.query(kind="savings_report"):
+        credits = row["data"].get("savings_credits")
+        if credits is None:
+            continue  # traces predating the credits attr: no ledger check
+        agg = bucket(row["warehouse"])
+        if agg["ledger_credits"] is None:
+            agg["ledger_credits"] = 0.0
+        agg["ledger_credits"] += float(credits)
+    for row in store.query(kind="decision"):
+        bucket(row["warehouse"])["n_decisions"] += 1
+    for row in store.query(kind="outcome"):
+        agg = bucket(row["warehouse"])
+        agg["n_sealed"] += 1
+        agg["total_realized_credits"] += float(
+            row["data"].get("realized_credits") or 0.0
+        )
+        error = row["data"].get("error_credits")
+        if error is not None:
+            agg["n_with_prediction"] += 1
+            agg["sum_error_credits"] += float(error)
+            agg["sum_abs_error_credits"] += abs(float(error))
+            agg["total_predicted_credits"] += float(
+                row["data"].get("predicted_credits") or 0.0
+            )
+    for agg in warehouses.values():
+        agg["conserved"] = agg["entries_conserved"] and (
+            agg["ledger_credits"] is None
+            or agg["attributed_credits"] == agg["ledger_credits"]
+        )
+        n = agg["n_with_prediction"]
+        agg["mean_abs_error_credits"] = agg["sum_abs_error_credits"] / n if n else 0.0
+        agg["mean_error_credits"] = agg["sum_error_credits"] / n if n else 0.0
+    return {
+        "schema": 1,
+        "warehouses": {name: warehouses[name] for name in sorted(warehouses)},
+        "top_savings": store.top_savings(),
+        "top_regret": store.top_regret(),
+    }
+
+
+def attribution(
+    path: str, out: IO[str], top: int = 10, out_path: str | None = None
+) -> int:
+    """Savings attribution + calibration; exit 1 when conservation fails."""
+    try:
+        store = _store_from_trace(path)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = _attribution_report(store)
+    if not report["warehouses"]:
+        print(
+            "error: trace contains no provenance.attribution events "
+            "(no savings reported, or provenance rot)",
+            file=sys.stderr,
+        )
+        return 1
+    failed = []
+    for name, agg in report["warehouses"].items():
+        ledger = agg["ledger_credits"]
+        ledger_text = f"{ledger:.6f}" if ledger is not None else "n/a"
+        status = "conserved" if agg["conserved"] else "CONSERVATION VIOLATED"
+        print(
+            f"{name}: {agg['n_entries']} ledger entries over "
+            f"{agg['n_decisions']} decisions  "
+            f"attributed={agg['attributed_credits']:.6f}cr "
+            f"ledger={ledger_text}cr  {status}",
+            file=out,
+        )
+        print(
+            f"  calibration: {agg['n_sealed']} sealed, "
+            f"{agg['n_with_prediction']} with what-if prediction, "
+            f"mean |err|={agg['mean_abs_error_credits']:.5f}cr "
+            f"mean err={agg['mean_error_credits']:+.5f}cr "
+            f"(predicted {agg['total_predicted_credits']:.4f}cr vs "
+            f"realized {agg['total_realized_credits']:.4f}cr)",
+            file=out,
+        )
+        if not agg["conserved"]:
+            failed.append(name)
+    for title, key, sign in (
+        ("top decisions by attributed savings", "top_savings", "credits"),
+        ("top decisions by prediction regret", "top_regret", "error_credits"),
+    ):
+        rows = report[key][: max(top, 0)]
+        if not rows:
+            continue
+        print(f"{title}:", file=out)
+        for row in rows:
+            decision = row.get("decision") or {}
+            label = decision.get("reason_code") or decision.get("kind") or "?"
+            print(
+                f"  seq={row['seq']:<5} {row[sign]:>+12.6f}cr  "
+                f"{row['warehouse']:<12} {label}",
+                file=out,
+            )
+    if out_path is not None:
+        pathlib.Path(out_path).write_text(dumps_json(report), encoding="utf-8")
+        print(f"attribution report: {out_path}", file=out)
+    if failed:
+        print(
+            f"error: attribution does not conserve ledger credits for: "
+            f"{', '.join(failed)}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
+def store_run(args: argparse.Namespace, out: IO[str]) -> int:
+    """Dispatch the ``obs store`` subcommand family."""
+    if args.store_command == "ingest":
+        store = FleetStore()
+        labels: dict[str, int] = {}
+        try:
+            for trace_path in args.traces:
+                stem = pathlib.Path(trace_path).stem
+                n = labels.get(stem, 0)
+                labels[stem] = n + 1
+                run_label = stem if n == 0 else f"{stem}#{n}"
+                ingested = store.ingest_trace_records(_load(trace_path), run=run_label)
+                print(f"ingested {trace_path}: {ingested} rows as run {run_label!r}", file=out)
+        except (OSError, ValueError, ObservabilityError) as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        store.dump(args.out)
+        print(
+            f"store: {args.out} ({len(store)} rows, {len(store.runs())} runs, "
+            f"{len(store.warehouses())} warehouses)",
+            file=out,
+        )
+        return 0
+    try:
+        store = FleetStore.load(args.store)
+    except (OSError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.store_command == "query":
+        if args.during_alerts is not None:
+            rows = store.decisions_during_alerts(prefix=args.during_alerts or None)
+        else:
+            rows = store.query(
+                warehouse=args.warehouse,
+                kind=args.kind,
+                since=args.since,
+                until=args.until,
+                run=args.run,
+            )
+        for row in rows[: max(args.limit, 0)]:
+            print(json.dumps(row, sort_keys=True, separators=(",", ":")), file=out)
+        print(
+            f"{len(rows)} rows ({min(len(rows), max(args.limit, 0))} shown)",
+            file=out,
+        )
+        return 0
+    if args.store_command == "rollup":
+        try:
+            rows = store.rollup(bucket_seconds=args.bucket)
+        except ObservabilityError as exc:
+            print(f"error: {exc}", file=sys.stderr)
+            return 2
+        print(
+            f"{'run':<16} {'warehouse':<12} {'bucket start':>12} {'decisions':>10} "
+            f"{'realized cr':>12} {'predicted cr':>12} {'|err| cr':>10} "
+            f"{'savings cr':>11}",
+            file=out,
+        )
+        for row in rows:
+            n_decisions = sum(row["decisions"].values())
+            print(
+                f"{row['run']:<16} {row['warehouse']:<12} "
+                f"{row['bucket_start']:>12.0f} {n_decisions:>10} "
+                f"{row['realized_credits']:>12.4f} {row['predicted_credits']:>12.4f} "
+                f"{row['abs_error_credits']:>10.4f} {row['savings_credits']:>11.4f}",
+                file=out,
+            )
+        print(f"{len(rows)} buckets", file=out)
+        return 0
+    # top
+    for title, rows, key in (
+        ("top savings", store.top_savings(args.k), "credits"),
+        ("top regret", store.top_regret(args.k), "error_credits"),
+    ):
+        print(f"{title}:", file=out)
+        for row in rows:
+            print(
+                f"  {row['run']:<16} {row['warehouse']:<12} seq={row['seq']:<5} "
+                f"{row[key]:>+12.6f}cr",
+                file=out,
+            )
+        if not rows:
+            print("  (none)", file=out)
+    return 0
+
+
 def smoke(seed: int, out_path: str, out: IO[str]) -> int:
     """Run the smoke scenario traced; write trace JSONL + metrics JSON."""
     # Imported here: the experiments stack pulls in the whole library, and
@@ -477,4 +890,12 @@ def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
         return alerts(args.trace, out)
     if args.obs_command == "report":
         return report(args.trace, out, out_path=args.out, budget_per_hour=args.budget)
+    if args.obs_command == "decisions":
+        return decisions(
+            args.trace, out, warehouse=args.warehouse, kind=args.kind, top=args.top
+        )
+    if args.obs_command == "attribution":
+        return attribution(args.trace, out, top=args.top, out_path=args.out)
+    if args.obs_command == "store":
+        return store_run(args, out)
     return smoke(args.seed, args.out, out)

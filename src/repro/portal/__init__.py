@@ -3,14 +3,17 @@ dashboard data assembly, and text rendering."""
 
 from repro.portal.dashboards import (
     ActionsDashboard,
+    AttributionDashboard,
     OverheadDashboard,
     SavingsDashboard,
     actions_dashboard,
+    attribution_dashboard,
     overhead_dashboard,
     savings_dashboard,
 )
 from repro.portal.export import (
     actions_to_dict,
+    attribution_to_dict,
     kpi_bucket_to_dict,
     optimizer_status_to_dict,
     overhead_to_dict,
@@ -24,7 +27,12 @@ from repro.portal.kpis import (
     kpi_series,
     total_spend,
 )
-from repro.portal.reports import render_actions, render_overhead, render_savings
+from repro.portal.reports import (
+    render_actions,
+    render_attribution,
+    render_overhead,
+    render_savings,
+)
 
 __all__ = [
     "KpiBucket",
@@ -38,12 +46,16 @@ __all__ = [
     "overhead_dashboard",
     "ActionsDashboard",
     "actions_dashboard",
+    "AttributionDashboard",
+    "attribution_dashboard",
     "render_savings",
     "render_overhead",
     "render_actions",
+    "render_attribution",
     "savings_to_dict",
     "overhead_to_dict",
     "actions_to_dict",
+    "attribution_to_dict",
     "kpi_bucket_to_dict",
     "optimizer_status_to_dict",
     "to_json",

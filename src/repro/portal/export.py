@@ -11,8 +11,10 @@ from __future__ import annotations
 import json
 
 from repro.core.optimizer import WarehouseOptimizer
+from repro.lint.output import dumps_json
 from repro.portal.dashboards import (
     ActionsDashboard,
+    AttributionDashboard,
     OverheadDashboard,
     SavingsDashboard,
 )
@@ -90,6 +92,45 @@ def optimizer_status_to_dict(optimizer: WarehouseOptimizer) -> dict:
     }
 
 
+def attribution_to_dict(dashboard: AttributionDashboard) -> dict:
+    """The per-decision savings split plus the calibration report.
+
+    Credits are exported un-rounded: the conservation invariant (shares
+    sum bit-exactly to the ledger total) is part of the payload's meaning,
+    and rounding would destroy it.
+    """
+    calibration = dashboard.calibration
+    return {
+        "warehouse": dashboard.warehouse,
+        "n_decisions": dashboard.n_decisions,
+        "n_sealed": dashboard.n_sealed,
+        "n_entries": dashboard.n_entries,
+        "attributed_credits": dashboard.attributed_credits,
+        "ledger_credits": dashboard.ledger_credits,
+        "conserved": dashboard.conserved,
+        "per_decision": {
+            str(seq): credits
+            for seq, credits in sorted(dashboard.per_decision.items())
+        },
+        "calibration": {
+            "n_sealed": calibration.n_sealed,
+            "n_with_prediction": calibration.n_with_prediction,
+            "mean_abs_error_credits": round(calibration.mean_abs_error_credits, 6),
+            "mean_error_credits": round(calibration.mean_error_credits, 6),
+            "total_predicted_credits": round(calibration.total_predicted_credits, 6),
+            "total_realized_credits": round(calibration.total_realized_credits, 6),
+        },
+    }
+
+
 def to_json(payload: dict, indent: int = 2) -> str:
-    """Serialize an exported dict, validating it is JSON-clean."""
-    return json.dumps(payload, indent=indent, sort_keys=True)
+    """Serialize an exported dict, validating it is JSON-clean.
+
+    Delegates to the repo-wide byte-stable serializer
+    (:func:`repro.lint.output.dumps_json`) at the default indent, so
+    portal exports and lint/analysis artifacts share one formatting
+    contract; a non-default ``indent`` keeps the local path.
+    """
+    if indent == 2:
+        return dumps_json(payload)
+    return json.dumps(payload, indent=indent, sort_keys=True) + "\n"

@@ -6,7 +6,12 @@ Figures 2, 4 and 6 screenshot; no plotting dependency is available offline.
 
 from __future__ import annotations
 
-from repro.portal.dashboards import ActionsDashboard, OverheadDashboard, SavingsDashboard
+from repro.portal.dashboards import (
+    ActionsDashboard,
+    AttributionDashboard,
+    OverheadDashboard,
+    SavingsDashboard,
+)
 
 _BAR_WIDTH = 40
 
@@ -71,9 +76,10 @@ def render_run_report(
 
     Sections: run manifest, savings over sim time (from
     ``optimizer.savings_report`` events), the alert fire/resolve timeline,
-    SLO evaluation (when a series sidecar was available) and the span
-    profile with its critical path.  Pure function of its inputs, so
-    same-seed runs render byte-identical reports.
+    decision provenance and what-if calibration (from the
+    ``provenance.*`` events), SLO evaluation (when a series sidecar was
+    available) and the span profile with its critical path.  Pure function
+    of its inputs, so same-seed runs render byte-identical reports.
 
     ``profile``/``critical`` come from :mod:`repro.obs.profile`;
     ``slo_report`` is a :class:`repro.obs.slo.SLOReport` or ``None``.
@@ -142,6 +148,8 @@ def render_run_report(
         lines.append("_No alerts fired during this run._")
     lines.append("")
 
+    lines += _provenance_section(records)
+
     if slo_report is not None:
         lines += ["## SLOs", ""]
         if slo_report.results:
@@ -194,6 +202,82 @@ def render_run_report(
     else:
         lines.append("_No spans in this trace._")
     lines.append("")
+    return "\n".join(lines)
+
+
+def _provenance_section(records: list[dict]) -> list[str]:
+    """The decision-provenance block of the run report (schema v3)."""
+    decisions = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "provenance.decision"
+    ]
+    outcomes = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "provenance.outcome"
+    ]
+    lines = ["## Decision provenance & calibration", ""]
+    if not decisions:
+        lines += ["_No provenance events in this trace._", ""]
+        return lines
+    by_code: dict[str, int] = {}
+    for row in decisions:
+        code = str(row.get("attrs", {}).get("reason_code", "") or "?")
+        by_code[code] = by_code.get(code, 0) + 1
+    lines += [
+        f"- decisions: {len(decisions)} ({len(outcomes)} sealed with a "
+        f"realized outcome)",
+        "",
+        "| reason code | count |",
+        "| --- | --- |",
+    ]
+    for code in sorted(by_code, key=lambda c: (-by_code[c], c)):
+        lines.append(f"| `{code}` | {by_code[code]} |")
+    errors = [
+        r.get("attrs", {}).get("error_credits")
+        for r in outcomes
+        if r.get("attrs", {}).get("error_credits") is not None
+    ]
+    if errors:
+        mean_abs = sum(abs(e) for e in errors) / len(errors)
+        mean = sum(errors) / len(errors)
+        lines += [
+            "",
+            f"What-if calibration over {len(errors)} predicted intervals: "
+            f"mean |error| {mean_abs:.4f} credits, mean signed error "
+            f"{mean:+.4f} credits (positive = realized cost more than "
+            f"predicted).",
+        ]
+    lines.append("")
+    return lines
+
+
+def render_attribution(dashboard: AttributionDashboard, limit: int = 10) -> str:
+    """The savings-attribution view: who earned the credits."""
+    status = "conserved" if dashboard.conserved else "CONSERVATION VIOLATED"
+    lines = [
+        f"Savings attribution — warehouse {dashboard.warehouse}",
+        f"  {dashboard.n_entries} ledger entries split across "
+        f"{dashboard.n_decisions} decisions ({dashboard.n_sealed} sealed)",
+        f"  attributed={dashboard.attributed_credits:.6f}cr "
+        f"ledger={dashboard.ledger_credits:.6f}cr  [{status}]",
+    ]
+    ranked = sorted(
+        dashboard.per_decision.items(), key=lambda item: (-item[1], item[0])
+    )[:limit]
+    for seq, credits in ranked:
+        label = f"decision {seq}" if seq >= 0 else "unattributed"
+        lines.append(f"  {label:<16} {credits:>+12.6f}cr")
+    if not ranked:
+        lines.append("  (no savings attributed yet)")
+    calibration = dashboard.calibration
+    if calibration.n_with_prediction:
+        lines.append(
+            f"  calibration: mean |err|="
+            f"{calibration.mean_abs_error_credits:.5f}cr over "
+            f"{calibration.n_with_prediction} predictions"
+        )
     return "\n".join(lines)
 
 

@@ -281,3 +281,45 @@ class TestAlertLifecycle:
         assert resolve["time"] > degraded_until
         assert resolve["attrs"]["refires"] >= 1  # episode spanned several ticks
         assert not rec.alerts.is_active(name)
+
+
+class TestDecisionErrorFallback:
+    def test_decision_error_becomes_typed_counted_hold(self, monkeypatch):
+        from repro import obs
+        from repro.common.errors import TelemetryError
+
+        account, wh = seeded_account()
+        optimizer = WarehouseOptimizer(account, wh, config=small_config())
+        with obs.observed() as rec:
+            optimizer.onboard()
+
+            def boom(now, feedback):
+                raise TelemetryError("history fetch failed") from ValueError("socket")
+
+            monkeypatch.setattr(optimizer.smart_model, "next_action", boom)
+            n_before = len(optimizer.decisions)
+            account.run_until(13 * HOUR)
+
+        # Every tick in the hour fell back to a typed HOLD decision.
+        errored = optimizer.decisions[n_before:]
+        assert errored
+        assert all(d.kind.value == "hold" for d in errored)
+        assert all(d.reason_code == "decision_error.TelemetryError" for d in errored)
+        # The per-exception-type counter uses a snake_case metric segment.
+        snapshot = rec.metrics.snapshot()
+        counter = snapshot["repro.optimizer.decision_errors.telemetry_error"]
+        assert counter["value"] == len(errored)
+        # The event carries the __cause__ chain for triage.
+        events = [
+            r
+            for r in rec.sink.records
+            if r.get("type") == "event" and r.get("name") == "optimizer.decision_error"
+        ]
+        assert len(events) == len(errored)
+        attrs = events[0]["attrs"]
+        assert attrs["error_type"] == "TelemetryError"
+        assert attrs["cause_type"] == "ValueError"
+        assert attrs["cause"] == "socket"
+        # Provenance recorded the same reason codes, one per tick.
+        codes = [r.reason_code for r in optimizer.provenance.records[-len(errored):]]
+        assert codes == ["decision_error.TelemetryError"] * len(errored)

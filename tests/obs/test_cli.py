@@ -1,12 +1,23 @@
 """Exit-code and output contract of the `repro.cli obs` subcommands."""
 
+import argparse
 import io
 import json
 
 import pytest
 
 from repro.obs import Recorder, RunManifest
-from repro.obs.cli import alerts, diff, profile, report, slo, summarize
+from repro.obs.cli import (
+    alerts,
+    attribution,
+    decisions,
+    diff,
+    profile,
+    report,
+    slo,
+    store_run,
+    summarize,
+)
 
 
 def _write_trace(path, n_spans=2, n_events=1, extra_attr=None):
@@ -229,6 +240,161 @@ class TestReport:
 
     def test_missing_trace_exits_two(self, tmp_path):
         assert report(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestSummarizeAlertsSidecar:
+    def test_alerts_sidecar_rendered_when_present(self, tmp_path):
+        path = _write_observed_run(tmp_path, degraded=True)
+        rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
+        rec.alerts.fire("optimizer.backoff.wh", 300.0, reason="latency")
+        rec.alerts.resolve("optimizer.backoff.wh", 900.0)
+        rec.alerts.fire("monitor.slo_breach.wh", 1200.0, severity="critical")
+        (tmp_path / "t.jsonl.alerts.json").write_text(rec.alerts.to_json())
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        text = out.getvalue()
+        assert "alerts sidecar: 3 lifecycle events (2 fires, 1 resolves)" in text
+        assert "top alerts by fires:" in text
+        assert "still active at end of run: monitor.slo_breach.wh (critical)" in text
+
+    def test_no_sidecar_keeps_summary_quiet(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        assert "alerts sidecar" not in out.getvalue()
+
+    def test_corrupt_sidecar_does_not_break_summary(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        (tmp_path / "t.jsonl.alerts.json").write_text("not json")
+        out = io.StringIO()
+        assert summarize(str(path), out) == 0
+        assert "alerts sidecar" not in out.getvalue()
+
+
+def _write_provenance_trace(path, conserve=True):
+    """A trace with provenance events; optionally break conservation."""
+    savings = 0.1 + 0.2
+    rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
+    rec.emit(
+        "provenance.decision", 600.0, warehouse="WH", seq=0, kind="learned",
+        reason_code="learned.apply", target="cfg-a", interval=600.0,
+    )
+    rec.emit(
+        "provenance.outcome", 1200.0, warehouse="WH", seq=0,
+        window_start=600.0, window_end=1200.0, realized_credits=0.6,
+        predicted_credits=0.5, error_credits=0.1, realized_p99=4.0,
+        realized_queries=3, applied=True, apply_error="",
+    )
+    share = savings if conserve else savings / 2
+    rec.emit(
+        "provenance.attribution", 1800.0, warehouse="WH",
+        window_start=0.0, window_end=1800.0, savings_credits=savings,
+        shares=[{"decision_seq": 0, "overlap_seconds": 600.0, "credits": share}],
+    )
+    rec.emit(
+        "optimizer.savings_report", 1800.0, warehouse="WH",
+        savings_fraction=0.1, savings_credits=savings,
+        window_start=0.0, window_end=1800.0,
+    )
+    rec.sink.dump(path)
+    return path
+
+
+class TestDecisions:
+    def test_timeline_and_reason_codes_rendered(self, tmp_path):
+        path = _write_provenance_trace(tmp_path / "t.jsonl")
+        out = io.StringIO()
+        assert decisions(str(path), out) == 0
+        text = out.getvalue()
+        assert "learned.apply" in text
+        assert "cfg-a" in text
+        assert "realized=0.6000cr" in text
+
+    def test_no_provenance_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        assert decisions(str(path), io.StringIO()) == 1
+
+    def test_missing_file_exits_two(self, tmp_path):
+        assert decisions(str(tmp_path / "absent.jsonl"), io.StringIO()) == 2
+
+
+class TestAttribution:
+    def test_conserved_trace_exits_zero(self, tmp_path):
+        path = _write_provenance_trace(tmp_path / "t.jsonl")
+        out = io.StringIO()
+        assert attribution(str(path), out) == 0
+        text = out.getvalue()
+        assert "conserved" in text
+        assert "VIOLATED" not in text
+
+    def test_tampered_shares_exit_one(self, tmp_path):
+        path = _write_provenance_trace(tmp_path / "t.jsonl", conserve=False)
+        out = io.StringIO()
+        assert attribution(str(path), out) == 1
+        assert "VIOLATED" in out.getvalue()
+
+    def test_no_attribution_events_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        assert attribution(str(path), io.StringIO()) == 1
+
+    def test_out_writes_byte_stable_report(self, tmp_path):
+        path = _write_provenance_trace(tmp_path / "t.jsonl")
+        target = tmp_path / "attribution.json"
+        assert attribution(str(path), io.StringIO(), out_path=str(target)) == 0
+        payload = json.loads(target.read_text())
+        assert payload["schema"] == 1
+        assert payload["warehouses"]["WH"]["conserved"] is True
+        assert target.read_text().endswith("\n")
+
+
+class TestStoreSubcommands:
+    def _ingest(self, tmp_path):
+        trace = _write_provenance_trace(tmp_path / "t.jsonl")
+        store_path = tmp_path / "store.jsonl"
+        args = argparse.Namespace(
+            store_command="ingest", traces=[str(trace)], out=str(store_path)
+        )
+        out = io.StringIO()
+        assert store_run(args, out) == 0
+        return store_path, out.getvalue()
+
+    def test_ingest_writes_store(self, tmp_path):
+        store_path, text = self._ingest(tmp_path)
+        assert "ingested" in text
+        assert "run 't'" in text
+        rows = [json.loads(line) for line in store_path.read_text().splitlines()]
+        assert {row["kind"] for row in rows} >= {"manifest", "decision"}
+
+    def test_query_filters_and_counts(self, tmp_path):
+        store_path, _ = self._ingest(tmp_path)
+        args = argparse.Namespace(
+            store_command="query", store=str(store_path), warehouse=None,
+            kind="decision", run=None, since=None, until=None,
+            during_alerts=None, limit=50,
+        )
+        out = io.StringIO()
+        assert store_run(args, out) == 0
+        text = out.getvalue()
+        assert "learned.apply" in text
+        assert "1 row" in text
+
+    def test_rollup_renders_table(self, tmp_path):
+        store_path, _ = self._ingest(tmp_path)
+        args = argparse.Namespace(
+            store_command="rollup", store=str(store_path), bucket=3600.0
+        )
+        out = io.StringIO()
+        assert store_run(args, out) == 0
+        assert "WH" in out.getvalue()
+
+    def test_top_renders_both_rankings(self, tmp_path):
+        store_path, _ = self._ingest(tmp_path)
+        args = argparse.Namespace(store_command="top", store=str(store_path), k=5)
+        out = io.StringIO()
+        assert store_run(args, out) == 0
+        text = out.getvalue()
+        assert "savings" in text
+        assert "regret" in text
 
 
 class TestMainCliWiring:

@@ -1,0 +1,293 @@
+"""Decision provenance, savings attribution, and the conservation invariant.
+
+The load-bearing promise (docs/OBSERVABILITY.md §v3): per-decision
+attributed credits sum **exactly** — bit for bit, no epsilon — to
+``SavingsLedger.total_savings_credits()``.  These tests exercise the float
+machinery adversarially and then check the invariant on a real run.
+"""
+
+import math
+
+import pytest
+
+from repro.common.simtime import HOUR, Window
+from repro.experiments.runner import run_before_after
+from repro.experiments.scenarios import chaos_smoke_scenario, smoke_scenario
+from repro.obs.provenance import (
+    UNATTRIBUTED,
+    AttributionLedger,
+    CalibrationReport,
+    CandidateEvaluation,
+    DecisionContext,
+    DecisionOutcome,
+    DecisionRecord,
+    ProvenanceLog,
+    split_exact,
+)
+
+
+class TestSplitExact:
+    def test_empty_and_single(self):
+        assert split_exact(5.0, []) == []
+        assert split_exact(5.0, [3.0]) == [5.0]
+
+    def test_proportionality(self):
+        shares = split_exact(10.0, [1.0, 2.0, 3.0, 4.0])
+        assert shares[0] == pytest.approx(1.0)
+        assert shares[3] == pytest.approx(4.0)
+
+    def test_zero_weights_fall_back_to_equal(self):
+        shares = split_exact(9.0, [0.0, 0.0, 0.0])
+        assert shares[0] == pytest.approx(3.0)
+
+    @pytest.mark.parametrize(
+        "total",
+        [
+            0.1 + 0.2,  # the classic non-representable sum
+            -0.07318895758905697,  # a real negative ledger entry
+            1e-17,
+            -1e300,
+            123456.789,
+            0.0,
+        ],
+    )
+    @pytest.mark.parametrize(
+        "weights",
+        [
+            [600.0] * 7,
+            [1e-9, 1e9, 3.0],
+            [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7],
+            [7.0, 11.0],
+        ],
+    )
+    def test_left_to_right_sum_is_exactly_total(self, total, weights):
+        shares = split_exact(total, weights)
+        assert len(shares) == len(weights)
+        acc = 0.0
+        for share in shares:
+            acc += share
+        assert acc == total  # exact float equality, on purpose
+
+    def test_shares_stay_finite(self):
+        for share in split_exact(1e308, [1.0, 1.0, 1.0]):
+            assert math.isfinite(share)
+
+
+def _record(seq, time, interval=1800.0, rate=None, **kw):
+    defaults = dict(
+        seq=seq,
+        warehouse="WH",
+        time=time,
+        kind="learned",
+        reason="r",
+        reason_code="learned.keep",
+        target="cfg",
+        feedback_hash="ab",
+        feedback={},
+        admissible_actions=3,
+        candidates=(),
+        action_index=1,
+        q_value=0.5,
+        predicted_credits_per_hour=rate,
+        predicted_avg_latency=None,
+        safe_mode=False,
+        breaker_state="closed",
+        breaker_consecutive_failures=0,
+        retries_scheduled=0,
+        interval=interval,
+    )
+    defaults.update(kw)
+    return DecisionRecord(**defaults)
+
+
+class TestDecisionRecord:
+    def test_window_uses_nominal_interval_until_sealed(self):
+        record = _record(0, 100.0, interval=600.0)
+        assert record.window == Window(100.0, 700.0)
+        record.sealed = True
+        record.sealed_until = 400.0
+        assert record.window == Window(100.0, 400.0)
+
+    def test_predicted_credits_scale_with_window(self):
+        record = _record(0, 0.0, interval=1800.0, rate=2.0)
+        assert record.predicted_credits == pytest.approx(1.0)  # 2 cr/h × 0.5h
+
+    def test_prediction_error_requires_seal_and_prediction(self):
+        record = _record(0, 0.0, rate=None)
+        assert record.prediction_error_credits is None
+        record = _record(0, 0.0, interval=3600.0, rate=2.0)
+        assert record.prediction_error_credits is None  # not sealed yet
+        record.sealed = True
+        record.sealed_until = 3600.0
+        record.realized_credits = 2.5
+        assert record.prediction_error_credits == pytest.approx(0.5)
+
+    def test_to_dict_is_json_shaped(self):
+        record = _record(
+            0, 0.0, candidates=(CandidateEvaluation(1, "a", 0.2, "chosen"),)
+        )
+        payload = record.to_dict()
+        assert payload["schema"] == 1
+        assert payload["candidates"][0]["verdict"] == "chosen"
+        # Sealed fields never leak into the decision event payload.
+        assert "realized_credits" not in payload
+
+
+class TestProvenanceLogLifecycle:
+    def _log(self):
+        return ProvenanceLog("WH", decision_interval=1800.0)
+
+    def _record_one(self, log, time, rate=None):
+        context = DecisionContext(
+            admissible_actions=2, predicted_credits_per_hour=rate
+        )
+        return log.record(
+            time,
+            kind="learned",
+            reason="r",
+            reason_code="learned.apply",
+            target="cfg",
+            feedback={"latency_ratio": 1.0},
+            context=context,
+            action_index=3,
+            q_value=0.9,
+            safe_mode=False,
+            breaker_state="closed",
+            breaker_consecutive_failures=0,
+            retries_scheduled=0,
+        )
+
+    def test_seal_until_is_strict_and_incremental(self):
+        log = self._log()
+        self._record_one(log, 0.0, rate=2.0)
+        self._record_one(log, 1800.0)
+        outcomes = []
+
+        def outcome_fn(window):
+            outcomes.append(window)
+            return DecisionOutcome(credits=1.5, p99_latency=4.0, n_queries=7)
+
+        assert log.seal_until(1800.0, outcome_fn) == 1  # strict <, not <=
+        assert outcomes == [Window(0.0, 1800.0)]
+        first = log.records[0]
+        assert first.sealed and first.realized_credits == 1.5
+        assert first.realized_queries == 7
+        assert not log.records[1].sealed
+        # Sealing again does not re-seal already-sealed records.
+        assert log.seal_until(2000.0, outcome_fn) == 1
+        assert outcomes[-1] == Window(1800.0, 2000.0)  # truncated at `now`
+
+    def test_note_apply_lands_on_latest_record(self):
+        log = self._log()
+        self._record_one(log, 0.0)
+        self._record_one(log, 1800.0)
+        log.note_apply(False, "boom")
+        assert log.records[0].applied is None
+        assert log.records[1].applied is False
+        assert log.records[1].apply_error == "boom"
+
+    def test_summary_reports_conservation(self):
+        log = self._log()
+        self._record_one(log, 0.0)
+        log.attribution.attribute(Window(0.0, 1800.0), 2.5, log.records)
+        summary = log.summary(ledger_credits=2.5)
+        assert summary.conserved
+        assert summary.n_decisions == 1
+        assert summary.decision_kinds == {"learned": 1}
+
+
+class TestAttributionLedger:
+    def test_overlap_weighted_split_conserves(self):
+        ledger = AttributionLedger("WH")
+        records = [_record(0, 0.0, interval=600.0), _record(1, 600.0, interval=600.0)]
+        entry = ledger.attribute(Window(0.0, 900.0), 0.1 + 0.2, records)
+        # Decision 0 overlaps 600s, decision 1 overlaps 300s.
+        assert [s.decision_seq for s in entry.shares] == [0, 1]
+        assert entry.shares[0].overlap_seconds == 600.0
+        assert entry.shares[1].overlap_seconds == 300.0
+        assert entry.attributed_total() == 0.1 + 0.2
+
+    def test_no_overlap_yields_unattributed_share(self):
+        ledger = AttributionLedger("WH")
+        entry = ledger.attribute(Window(0.0, 600.0), 1.25, [_record(0, 9000.0)])
+        assert [s.decision_seq for s in entry.shares] == [UNATTRIBUTED]
+        assert entry.attributed_total() == 1.25
+
+    def test_total_matches_ledger_accumulation_order(self):
+        ledger = AttributionLedger("WH")
+        credits = [0.1, 0.2, -0.07318895758905697, 1e-17]
+        for i, c in enumerate(credits):
+            ledger.attribute(
+                Window(i * 600.0, (i + 1) * 600.0),
+                c,
+                [_record(i, i * 600.0, interval=600.0)],
+            )
+        expected = 0.0
+        for c in credits:
+            expected += c
+        assert ledger.total_attributed_credits() == expected
+
+    def test_per_decision_credits_cover_all_shares(self):
+        ledger = AttributionLedger("WH")
+        records = [_record(0, 0.0, interval=600.0), _record(1, 600.0, interval=600.0)]
+        ledger.attribute(Window(0.0, 1200.0), 3.0, records)
+        ledger.attribute(Window(1200.0, 1800.0), 1.0, records)  # no overlap
+        totals = ledger.per_decision_credits()
+        assert set(totals) == {0, 1, UNATTRIBUTED}
+        assert totals[UNATTRIBUTED] == 1.0
+
+
+class TestCalibrationReport:
+    def test_empty(self):
+        report = CalibrationReport.from_records([])
+        assert report.n_sealed == 0
+        assert report.mean_abs_error_credits == 0.0
+
+    def test_means_over_predicted_records_only(self):
+        sealed_predicted = _record(0, 0.0, interval=3600.0, rate=1.0)
+        sealed_predicted.sealed = True
+        sealed_predicted.sealed_until = 3600.0
+        sealed_predicted.realized_credits = 1.5
+        sealed_blind = _record(1, 3600.0)
+        sealed_blind.sealed = True
+        sealed_blind.sealed_until = 7200.0
+        sealed_blind.realized_credits = 9.0
+        open_record = _record(2, 7200.0)
+        report = CalibrationReport.from_records(
+            [sealed_predicted, sealed_blind, open_record]
+        )
+        assert report.n_decisions == 3
+        assert report.n_sealed == 2
+        assert report.n_with_prediction == 1
+        assert report.mean_error_credits == pytest.approx(0.5)
+        assert report.total_realized_credits == pytest.approx(10.5)
+
+
+class TestConservationOnRealRuns:
+    def test_smoke_run_conserves_and_records_every_tick(self):
+        result, optimizer = run_before_after(smoke_scenario(seed=11))
+        log = optimizer.provenance
+        assert len(log.records) == len(optimizer.decisions)
+        # The conservation invariant: exact float equality, no approx.
+        assert (
+            log.attribution.total_attributed_credits()
+            == optimizer.ledger.total_savings_credits()
+        )
+        assert result.attribution is not None
+        assert result.attribution.conserved
+        # Every record carries a typed reason code.
+        assert all(r.reason_code for r in log.records)
+        # Shutdown sealed everything except (at most) the final tick.
+        assert len(log.sealed_records) >= len(log.records) - 1
+
+    def test_chaos_run_conserves_and_calibrates(self):
+        result, optimizer = run_before_after(chaos_smoke_scenario(seed=5))
+        log = optimizer.provenance
+        assert (
+            log.attribution.total_attributed_credits()
+            == optimizer.ledger.total_savings_credits()
+        )
+        report = log.calibration()
+        assert report.n_with_prediction > 0  # what-ifs were checked vs reality
+        codes = sorted({r.reason_code for r in log.records})
+        assert any(c.startswith("learned.") for c in codes)
