@@ -43,6 +43,7 @@ GATED_RESULTS = {
     "perf_replay": "bench_perf_replay.py",
     "perf_fleet": "bench_perf_fleet.py",
     "store_ingest": "bench_store_ingest.py",
+    "stream_merge": "bench_stream_merge.py",
 }
 
 #: Leaf-path substrings marking wall-clock-derived values (reported

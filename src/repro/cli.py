@@ -40,6 +40,7 @@ from repro.experiments.runner import (
     run_overhead,
     run_slider_sweep,
 )
+from repro.parallel import StreamConfig
 from repro.experiments.scenarios import (
     fig4a_scenario,
     fig4b_scenario,
@@ -97,9 +98,11 @@ def _cmd_onboarding(args: argparse.Namespace) -> None:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> None:
+    stream = StreamConfig(dir=args.stream_dir) if args.stream_dir else None
     result = run_fleet(
         fleet_scenarios(n_customers=args.customers, seed=args.seed or 900),
         workers=args.workers,
+        stream=stream,
     )
     for row in result.rows:
         print(
@@ -140,6 +143,14 @@ def build_parser() -> argparse.ArgumentParser:
             default=0,
             help="worker processes for 'fleet' (0 = in-process; results are "
             "identical either way, docs/PERFORMANCE.md)",
+        )
+        sub.add_argument(
+            "--stream-dir",
+            default=None,
+            dest="stream_dir",
+            help="for 'fleet': stream worker observability through this "
+            "directory in bounded chunks with heartbeats "
+            "(docs/OBSERVABILITY.md §v4)",
         )
     lint = subparsers.add_parser(
         "lint", help="run the determinism & invariant linter (docs/INVARIANTS.md)"

@@ -19,7 +19,7 @@ from repro.experiments.scenarios import Scenario, fig7_scenario
 from repro.faults import FaultingWarehouseClient
 from repro.obs import RunManifest
 from repro.obs.provenance import AttributionSummary
-from repro.parallel import WorkerJob, register_protocol, run_jobs
+from repro.parallel import StreamConfig, WorkerJob, register_protocol, run_jobs
 from repro.portal.dashboards import (
     OverheadDashboard,
     SavingsDashboard,
@@ -469,24 +469,36 @@ def _chaos_row(scenario: Scenario) -> ChaosResult:
     return chaos
 
 
-def run_fleet(scenarios: list[Scenario], workers: int = 0) -> FleetResult:
+def run_fleet(
+    scenarios: list[Scenario],
+    workers: int = 0,
+    stream: StreamConfig | None = None,
+) -> FleetResult:
     """Run the §7.1 protocol across a fleet, optionally process-parallel.
 
     ``workers=0`` runs inline; ``workers>0`` fans scenarios out to that
     many worker processes.  Results (and, under an active observation
     session, the merged trace/metrics/series exports) are identical either
-    way — see docs/PERFORMANCE.md for the determinism contract.
+    way — see docs/PERFORMANCE.md for the determinism contract.  A
+    :class:`~repro.parallel.StreamConfig` streams the observability out of
+    workers in bounded chunks with campaign heartbeats instead of
+    monolithic payloads (docs/OBSERVABILITY.md §v4) — same bytes, O(chunk)
+    memory.
     """
     jobs = [
         WorkerJob(protocol="before_after.row", scenario=scenario)
         for scenario in scenarios
     ]
-    return FleetResult(rows=run_jobs(jobs, workers=workers))
+    return FleetResult(rows=run_jobs(jobs, workers=workers, stream=stream))
 
 
-def run_chaos_fleet(scenarios: list[Scenario], workers: int = 0) -> list[ChaosResult]:
+def run_chaos_fleet(
+    scenarios: list[Scenario],
+    workers: int = 0,
+    stream: StreamConfig | None = None,
+) -> list[ChaosResult]:
     """Run the chaos protocol across a fleet of fault-plan scenarios."""
     jobs = [
         WorkerJob(protocol="chaos.row", scenario=scenario) for scenario in scenarios
     ]
-    return run_jobs(jobs, workers=workers)
+    return run_jobs(jobs, workers=workers, stream=stream)

@@ -353,3 +353,63 @@ class SetIterationRule(Rule):
                 if key not in seen:  # nested scopes overlap via ast.walk
                     seen.add(key)
                     yield finding
+
+
+@register
+class ResourceQuarantineRule(Rule):
+    """R018: process-resource reads live only in the quarantine module.
+
+    ``ResourceProbe`` (``repro/obs/stream.py``) is the one sanctioned place
+    that reads wall-clock stage costs, ``getrusage`` peaks, or allocator
+    state, and its report lands exclusively in a ``.resources.json``
+    sidecar.  A ``tracemalloc``/``getrusage`` read anywhere else in the
+    library is one refactor away from leaking a machine-dependent number
+    into the byte-identity surface (trace/metrics/series/store exports) —
+    the same taint R014 chases, caught at the read site instead of the
+    flow.  Benchmarks and tests are out of scope: measuring memory there
+    is the point.
+    """
+
+    rule_id = "R018"
+    name = "resource-quarantine"
+    severity = "error"
+    summary = (
+        "process-resource reads (resource.getrusage, tracemalloc.*, os.times, "
+        "os.getloadavg) are allowed only in repro/obs/stream.py (ResourceProbe); "
+        "their output belongs in the .resources.json sidecar, never in exports"
+    )
+
+    EXEMPT_SUFFIXES = ("repro/obs/stream.py",)
+    FORBIDDEN_CALLS = frozenset(
+        {
+            "resource.getrusage",
+            "os.times",
+            "os.getloadavg",
+            "sys.getallocatedblocks",
+        }
+    )
+    FORBIDDEN_PREFIXES = ("tracemalloc.", "psutil.")
+
+    def _applies(self, path: str) -> bool:
+        return "repro/" in path and not path.endswith(self.EXEMPT_SUFFIXES)
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified(node.func)
+            if qualified is None:
+                continue
+            if qualified in self.FORBIDDEN_CALLS or qualified.startswith(
+                self.FORBIDDEN_PREFIXES
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"call to {qualified}() reads process-resource state "
+                    "outside the quarantine; route it through ResourceProbe "
+                    "(repro/obs/stream.py) so it stays in the "
+                    ".resources.json sidecar",
+                )

@@ -33,7 +33,9 @@ from repro.obs.profile import (
     SpanStats,
     critical_path,
     diff_profiles,
+    folded_stacks,
     profile_records,
+    to_folded,
 )
 from repro.obs.provenance import (
     PROVENANCE_SCHEMA_VERSION,
@@ -53,6 +55,27 @@ from repro.obs.provenance import (
 )
 from repro.obs.series import DEFAULT_BUCKET_SECONDS, MetricSeries, SeriesRegistry
 from repro.obs.store import STORE_SCHEMA_VERSION, FleetStore
+from repro.obs.stream import (
+    CHUNK_SCHEMA_VERSION,
+    HEARTBEAT_SCHEMA_VERSION,
+    NULL_PROBE,
+    RESOURCES_SCHEMA_VERSION,
+    PayloadChunkMerger,
+    ResourceProbe,
+    SpillingTraceSink,
+    campaign_progress,
+    campaign_summary,
+    payload_chunks,
+    peak_rss_kb,
+    read_heartbeats,
+    write_heartbeat,
+)
+from repro.obs.watchtower import (
+    WATCHTOWER_SCHEMA_VERSION,
+    WatchtowerThresholds,
+    fleet_baseline,
+    run_watchtower,
+)
 from repro.obs.slo import (
     SLOReport,
     SLOResult,
@@ -83,6 +106,15 @@ from repro.obs.trace import (
 
 __all__ = [
     "AlertManager",
+    "CHUNK_SCHEMA_VERSION",
+    "HEARTBEAT_SCHEMA_VERSION",
+    "NULL_PROBE",
+    "PayloadChunkMerger",
+    "RESOURCES_SCHEMA_VERSION",
+    "ResourceProbe",
+    "SpillingTraceSink",
+    "WATCHTOWER_SCHEMA_VERSION",
+    "WatchtowerThresholds",
     "AttributionEntry",
     "AttributionLedger",
     "AttributionShare",
@@ -121,6 +153,8 @@ __all__ = [
     "TraceSink",
     "UNATTRIBUTED",
     "alerts",
+    "campaign_progress",
+    "campaign_summary",
     "config_hash",
     "counter",
     "critical_path",
@@ -129,14 +163,22 @@ __all__ = [
     "emit",
     "enabled",
     "evaluate_all",
+    "fleet_baseline",
+    "folded_stacks",
     "gauge",
     "histogram",
     "observed",
+    "payload_chunks",
+    "peak_rss_kb",
     "profile_records",
+    "read_heartbeats",
     "recorder",
     "resume",
+    "run_watchtower",
     "span",
     "split_exact",
     "start",
     "stop",
+    "to_folded",
+    "write_heartbeat",
 ]

@@ -12,6 +12,9 @@ Invocations (via the main CLI)::
     python -m repro.cli obs decisions trace.jsonl         # decision provenance timeline
     python -m repro.cli obs attribution trace.jsonl       # per-decision savings split
     python -m repro.cli obs store ingest|query|rollup|top # fleet telemetry store
+    python -m repro.cli obs campaign --workers 2          # streamed fleet run + sidecars
+    python -m repro.cli obs watch out.jsonl.stream        # live campaign progress table
+    python -m repro.cli obs watchtower fleet_store.jsonl  # cross-run anomaly gate
 
 ``summarize`` exits 1 for a trace with zero spans (CI uses this to guard
 against silent instrumentation rot) and 2 for unreadable input; ``profile``
@@ -23,6 +26,14 @@ runs.  ``decisions`` exits 1 for a trace with zero ``provenance.decision``
 events, and ``attribution`` exits 1 when the conservation invariant does
 not hold (per-decision shares must sum exactly to the reported savings —
 docs/OBSERVABILITY.md §v3).
+
+The streaming family (docs/OBSERVABILITY.md §v4): ``campaign`` runs a
+fleet of smoke scenarios with worker observability streamed in bounded
+chunks, writing the merged trace plus ``.campaign.json`` (byte-stable
+summary) and ``.resources.json`` (the *only* artifact allowed to carry
+wall-clock numbers — R018) sidecars; ``watch`` renders heartbeat progress
+(exit 2 missing dir, 1 no heartbeats); ``watchtower`` gates a fleet store
+against a blessed baseline (exit 1 on any error-severity finding).
 """
 
 from __future__ import annotations
@@ -31,12 +42,15 @@ import argparse
 import json
 import pathlib
 import sys
+import time
 from typing import IO
 
 from repro.common.simtime import format_time
 from repro.lint.output import dumps_json
+from repro.obs import stream as obs_stream
+from repro.obs import watchtower as obs_watchtower
 from repro.obs.metrics import ObservabilityError
-from repro.obs.profile import critical_path, diff_profiles, profile_records
+from repro.obs.profile import critical_path, diff_profiles, profile_records, to_folded
 from repro.obs.series import SeriesRegistry
 from repro.obs.slo import DEFAULT_SPEND_BUDGET_PER_HOUR, default_slos, evaluate_all
 from repro.obs.store import FleetStore
@@ -62,6 +76,10 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
 
     summarize = sub.add_parser("summarize", help="summarize a trace JSONL file")
     summarize.add_argument("trace", help="path to a trace .jsonl file")
+    summarize.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="fmt",
+        help="json: machine-readable summary through the shared byte-stable serializer",
+    )
 
     diff = sub.add_parser("diff", help="compare two trace JSONL files")
     diff.add_argument("trace_a", help="first trace .jsonl file")
@@ -75,6 +93,11 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     profile.add_argument(
         "--diff", metavar="TRACE_B", default=None,
         help="second trace: show per-span deltas (B relative to TRACE)",
+    )
+    profile.add_argument(
+        "--folded", action="store_true",
+        help="emit collapsed stacks (flamegraph.pl / speedscope folded format) "
+        "instead of the table",
     )
 
     slo = sub.add_parser(
@@ -169,6 +192,99 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
     top.add_argument("store", help="store .jsonl file")
     top.add_argument("--k", type=int, default=10, help="rows per ranking")
 
+    campaign = sub.add_parser(
+        "campaign",
+        help="run a streamed smoke fleet: chunked obs merge, heartbeats, sidecars",
+    )
+    campaign.add_argument(
+        "--scenarios", type=int, default=4, help="fleet width (smoke scenarios)"
+    )
+    campaign.add_argument(
+        "--seed", type=int, default=123, help="first scenario seed (job i gets seed+i)"
+    )
+    campaign.add_argument(
+        "--workers", type=int, default=0, help="worker processes (0 = in-process)"
+    )
+    campaign.add_argument(
+        "--out",
+        default="campaign.jsonl",
+        help="merged trace path (sidecars: <out>.metrics/.series/.alerts/"
+        ".campaign/.resources.json)",
+    )
+    campaign.add_argument(
+        "--dir", default=None,
+        help="stream working directory for spool/spill/progress "
+        "(default: <out>.stream)",
+    )
+    campaign.add_argument(
+        "--chunk-events", type=int, default=obs_stream.DEFAULT_CHUNK_EVENTS,
+        help="max trace records per payload chunk",
+    )
+    campaign.add_argument(
+        "--spill-records", type=int, default=obs_stream.DEFAULT_SPILL_RECORDS,
+        help="worker sink records held in memory before spilling to disk",
+    )
+
+    watch = sub.add_parser(
+        "watch", help="render campaign progress from worker heartbeats"
+    )
+    watch.add_argument(
+        "dir", help="campaign stream directory (or its progress/ subdirectory)"
+    )
+    watch.add_argument(
+        "--follow", action="store_true",
+        help="poll until the campaign completes (bounded by --max-polls)",
+    )
+    watch.add_argument(
+        "--interval", type=float, default=0.5, help="seconds between polls"
+    )
+    watch.add_argument(
+        "--max-polls", type=int, default=120,
+        help="poll ceiling for --follow (keeps the watch loop bounded)",
+    )
+    watch.add_argument(
+        "--summary", default=None,
+        help="also write the byte-stable campaign summary JSON to this path",
+    )
+
+    tower = sub.add_parser(
+        "watchtower",
+        help="cross-run anomaly gate over a fleet store (savings regression, "
+        "alert storms, calibration drift)",
+    )
+    tower.add_argument("store", help="store .jsonl file (from `obs store ingest`)")
+    tower.add_argument(
+        "--baseline", default=None,
+        help="blessed fleet baseline JSON (default: <store>.baseline.json "
+        "when present)",
+    )
+    tower.add_argument(
+        "--update-baseline", action="store_true", dest="update_baseline",
+        help="bless the current store: write its facts to the baseline path",
+    )
+    tower.add_argument(
+        "--format", choices=("text", "json", "markdown"), default="text",
+        dest="fmt", help="report rendering",
+    )
+    tower.add_argument(
+        "--out", default=None, help="write the rendering here instead of stdout"
+    )
+    tower.add_argument(
+        "--savings-drop-tolerance", type=float,
+        default=obs_watchtower.WatchtowerThresholds.savings_drop_tolerance,
+        help="allowed relative drop in attributed credits vs baseline",
+    )
+    tower.add_argument(
+        "--alert-storm-fires", type=int,
+        default=obs_watchtower.WatchtowerThresholds.alert_storm_fires,
+        help="fires of one alert in one run that declare a storm",
+    )
+    tower.add_argument(
+        "--calibration-drift-tolerance", type=float,
+        default=obs_watchtower.WatchtowerThresholds.calibration_drift_tolerance,
+        help="allowed relative growth of mean |what-if error| vs baseline",
+    )
+
 
 def _load(path: str) -> list[dict]:
     """Parse a JSONL trace; raises ValueError with a line number on garbage."""
@@ -205,13 +321,59 @@ def _render_counts(title: str, counts: dict[str, int], out: IO[str]) -> None:
         print(f"  {name:<36} {counts[name]:>8}", file=out)
 
 
-def summarize(path: str, out: IO[str]) -> int:
+def _summary_payload(path: str, records: list[dict]) -> dict:
+    """The machine-readable summarize view, shaped for ``dumps_json``.
+
+    Everything here is a pure function of the trace bytes plus sidecar
+    *presence* (not sidecar content), so same-seed runs summarize to
+    identical JSON.
+    """
+    spans = _counts_by_name(records, "span")
+    events = _counts_by_name(records, "event")
+    times = [r["time"] for r in records if "time" in r]
+    sidecars = {
+        kind: pathlib.Path(f"{path}.{kind}.json").is_file()
+        for kind in ("metrics", "series", "alerts", "campaign", "resources")
+    }
+    return {
+        "schema": 1,
+        "manifests": [
+            {
+                k: m.get(k)
+                for k in ("scenario", "seed", "config_hash", "slider", "version")
+            }
+            for m in records
+            if m["type"] == "manifest"
+        ],
+        "n_records": len(records),
+        "n_spans": sum(spans.values()),
+        "n_events": sum(events.values()),
+        "spans_by_name": spans,
+        "events_by_name": events,
+        "time_range": (
+            {"min": min(times), "max": max(times)} if times else None
+        ),
+        "sidecars": sidecars,
+    }
+
+
+def summarize(path: str, out: IO[str], fmt: str = "text") -> int:
     """Render the trace's shape; exit 1 when it contains no spans."""
     try:
         records = _load(path)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if fmt == "json":
+        payload = _summary_payload(path, records)
+        out.write(dumps_json(payload))
+        if payload["n_spans"] == 0:
+            print(
+                "error: trace contains no spans (instrumentation rot?)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     manifests = [r for r in records if r["type"] == "manifest"]
     for m in manifests:
         print(
@@ -363,7 +525,13 @@ def diff(path_a: str, path_b: str, out: IO[str]) -> int:
     return 1
 
 
-def profile(path: str, out: IO[str], top: int = 15, diff_path: str | None = None) -> int:
+def profile(
+    path: str,
+    out: IO[str],
+    top: int = 15,
+    diff_path: str | None = None,
+    folded: bool = False,
+) -> int:
     """Per-span-name stats (and optional run-to-run diff); 1 on zero spans."""
     try:
         records = _load(path)
@@ -371,6 +539,17 @@ def profile(path: str, out: IO[str], top: int = 15, diff_path: str | None = None
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if folded:
+        # Collapsed stacks for flamegraph tooling; byte-stable, so it can be
+        # golden-file tested (--top/--diff don't apply to this format).
+        out.write(to_folded(records))
+        if prof.n_spans == 0:
+            print(
+                "error: trace contains no spans (instrumentation rot?)",
+                file=sys.stderr,
+            )
+            return 1
+        return 0
     print(
         f"profile: {prof.n_spans} spans / {prof.n_events} events, "
         f"total span sim-time {prof.total_time:.3f}s",
@@ -875,15 +1054,195 @@ def smoke(seed: int, out_path: str, out: IO[str]) -> int:
     return summarize(str(trace_path), out)
 
 
+def campaign(args: argparse.Namespace, out: IO[str]) -> int:
+    """Run a streamed smoke fleet; write the merged trace and sidecars.
+
+    The fleet's observability leaves the workers as bounded payload chunks
+    (docs/OBSERVABILITY.md §v4): spill-bounded sinks, spooled chunk files,
+    per-job heartbeats.  The merged trace and its metrics/series/alerts/
+    campaign sidecars are byte-identical to a serial monolithic run of the
+    same seeds; the ``.resources.json`` sidecar is the R018 quarantine and
+    the only artifact CI must *not* compare across runs.
+    """
+    # Imported here: the experiments stack pulls in the whole library, and
+    # trace-only subcommands should stay usable without that cost.
+    from repro import obs
+    from repro.experiments.runner import run_fleet
+    from repro.experiments.scenarios import smoke_scenario
+    from repro.parallel import StreamConfig
+
+    n = max(args.scenarios, 1)
+    scenarios = [smoke_scenario(seed=args.seed + i) for i in range(n)]
+    trace_path = pathlib.Path(args.out)
+    stream_dir = pathlib.Path(
+        args.dir if args.dir is not None else args.out + ".stream"
+    )
+    probe = obs_stream.ResourceProbe()
+    cfg = StreamConfig(
+        dir=stream_dir,
+        max_chunk_events=args.chunk_events,
+        spill_records=args.spill_records,
+        probe=probe,
+    )
+    with obs.observed(manifest=scenarios[0].manifest()) as rec:
+        result = run_fleet(scenarios, workers=args.workers, stream=cfg)
+    with probe.stage("dump"):
+        rec.sink.dump(trace_path)
+        for suffix, text in (
+            (".metrics.json", rec.metrics.to_json()),
+            (".series.json", rec.series.to_json()),
+            (".alerts.json", rec.alerts.to_json()),
+        ):
+            trace_path.with_name(trace_path.name + suffix).write_text(
+                text, encoding="utf-8"
+            )
+    summary = obs_stream.campaign_summary(stream_dir / "progress")
+    summary_path = trace_path.with_name(trace_path.name + ".campaign.json")
+    summary_path.write_text(dumps_json(summary), encoding="utf-8")
+    probe.sample_rss("parent")
+    resources_path = trace_path.with_name(trace_path.name + ".resources.json")
+    probe.dump(resources_path)
+    lo, hi = result.savings_range
+    print(
+        f"campaign: {n} scenario(s), workers={args.workers}, "
+        f"savings range {lo:+.1%} .. {hi:+.1%}",
+        file=out,
+    )
+    print(f"trace:     {trace_path} ({len(rec.sink)} records)", file=out)
+    print(
+        f"summary:   {summary_path} "
+        f"(complete={summary['complete']}, {summary['totals']['chunks']} chunks)",
+        file=out,
+    )
+    print(f"resources: {resources_path} (wall-clock quarantine, R018)", file=out)
+    if not summary["complete"]:
+        print("error: campaign summary reports incomplete jobs", file=sys.stderr)
+        return 1
+    return 0
+
+
+def watch(args: argparse.Namespace, out: IO[str]) -> int:
+    """Render campaign progress from heartbeat files; a viewer, not a gate.
+
+    Exit 2 when the directory doesn't exist, 1 when it holds no heartbeats
+    yet, 0 otherwise.  ``--follow`` polls until the campaign completes,
+    bounded by ``--max-polls`` so the loop always terminates.
+    """
+    base = pathlib.Path(args.dir)
+    progress = base / "progress" if (base / "progress").is_dir() else base
+    if not progress.is_dir():
+        print(f"error: no such progress directory: {progress}", file=sys.stderr)
+        return 2
+    polls = max(args.max_polls, 1) if args.follow else 1
+    summary = obs_stream.campaign_summary(progress)
+    for poll in range(polls):
+        summary = obs_stream.campaign_summary(progress)
+        if summary["complete"] or poll == polls - 1:
+            break
+        time.sleep(max(args.interval, 0.05))
+    if not summary["jobs"]:
+        print(f"error: no heartbeats under {progress}", file=sys.stderr)
+        return 1
+    print(
+        f"{'job':>4} {'scenario':<24} {'protocol':<18} {'status':<8} "
+        f"{'chunks':>6} {'records':>8} {'spans':>7} {'events':>7} {'sim time':>12}",
+        file=out,
+    )
+    for row in summary["jobs"]:
+        print(
+            f"{row['job']:>4} {str(row['scenario']):<24} "
+            f"{str(row['protocol']):<18} {row['status']:<8} "
+            f"{row['chunks']:>6} {row['records']:>8} {row['spans']:>7} "
+            f"{row['events']:>7} {format_time(row['sim_time']):>12}",
+            file=out,
+        )
+    totals = summary["totals"]
+    state = "complete" if summary["complete"] else "in flight"
+    print(
+        f"campaign {state}: {summary['n_jobs']} job(s), "
+        f"{totals['chunks']} chunks, {totals['records']} records "
+        f"({totals['spans']} spans, {totals['events']} events)",
+        file=out,
+    )
+    if args.summary is not None:
+        pathlib.Path(args.summary).write_text(dumps_json(summary), encoding="utf-8")
+        print(f"summary: {args.summary}", file=out)
+    return 0
+
+
+def watchtower(args: argparse.Namespace, out: IO[str]) -> int:
+    """Gate a fleet store against its blessed baseline; 1 on regression."""
+    try:
+        store = FleetStore.load(args.store)
+    except (OSError, ObservabilityError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = pathlib.Path(
+        args.baseline if args.baseline is not None else args.store + ".baseline.json"
+    )
+    if args.update_baseline:
+        baseline_path.write_text(
+            dumps_json(obs_watchtower.fleet_baseline(store)), encoding="utf-8"
+        )
+        print(
+            f"blessed: {baseline_path} ({len(store.runs())} run(s), "
+            f"{len(store.warehouses())} warehouse(s))",
+            file=out,
+        )
+        return 0
+    baseline = None
+    if baseline_path.is_file():
+        try:
+            baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            print(f"error: unreadable baseline {baseline_path}: {exc}", file=sys.stderr)
+            return 2
+    elif args.baseline is not None:
+        print(f"error: no such baseline: {baseline_path}", file=sys.stderr)
+        return 2
+    thresholds = obs_watchtower.WatchtowerThresholds(
+        savings_drop_tolerance=args.savings_drop_tolerance,
+        alert_storm_fires=args.alert_storm_fires,
+        calibration_drift_tolerance=args.calibration_drift_tolerance,
+    )
+    report = obs_watchtower.run_watchtower(
+        store, baseline=baseline, thresholds=thresholds
+    )
+    if args.fmt == "json":
+        rendering = dumps_json(report)
+    elif args.fmt == "markdown":
+        from repro.portal.reports import render_watchtower
+
+        rendering = render_watchtower(report) + "\n"
+    else:
+        rendering = obs_watchtower.render_text(report) + "\n"
+    if args.out is not None:
+        pathlib.Path(args.out).write_text(rendering, encoding="utf-8")
+        verdict = "OK" if report["ok"] else "REGRESSION"
+        print(f"watchtower report: {args.out} [{verdict}]", file=out)
+    else:
+        out.write(rendering)
+    if not report["ok"]:
+        errors = [f for f in report["findings"] if f["severity"] == "error"]
+        print(
+            f"error: watchtower found {len(errors)} regression finding(s)",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
     """Execute a parsed ``obs`` invocation; returns the process exit code."""
     out = out if out is not None else sys.stdout
     if args.obs_command == "summarize":
-        return summarize(args.trace, out)
+        return summarize(args.trace, out, fmt=args.fmt)
     if args.obs_command == "diff":
         return diff(args.trace_a, args.trace_b, out)
     if args.obs_command == "profile":
-        return profile(args.trace, out, top=args.top, diff_path=args.diff)
+        return profile(
+            args.trace, out, top=args.top, diff_path=args.diff, folded=args.folded
+        )
     if args.obs_command == "slo":
         return slo(args.trace, out, series_path=args.series, budget_per_hour=args.budget)
     if args.obs_command == "alerts":
@@ -898,4 +1257,10 @@ def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
         return attribution(args.trace, out, top=args.top, out_path=args.out)
     if args.obs_command == "store":
         return store_run(args, out)
+    if args.obs_command == "campaign":
+        return campaign(args, out)
+    if args.obs_command == "watch":
+        return watch(args, out)
+    if args.obs_command == "watchtower":
+        return watchtower(args, out)
     return smoke(args.seed, args.out, out)

@@ -122,6 +122,50 @@ def profile_records(records: list[dict]) -> Profile:
     return profile
 
 
+def folded_stacks(records: list[dict], scale: float = 1000.0) -> list[tuple[str, int]]:
+    """Collapsed call stacks: ``(root;child;...;leaf, self-time)`` pairs.
+
+    The flamegraph.pl / speedscope "folded" interchange format: one entry
+    per distinct span ancestry chain, weighted by the summed *self*
+    sim-time of the spans at that position, scaled to integer units
+    (default ``scale=1000`` → milliseconds).  Entries are name-sorted, so
+    the output is a pure function of the trace — same-seed runs fold to
+    identical bytes (the golden-file test states this).
+
+    Instantaneous spans (ubiquitous in a discrete-event simulation) fold
+    to weight 0; they are kept so the stack *shapes* stay visible to
+    tooling that counts samples rather than summing weights.
+    """
+    spans = _span_records(records)
+    by_id = {r["id"]: r for r in spans}
+    children_time: dict[int, float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            duration = float(record["time_end"]) - float(record["time"])
+            children_time[parent] = children_time.get(parent, 0.0) + duration
+    stacks: dict[str, int] = {}
+    for record in spans:
+        parts = []
+        node = record
+        while node is not None:
+            parts.append(str(node["name"]))
+            parent = node.get("parent")
+            node = by_id.get(parent) if parent is not None else None
+        stack = ";".join(reversed(parts))
+        duration = float(record["time_end"]) - float(record["time"])
+        self_time = max(0.0, duration - children_time.get(record["id"], 0.0))
+        stacks[stack] = stacks.get(stack, 0) + int(round(self_time * scale))
+    return sorted(stacks.items())
+
+
+def to_folded(records: list[dict], scale: float = 1000.0) -> str:
+    """The folded-stack text: ``stack weight`` lines, byte-stable."""
+    return "".join(
+        f"{stack} {weight}\n" for stack, weight in folded_stacks(records, scale)
+    )
+
+
 def critical_path(records: list[dict]) -> list[dict]:
     """The heaviest root-to-leaf chain through the span tree.
 

@@ -287,6 +287,65 @@ class FleetStore:
                 out.append({**decision, "alerts": sorted(set(hits))})
         return out
 
+    # ------------------------------------------------------ watchtower views
+    def savings_credits_by_warehouse(self) -> dict[str, float]:
+        """Total attributed savings credits per warehouse (name-sorted).
+
+        Sums every attribution row's shares — the same credits the
+        conservation check in ``obs attribution`` ties to the ledger.
+        """
+        totals: dict[str, float] = {}
+        for position in self._by_kind.get("attribution", []):
+            row = self.rows[position]
+            credited = sum(
+                float(share["credits"])
+                for share in row["data"].get("shares", [])
+            )
+            totals[row["warehouse"]] = totals.get(row["warehouse"], 0.0) + credited
+        return {name: totals[name] for name in sorted(totals)}
+
+    def alert_fire_counts(self) -> dict[tuple[str, str], int]:
+        """Alert fire counts per ``(run, alert name)``, insertion-keyed."""
+        counts: dict[tuple[str, str], int] = {}
+        for position in self._by_kind.get("alert_fire", []):
+            row = self.rows[position]
+            key = (row["run"], str(row["data"].get("alert", "")))
+            counts[key] = counts.get(key, 0) + 1
+        return counts
+
+    def calibration_by_warehouse(self) -> dict[str, dict]:
+        """Per-warehouse what-if calibration from sealed outcomes.
+
+        One dict per warehouse (name-sorted): sealed/predicted counts and
+        the mean absolute / signed prediction error in credits — the
+        drift surface the watchtower monitors across runs.
+        """
+        out: dict[str, dict] = {}
+        for position in self._by_kind.get("outcome", []):
+            row = self.rows[position]
+            agg = out.setdefault(
+                row["warehouse"],
+                {
+                    "n_sealed": 0,
+                    "n_with_prediction": 0,
+                    "sum_abs_error_credits": 0.0,
+                    "sum_error_credits": 0.0,
+                },
+            )
+            agg["n_sealed"] += 1
+            error = row["data"].get("error_credits")
+            if error is not None:
+                agg["n_with_prediction"] += 1
+                agg["sum_abs_error_credits"] += abs(float(error))
+                agg["sum_error_credits"] += float(error)
+        for agg in out.values():
+            n = agg["n_with_prediction"]
+            agg["mean_abs_error_credits"] = (
+                agg["sum_abs_error_credits"] / n if n else 0.0
+            )
+            agg["mean_error_credits"] = agg["sum_error_credits"] / n if n else 0.0
+        return {name: out[name] for name in sorted(out)}
+
     # --------------------------------------------------------------- rollups
     def rollup(self, bucket_seconds: float = 3600.0) -> list[dict]:
         """Down-sampled per-(run, warehouse, bucket) aggregates.

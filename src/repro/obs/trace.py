@@ -167,6 +167,7 @@ class Recorder:
         self.manifest = manifest
         self._ids = itertools.count(1)
         self._stack: list[int] = []
+        self._chunk_merger = None  # in-flight PayloadChunkMerger, if any
         if manifest is not None:
             self.sink.write(
                 {
@@ -272,11 +273,28 @@ class Recorder:
             raise ObservabilityError(
                 "cannot merge a session payload while spans are open"
             )
+        if self._chunk_merger is not None:
+            raise ObservabilityError(
+                "cannot merge a monolithic payload while a chunk stream is "
+                "mid-flight; finish it first"
+            )
         n = int(payload["span_ids"])
         offset = (self.reserve_span_ids(n) - 1) if n else 0
-        for record in payload["records"]:
+        self._merge_records(payload["records"], offset)
+        self.metrics.merge(payload["metrics"])
+        self.series.merge(payload["series"])
+
+    def _merge_records(self, records: list[dict], offset: int) -> int:
+        """Renumber and append foreign records; returns the span count.
+
+        The shared body of :meth:`merge_payload` and the chunked merge
+        path — one renumbering rule, two transports.
+        """
+        spans = 0
+        for record in records:
             rtype = record.get("type")
             if rtype == "span":
+                spans += 1
                 record = dict(record)
                 record["id"] = record["id"] + offset
                 if record["parent"] is not None:
@@ -285,8 +303,38 @@ class Recorder:
                 record = dict(record)
                 record["span"] = record["span"] + offset
             self.sink.write(record)
-        self.metrics.merge(payload["metrics"])
-        self.series.merge(payload["series"])
+        return spans
+
+    def to_payload_chunks(self, max_events: int | None = None):
+        """This session's payload as an ordered stream of bounded chunks.
+
+        The streaming counterpart of :meth:`to_payload`: yields dicts of
+        at most ``max_events`` trace records each (plus metrics/series on
+        the final chunk), so neither side ever holds the whole session.
+        See :func:`repro.obs.stream.payload_chunks`.
+        """
+        from repro.obs import stream  # local: stream imports obs.metrics
+
+        if max_events is None:
+            max_events = stream.DEFAULT_CHUNK_EVENTS
+        return stream.payload_chunks(self, max_events=max_events)
+
+    def merge_payload_chunk(self, chunk: dict) -> None:
+        """Fold one chunk of a worker's stream into this session.
+
+        Chunks of one worker stream must arrive in sequence order; the
+        stream finishes at its final chunk, after which the next chunk
+        with ``seq == 0`` starts the next worker's stream.  Merging a
+        stream chunk-by-chunk is byte-identical to :meth:`merge_payload`
+        of the same session's monolithic payload.
+        """
+        from repro.obs import stream  # local: stream imports obs.metrics
+
+        if self._chunk_merger is None:
+            self._chunk_merger = stream.PayloadChunkMerger(self)
+        self._chunk_merger.merge(chunk)
+        if self._chunk_merger.finished:
+            self._chunk_merger = None
 
     # --------------------------------------------------------------- metrics
     def counter(self, name: str) -> Counter:

@@ -14,7 +14,12 @@ This package provides that guarantee (docs/PERFORMANCE.md):
   order** through :meth:`repro.obs.Recorder.merge_payload`;
 * the serial (``workers=0``) path uses the very same isolate-and-merge
   machinery, so ``workers=N`` output is byte-identical to ``workers=0``
-  by construction, not by luck.
+  by construction, not by luck;
+* with a :class:`~repro.parallel.pool.StreamConfig`, payloads instead
+  travel as bounded chunk streams spooled through disk
+  (:mod:`repro.obs.stream`): worker peak RSS is O(spill bound), the
+  parent folds O(chunk) at a time, workers heartbeat their progress —
+  and the exported bytes are *still* identical to the monolithic paths.
 
 This is the only module allowed to touch :mod:`multiprocessing`
 (lint rule R011, docs/INVARIANTS.md).
@@ -22,6 +27,7 @@ This is the only module allowed to touch :mod:`multiprocessing`
 
 from repro.parallel.pool import (
     ParallelExecutionError,
+    StreamConfig,
     WorkerJob,
     register_protocol,
     resolve_protocol,
@@ -30,6 +36,7 @@ from repro.parallel.pool import (
 
 __all__ = [
     "ParallelExecutionError",
+    "StreamConfig",
     "WorkerJob",
     "register_protocol",
     "resolve_protocol",

@@ -27,6 +27,7 @@ from a fresh serial run.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import pathlib
@@ -37,6 +38,7 @@ from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
 
 from repro.common.errors import ReproError
+from repro.obs import stream as obs_stream
 from repro.obs import trace as obs_trace
 from repro.obs.series import DEFAULT_BUCKET_SECONDS
 
@@ -132,6 +134,28 @@ class WorkerJob:
         return replace(self, spec=spec, scenario=None)
 
 
+@dataclass(frozen=True)
+class StreamConfig:
+    """How ``run_jobs`` should stream observability out of its workers.
+
+    ``dir`` is the campaign directory; workers spill trace segments under
+    ``<dir>/spill/job-<i>/``, spool their payload chunk streams to
+    ``<dir>/spool/job-<i>.chunks.jsonl``, and append heartbeats under
+    ``<dir>/progress/`` (``repro.cli obs watch`` tails those).  ``probe``
+    is an optional parent-side :class:`repro.obs.stream.ResourceProbe`;
+    it never crosses the process boundary — workers self-report plain
+    stats dicts that the parent folds into it.
+    """
+
+    dir: str | pathlib.Path
+    max_chunk_events: int = obs_stream.DEFAULT_CHUNK_EVENTS
+    spill_records: int = obs_stream.DEFAULT_SPILL_RECORDS
+    probe: object | None = field(default=None, compare=False)
+
+    def base(self) -> pathlib.Path:
+        return pathlib.Path(self.dir)
+
+
 def _execute(job: WorkerJob, observe: bool, bucket_seconds: float):
     """Worker entrypoint: rebuild, run, and capture the session payload.
 
@@ -148,6 +172,110 @@ def _execute(job: WorkerJob, observe: bool, bucket_seconds: float):
     finally:
         obs_trace.stop()
     return result, rec.to_payload()
+
+
+def _job_label(job: WorkerJob) -> str:
+    """The scenario label heartbeats carry — identical on both paths.
+
+    Serial jobs arrive un-shipped (spec on the scenario, not the job), so
+    look through to the scenario's spec before falling back to its name.
+    """
+    spec = job.spec
+    if spec is None and job.scenario is not None:
+        spec = getattr(job.scenario, "spec", None)
+    if spec is not None:
+        return spec.describe()
+    return str(getattr(job.scenario, "name", "?"))
+
+
+def _execute_streamed(
+    job: WorkerJob,
+    index: int,
+    observe: bool,
+    bucket_seconds: float,
+    dir_str: str,
+    max_chunk_events: int,
+    spill_records: int,
+):
+    """Streamed worker entrypoint: spill, run, spool chunks, heartbeat.
+
+    Module-level so ``spawn`` can pickle it by reference; also the serial
+    streamed path's per-job body.  Records into a
+    :class:`~repro.obs.stream.SpillingTraceSink` (peak RSS bounded by the
+    spill threshold, not the run length), then writes the session's chunk
+    stream to a spool file the parent folds in submission order.  Returns
+    ``(result, spool_path | None, stats)``; ``stats`` holds only
+    deterministic counts plus the worker's peak RSS, and is routed
+    exclusively to the resources sidecar.
+    """
+    base = pathlib.Path(dir_str)
+    progress_dir = base / "progress"
+    obs_stream.write_heartbeat(
+        progress_dir,
+        index,
+        status="start",
+        scenario=_job_label(job),
+        protocol=job.protocol,
+    )
+    fn = resolve_protocol(job.protocol)
+    scenario = job.build_scenario()
+    if not observe:
+        result = fn(scenario, **dict(job.kwargs))
+        obs_stream.write_heartbeat(
+            progress_dir, index, status="done",
+            records=0, spans=0, events=0, chunks=0, sim_time=0.0,
+        )
+        return result, None, {"job": index, "peak_rss_kb": obs_stream.peak_rss_kb()}
+    sink = obs_stream.SpillingTraceSink(
+        base / "spill" / f"job-{index:05d}", max_records=spill_records
+    )
+    rec = obs_trace.start(sink=sink, bucket_seconds=bucket_seconds)
+    try:
+        result = fn(scenario, **dict(job.kwargs))
+    finally:
+        obs_trace.stop()
+    spool_dir = base / "spool"
+    spool_dir.mkdir(parents=True, exist_ok=True)
+    spool_path = spool_dir / f"job-{index:05d}.chunks.jsonl"
+    records = spans = events = chunks = 0
+    sim_time = 0.0
+    with open(spool_path, "w", encoding="utf-8") as fh:
+        for chunk in rec.to_payload_chunks(max_events=max_chunk_events):
+            fh.write(
+                json.dumps(chunk, sort_keys=True, separators=(",", ":")) + "\n"
+            )
+            chunks += 1
+            records += len(chunk["records"])
+            spans += int(chunk["span_ids"])
+            for record in chunk["records"]:
+                if record.get("type") == "event":
+                    events += 1
+                sim_time = max(
+                    sim_time,
+                    float(record.get("time_end", record.get("time", 0.0)) or 0.0),
+                )
+            obs_stream.write_heartbeat(
+                progress_dir, index, status="chunk", seq=chunk["seq"],
+                records=records, spans=spans, events=events, sim_time=sim_time,
+            )
+    spilled_segments = sink.spilled_segments
+    sink.cleanup()
+    obs_stream.write_heartbeat(
+        progress_dir, index, status="done",
+        records=records, spans=spans, events=events, chunks=chunks,
+        sim_time=sim_time,
+    )
+    stats = {
+        "job": index,
+        "records": records,
+        "spans": spans,
+        "events": events,
+        "chunks": chunks,
+        "spool_bytes": spool_path.stat().st_size,
+        "spilled_segments": spilled_segments,
+        "peak_rss_kb": obs_stream.peak_rss_kb(),
+    }
+    return result, str(spool_path), stats
 
 
 @contextmanager
@@ -172,7 +300,11 @@ def _child_import_path() -> Iterator[None]:
             os.environ["PYTHONPATH"] = old
 
 
-def run_jobs(jobs: Sequence[WorkerJob], workers: int = 0) -> list:
+def run_jobs(
+    jobs: Sequence[WorkerJob],
+    workers: int = 0,
+    stream: StreamConfig | None = None,
+) -> list:
     """Run jobs and return their results in submission order.
 
     ``workers=0`` runs inline; ``workers>0`` uses that many ``spawn``
@@ -180,12 +312,22 @@ def run_jobs(jobs: Sequence[WorkerJob], workers: int = 0) -> list:
     run each job in an isolated session and merge the captured payloads
     back in submission order, so the exported trace/metrics/series are
     identical regardless of ``workers``.
+
+    With a :class:`StreamConfig`, payloads travel as bounded chunk
+    streams through spool files instead of monolithic values: worker
+    peak RSS is O(spill bound), the parent merges O(chunk) at a time,
+    and workers heartbeat their progress — all while producing the very
+    same bytes as the monolithic paths (docs/OBSERVABILITY.md §v4).
     """
     jobs = list(jobs)
     if workers < 0:
         raise ParallelExecutionError(f"workers must be >= 0, got {workers}")
     if not jobs:
         return []
+    if stream is not None:
+        if workers == 0:
+            return _run_serial_streamed(jobs, stream)
+        return _run_parallel_streamed(jobs, workers, stream)
     if workers == 0:
         return _run_serial(jobs)
     return _run_parallel(jobs, workers)
@@ -234,3 +376,106 @@ def _run_parallel(jobs: list[WorkerJob], workers: int) -> list:
         for _, payload in outcomes:
             parent.merge_payload(payload)
     return [result for result, _ in outcomes]
+
+
+def _merge_chunk_spool(parent, spool_path: str, probe) -> None:
+    """Fold one worker's spooled chunk stream into the parent session.
+
+    Reads the spool one line at a time — the parent never holds more
+    than a single chunk — and deletes it once fully merged.  A spool
+    whose final chunk never arrived means the worker died mid-capture;
+    that must fail loudly, not truncate the trace silently.
+    """
+    merger = obs_stream.PayloadChunkMerger(parent)
+    with open(spool_path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            if not line.strip():
+                continue
+            probe.add_bytes("chunk_bytes_merged", len(line))
+            probe.add_count("chunks_merged")
+            with probe.stage("merge_chunks"):
+                merger.merge(json.loads(line))
+    if not merger.finished:
+        raise ParallelExecutionError(
+            f"chunk spool {spool_path} ended before its final chunk "
+            "(worker died mid-capture?)"
+        )
+    os.remove(spool_path)
+
+
+def _stream_probe(cfg: StreamConfig):
+    return cfg.probe if cfg.probe is not None else obs_stream.NULL_PROBE
+
+
+def _run_serial_streamed(jobs: list[WorkerJob], cfg: StreamConfig) -> list:
+    parent = obs_trace.recorder()
+    observe = parent is not None
+    bucket_seconds = (
+        parent.series.bucket_seconds if observe else DEFAULT_BUCKET_SECONDS
+    )
+    probe = _stream_probe(cfg)
+    outcomes = []
+    if observe:
+        obs_trace.stop()
+    try:
+        for index, job in enumerate(jobs):
+            with probe.stage("execute"):
+                outcomes.append(
+                    _execute_streamed(
+                        job, index, observe, bucket_seconds, str(cfg.base()),
+                        cfg.max_chunk_events, cfg.spill_records,
+                    )
+                )
+    finally:
+        if observe:
+            obs_trace.resume(parent)
+    results = []
+    for result, spool_path, stats in outcomes:
+        probe.add_worker(stats)
+        if observe and spool_path is not None:
+            _merge_chunk_spool(parent, spool_path, probe)
+        results.append(result)
+    probe.sample_rss("parent")
+    return results
+
+
+def _run_parallel_streamed(
+    jobs: list[WorkerJob], workers: int, cfg: StreamConfig
+) -> list:
+    parent = obs_trace.recorder()
+    observe = parent is not None
+    bucket_seconds = (
+        parent.series.bucket_seconds if observe else DEFAULT_BUCKET_SECONDS
+    )
+    probe = _stream_probe(cfg)
+    shipped = [job.shippable() for job in jobs]
+    context = multiprocessing.get_context("spawn")
+    results = []
+    with _child_import_path():
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = [
+                pool.submit(
+                    _execute_streamed, job, index, observe, bucket_seconds,
+                    str(cfg.base()), cfg.max_chunk_events, cfg.spill_records,
+                )
+                for index, job in enumerate(shipped)
+            ]
+            # Merge each stream the moment its job (in submission order)
+            # completes — later workers keep running while earlier chunks
+            # fold in, and the parent never buffers whole payloads.
+            for job, future in zip(shipped, futures):
+                try:
+                    result, spool_path, stats = future.result()
+                except ParallelExecutionError:
+                    raise
+                except BaseException as exc:
+                    raise ParallelExecutionError(
+                        f"worker failed for scenario {job.spec.describe()} "
+                        f"(protocol {job.protocol!r}): {exc!r}"
+                    ) from exc
+                probe.add_worker(stats)
+                if observe and spool_path is not None:
+                    _merge_chunk_spool(parent, spool_path, probe)
+                results.append(result)
+    probe.sample_rss("parent")
+    return results

@@ -293,3 +293,53 @@ def render_actions(dashboard: ActionsDashboard, limit: int = 20) -> str:
     if not shown:
         lines.append("  (no configuration changes)")
     return "\n".join(lines)
+
+
+def render_watchtower(report: dict) -> str:
+    """Markdown rendering of a fleet watchtower report (obs.watchtower).
+
+    Same information as the text rendering, shaped for the portal: a
+    verdict line, a per-warehouse fact table, and one findings table.  A
+    pure function of the report dict, so same-store reports render to
+    identical bytes (CI archives this next to the JSON report).
+    """
+    store = report["store"]
+    verdict = "OK" if report["ok"] else "REGRESSION"
+    baseline = (
+        "no baseline (absolute checks only)"
+        if report["baseline_runs"] is None
+        else f"baseline over {report['baseline_runs']} run(s)"
+    )
+    lines = [
+        "# Fleet watchtower",
+        "",
+        f"**Verdict: {verdict}** — {len(store['runs'])} run(s), "
+        f"{len(store['warehouses'])} warehouse(s), {store['rows']} store rows; "
+        f"{baseline}.",
+        "",
+        "## Warehouses",
+        "",
+        "| warehouse | attributed (cr) | decisions | sealed | mean \\|err\\| (cr) |",
+        "|---|---:|---:|---:|---:|",
+    ]
+    for name, facts in report["current"]["warehouses"].items():
+        lines.append(
+            f"| {name} | {facts['attributed_credits']:+.6f} "
+            f"| {facts['n_decisions']} | {facts['n_sealed']} "
+            f"| {facts['mean_abs_error_credits']:.5f} |"
+        )
+    lines += ["", "## Findings", ""]
+    if report["findings"]:
+        lines += [
+            "| severity | kind | subject | detail |",
+            "|---|---|---|---|",
+        ]
+        for finding in report["findings"]:
+            lines.append(
+                f"| {finding['severity']} | {finding['kind']} "
+                f"| {finding['subject']} | {finding['message']} |"
+            )
+    else:
+        lines.append("No findings: the fleet is where the baseline says it should be.")
+    lines.append("")
+    return "\n".join(lines)

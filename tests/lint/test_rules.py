@@ -666,3 +666,67 @@ class TestR011ProcessPoolConfinement:
             path="src/repro/costmodel/model.py",
         )
         assert found == []
+
+
+class TestR018ResourceQuarantine:
+    def test_getrusage_outside_quarantine_flagged(self):
+        found = findings_for(
+            """\
+            import resource
+
+            def peak_kb() -> int:
+                return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+            """,
+            "R018",
+            path="src/repro/experiments/runner.py",
+        )
+        assert [f.line for f in found] == [4]
+        assert "ResourceProbe" in found[0].message
+
+    def test_tracemalloc_outside_quarantine_flagged(self):
+        found = findings_for(
+            """\
+            import tracemalloc
+
+            def measure():
+                tracemalloc.start()
+                return tracemalloc.get_traced_memory()
+            """,
+            "R018",
+            path="src/repro/obs/metrics.py",
+        )
+        assert [f.line for f in found] == [4, 5]
+
+    def test_quarantine_module_exempt(self):
+        found = findings_for(
+            """\
+            import resource as _resource
+
+            def peak_rss_kb() -> int:
+                return int(_resource.getrusage(_resource.RUSAGE_SELF).ru_maxrss)
+            """,
+            "R018",
+            path="src/repro/obs/stream.py",
+        )
+        assert found == []
+
+    def test_benchmarks_out_of_scope(self):
+        found = findings_for(
+            "import tracemalloc\ntracemalloc.start()\n",
+            "R018",
+            path="benchmarks/bench_stream_merge.py",
+        )
+        assert found == []
+
+    def test_aliased_import_resolved(self):
+        found = findings_for(
+            """\
+            import os as _os
+
+            def load():
+                return _os.getloadavg()
+            """,
+            "R018",
+            path="src/repro/portal/reports.py",
+        )
+        assert [f.line for f in found] == [4]

@@ -3,6 +3,7 @@
 import argparse
 import io
 import json
+import pathlib
 
 import pytest
 
@@ -10,6 +11,7 @@ from repro.obs import Recorder, RunManifest
 from repro.obs.cli import (
     alerts,
     attribution,
+    campaign,
     decisions,
     diff,
     profile,
@@ -17,6 +19,8 @@ from repro.obs.cli import (
     slo,
     store_run,
     summarize,
+    watch,
+    watchtower,
 )
 
 
@@ -271,28 +275,28 @@ class TestSummarizeAlertsSidecar:
         assert "alerts sidecar" not in out.getvalue()
 
 
-def _write_provenance_trace(path, conserve=True):
+def _write_provenance_trace(path, conserve=True, warehouse="WH"):
     """A trace with provenance events; optionally break conservation."""
     savings = 0.1 + 0.2
     rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
     rec.emit(
-        "provenance.decision", 600.0, warehouse="WH", seq=0, kind="learned",
+        "provenance.decision", 600.0, warehouse=warehouse, seq=0, kind="learned",
         reason_code="learned.apply", target="cfg-a", interval=600.0,
     )
     rec.emit(
-        "provenance.outcome", 1200.0, warehouse="WH", seq=0,
+        "provenance.outcome", 1200.0, warehouse=warehouse, seq=0,
         window_start=600.0, window_end=1200.0, realized_credits=0.6,
         predicted_credits=0.5, error_credits=0.1, realized_p99=4.0,
         realized_queries=3, applied=True, apply_error="",
     )
     share = savings if conserve else savings / 2
     rec.emit(
-        "provenance.attribution", 1800.0, warehouse="WH",
+        "provenance.attribution", 1800.0, warehouse=warehouse,
         window_start=0.0, window_end=1800.0, savings_credits=savings,
         shares=[{"decision_seq": 0, "overlap_seconds": 600.0, "credits": share}],
     )
     rec.emit(
-        "optimizer.savings_report", 1800.0, warehouse="WH",
+        "optimizer.savings_report", 1800.0, warehouse=warehouse,
         savings_fraction=0.1, savings_credits=savings,
         window_start=0.0, window_end=1800.0,
     )
@@ -410,3 +414,230 @@ class TestMainCliWiring:
 
         with pytest.raises(SystemExit):
             main(["obs"])
+
+
+class TestSummarizeJson:
+    def test_json_format_is_byte_stable_and_machine_readable(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl")
+        out_a, out_b = io.StringIO(), io.StringIO()
+        assert summarize(str(path), out_a, fmt="json") == 0
+        assert summarize(str(path), out_b, fmt="json") == 0
+        assert out_a.getvalue() == out_b.getvalue()
+        payload = json.loads(out_a.getvalue())
+        assert payload["schema"] == 1
+        assert payload["n_spans"] == 2
+        assert payload["spans_by_name"] == {"work": 2}
+        assert payload["manifests"][0]["scenario"] == "t"
+        assert payload["sidecars"]["metrics"] is False
+        # The shared serializer's shape: indented, sorted, trailing newline.
+        assert out_a.getvalue().endswith("}\n")
+        assert '"events_by_name"' in out_a.getvalue()
+
+    def test_json_format_sees_sidecars(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert summarize(str(path), out, fmt="json") == 0
+        assert json.loads(out.getvalue())["sidecars"]["metrics"] is True
+
+    def test_json_zero_spans_still_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl", n_spans=0)
+        out = io.StringIO()
+        assert summarize(str(path), out, fmt="json") == 1
+        assert json.loads(out.getvalue())["n_spans"] == 0
+
+
+class TestProfileFolded:
+    DATA = pathlib.Path(__file__).parent / "data"
+
+    def test_golden_folded_output(self):
+        out = io.StringIO()
+        assert profile(str(self.DATA / "golden_trace.jsonl"), out, folded=True) == 0
+        golden = (self.DATA / "golden_profile.folded").read_text(encoding="utf-8")
+        assert out.getvalue() == golden
+
+    def test_folded_zero_spans_exits_one(self, tmp_path):
+        path = _write_trace(tmp_path / "t.jsonl", n_spans=0)
+        assert profile(str(path), io.StringIO(), folded=True) == 1
+
+    def test_folded_lines_are_stack_weight_pairs(self, tmp_path):
+        path = _write_observed_run(tmp_path)
+        out = io.StringIO()
+        assert profile(str(path), out, folded=True) == 0
+        for line in out.getvalue().splitlines():
+            stack, weight = line.rsplit(" ", 1)
+            assert stack
+            assert int(weight) >= 0
+
+
+class TestWatchtowerCli:
+    def _store_path(self, tmp_path):
+        trace = _write_provenance_trace(tmp_path / "t.jsonl")
+        store_path = tmp_path / "store.jsonl"
+        args = argparse.Namespace(
+            store_command="ingest", traces=[str(trace)], out=str(store_path)
+        )
+        assert store_run(args, io.StringIO()) == 0
+        return store_path
+
+    def _args(self, store_path, **overrides):
+        from repro.obs.watchtower import WatchtowerThresholds
+
+        defaults = dict(
+            store=str(store_path),
+            baseline=None,
+            update_baseline=False,
+            fmt="text",
+            out=None,
+            savings_drop_tolerance=WatchtowerThresholds.savings_drop_tolerance,
+            alert_storm_fires=WatchtowerThresholds.alert_storm_fires,
+            calibration_drift_tolerance=(
+                WatchtowerThresholds.calibration_drift_tolerance
+            ),
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def test_bless_then_gate_ok(self, tmp_path):
+        store_path = self._store_path(tmp_path)
+        out = io.StringIO()
+        assert watchtower(self._args(store_path, update_baseline=True), out) == 0
+        assert "blessed" in out.getvalue()
+        assert (tmp_path / "store.jsonl.baseline.json").is_file()
+        out = io.StringIO()
+        assert watchtower(self._args(store_path), out) == 0
+        assert "verdict: OK" in out.getvalue()
+
+    def test_regressed_store_exits_one(self, tmp_path):
+        good = self._store_path(tmp_path)
+        baseline = tmp_path / "blessed.json"
+        assert watchtower(
+            self._args(good, update_baseline=True, baseline=str(baseline)),
+            io.StringIO(),
+        ) == 0
+        # A differently-named warehouse regresses (missing from the store).
+        bad_trace = _write_provenance_trace(
+            tmp_path / "bad.jsonl", warehouse="OTHER_WH"
+        )
+        bad_store = tmp_path / "bad_store.jsonl"
+        args = argparse.Namespace(
+            store_command="ingest", traces=[str(bad_trace)], out=str(bad_store)
+        )
+        assert store_run(args, io.StringIO()) == 0
+        out = io.StringIO()
+        assert watchtower(
+            self._args(bad_store, baseline=str(baseline)), out
+        ) == 1
+        assert "missing_warehouse" in out.getvalue()
+
+    def test_json_and_markdown_renders(self, tmp_path):
+        store_path = self._store_path(tmp_path)
+        out = io.StringIO()
+        assert watchtower(self._args(store_path, fmt="json"), out) == 0
+        assert json.loads(out.getvalue())["ok"] is True
+        report_path = tmp_path / "tower.md"
+        out = io.StringIO()
+        assert watchtower(
+            self._args(store_path, fmt="markdown", out=str(report_path)), out
+        ) == 0
+        assert report_path.read_text(encoding="utf-8").startswith(
+            "# Fleet watchtower"
+        )
+
+    def test_missing_store_exits_two(self, tmp_path):
+        assert watchtower(
+            self._args(tmp_path / "absent.jsonl"), io.StringIO()
+        ) == 2
+
+    def test_missing_explicit_baseline_exits_two(self, tmp_path):
+        store_path = self._store_path(tmp_path)
+        assert watchtower(
+            self._args(store_path, baseline=str(tmp_path / "nope.json")),
+            io.StringIO(),
+        ) == 2
+
+
+class TestWatchCli:
+    def _args(self, directory, **overrides):
+        defaults = dict(
+            dir=str(directory), follow=False, interval=0.01,
+            max_polls=3, summary=None,
+        )
+        defaults.update(overrides)
+        return argparse.Namespace(**defaults)
+
+    def _beats(self, progress, complete=True):
+        from repro.obs.stream import write_heartbeat
+
+        write_heartbeat(progress, 0, status="start", scenario="s", protocol="p")
+        write_heartbeat(
+            progress, 0, status="chunk", seq=0, records=5, spans=4,
+            events=1, sim_time=60.0,
+        )
+        if complete:
+            write_heartbeat(
+                progress, 0, status="done", chunks=1, records=5, spans=4,
+                events=1, sim_time=60.0,
+            )
+
+    def test_renders_progress_table(self, tmp_path):
+        progress = tmp_path / "progress"
+        self._beats(progress)
+        out = io.StringIO()
+        assert watch(self._args(tmp_path), out) == 0
+        text = out.getvalue()
+        assert "done" in text
+        assert "campaign complete" in text
+        # Two renders of the same heartbeats are byte-identical.
+        out2 = io.StringIO()
+        assert watch(self._args(tmp_path), out2) == 0
+        assert out2.getvalue() == text
+
+    def test_accepts_progress_dir_directly_and_writes_summary(self, tmp_path):
+        progress = tmp_path / "progress"
+        self._beats(progress)
+        summary_path = tmp_path / "summary.json"
+        out = io.StringIO()
+        assert watch(
+            self._args(progress, summary=str(summary_path)), out
+        ) == 0
+        assert json.loads(summary_path.read_text())["complete"] is True
+
+    def test_follow_terminates_on_incomplete_campaign(self, tmp_path):
+        progress = tmp_path / "progress"
+        self._beats(progress, complete=False)
+        out = io.StringIO()
+        assert watch(self._args(tmp_path, follow=True, max_polls=2), out) == 0
+        assert "in flight" in out.getvalue()
+
+    def test_missing_dir_exits_two(self, tmp_path):
+        assert watch(self._args(tmp_path / "absent"), io.StringIO()) == 2
+
+    def test_empty_dir_exits_one(self, tmp_path):
+        assert watch(self._args(tmp_path), io.StringIO()) == 1
+
+
+class TestCampaignCli:
+    def test_streamed_campaign_writes_all_sidecars(self, tmp_path):
+        args = argparse.Namespace(
+            scenarios=1, seed=123, workers=0,
+            out=str(tmp_path / "c.jsonl"), dir=None,
+            chunk_events=200, spill_records=300,
+        )
+        out = io.StringIO()
+        assert campaign(args, out) == 0
+        assert "campaign: 1 scenario(s)" in out.getvalue()
+        for suffix in (
+            "", ".metrics.json", ".series.json", ".alerts.json",
+            ".campaign.json", ".resources.json",
+        ):
+            assert (tmp_path / f"c.jsonl{suffix}").is_file(), suffix
+        summary = json.loads((tmp_path / "c.jsonl.campaign.json").read_text())
+        assert summary["complete"] is True
+        resources = json.loads((tmp_path / "c.jsonl.resources.json").read_text())
+        assert resources["schema"] == 1
+        # The watch view over the finished campaign renders and exits 0.
+        watch_args = argparse.Namespace(
+            dir=str(tmp_path / "c.jsonl.stream"), follow=False,
+            interval=0.01, max_polls=1, summary=None,
+        )
+        assert watch(watch_args, io.StringIO()) == 0

@@ -1,0 +1,159 @@
+"""The fleet watchtower: baselines, anomaly findings, and renders."""
+
+import pytest
+
+from repro.obs import Recorder, RunManifest
+from repro.obs.store import FleetStore
+from repro.obs.watchtower import (
+    WATCHTOWER_SCHEMA_VERSION,
+    WatchtowerThresholds,
+    fleet_baseline,
+    run_watchtower,
+    render_text,
+)
+from repro.portal.reports import render_watchtower
+
+
+def _trace_records(warehouse="WH", savings=1.5, error=0.1, alert_fires=1):
+    """A miniature provenance trace with tunable watchtower inputs."""
+    rec = Recorder(manifest=RunManifest(scenario="t", seed=1, config_hash="ab"))
+    rec.emit(
+        "provenance.decision", 600.0, warehouse=warehouse, seq=0,
+        kind="learned", reason_code="learned.apply", target="cfg-a",
+        interval=600.0,
+    )
+    for i in range(alert_fires):
+        rec.emit(
+            "alert.fire", 700.0 + i, alert="optimizer.backoff.wh",
+            severity="warning", warehouse=warehouse,
+        )
+    rec.emit(
+        "provenance.outcome", 1200.0, warehouse=warehouse, seq=0,
+        window_start=600.0, window_end=1200.0,
+        realized_credits=0.5 + error, predicted_credits=0.5,
+        error_credits=error, realized_p99=4.0, realized_queries=3,
+        applied=True, apply_error="",
+    )
+    rec.emit(
+        "provenance.attribution", 1800.0, warehouse=warehouse,
+        window_start=0.0, window_end=1800.0, savings_credits=savings,
+        shares=[{"decision_seq": 0, "overlap_seconds": 600.0, "credits": savings}],
+    )
+    return rec.sink.records
+
+
+def _store(run="r1", **kw):
+    store = FleetStore()
+    store.ingest_trace_records(_trace_records(**kw), run=run)
+    return store
+
+
+class TestFleetBaseline:
+    def test_shape_and_determinism(self):
+        baseline = fleet_baseline(_store())
+        assert baseline["schema"] == WATCHTOWER_SCHEMA_VERSION
+        assert baseline["runs"] == 1
+        assert baseline["warehouses"]["WH"]["attributed_credits"] == pytest.approx(1.5)
+        assert baseline["warehouses"]["WH"]["n_decisions"] == 1
+        assert baseline["alert_max_fires"]["optimizer.backoff.wh"] == 1
+        assert baseline == fleet_baseline(_store())
+
+    def test_manifest_rows_do_not_invent_warehouses(self):
+        assert "" not in fleet_baseline(_store())["warehouses"]
+
+
+class TestRunWatchtower:
+    def test_healthy_store_is_ok_against_own_baseline(self):
+        store = _store()
+        report = run_watchtower(store, baseline=fleet_baseline(store))
+        assert report["ok"] is True
+        assert report["findings"] == []
+        assert report["baseline_runs"] == 1
+
+    def test_no_baseline_runs_absolute_checks_only(self):
+        report = run_watchtower(_store())
+        assert report["ok"] is True
+        assert report["baseline_runs"] is None
+
+    def test_savings_regression_fires(self):
+        baseline = fleet_baseline(_store(savings=2.0))
+        report = run_watchtower(_store(savings=1.0), baseline=baseline)
+        assert report["ok"] is False
+        [finding] = [
+            f for f in report["findings"] if f["kind"] == "savings_regression"
+        ]
+        assert finding["severity"] == "error"
+        assert finding["subject"] == "WH"
+        assert finding["current_credits"] == pytest.approx(1.0)
+
+    def test_small_dip_within_tolerance_passes(self):
+        baseline = fleet_baseline(_store(savings=2.0))
+        report = run_watchtower(
+            _store(savings=1.95), baseline=baseline,
+            thresholds=WatchtowerThresholds(savings_drop_tolerance=0.05),
+        )
+        assert report["ok"] is True
+
+    def test_alert_storm_fires_without_baseline(self):
+        report = run_watchtower(
+            _store(alert_fires=8),
+            thresholds=WatchtowerThresholds(alert_storm_fires=8),
+        )
+        assert report["ok"] is False
+        [finding] = [f for f in report["findings"] if f["kind"] == "alert_storm"]
+        assert finding["fires"] == 8
+        assert "optimizer.backoff.wh" in finding["subject"]
+
+    def test_calibration_drift_fires(self):
+        baseline = fleet_baseline(_store(error=0.01))
+        report = run_watchtower(
+            _store(error=0.5), baseline=baseline,
+            thresholds=WatchtowerThresholds(
+                calibration_drift_tolerance=0.25, calibration_floor_credits=0.005
+            ),
+        )
+        [finding] = [
+            f for f in report["findings"] if f["kind"] == "calibration_drift"
+        ]
+        assert finding["severity"] == "error"
+
+    def test_missing_warehouse_is_an_error(self):
+        baseline = fleet_baseline(_store(warehouse="GONE_WH"))
+        report = run_watchtower(_store(warehouse="WH"), baseline=baseline)
+        kinds = {f["kind"]: f["severity"] for f in report["findings"]}
+        assert kinds["missing_warehouse"] == "error"
+        assert kinds["new_warehouse"] == "note"
+        # Notes alone must not fail the gate; the missing warehouse does.
+        assert report["ok"] is False
+
+    def test_new_warehouse_alone_is_ok(self):
+        baseline = fleet_baseline(_store(warehouse="WH"))
+        both = FleetStore()
+        both.ingest_trace_records(_trace_records(warehouse="WH"), run="r1")
+        both.ingest_trace_records(_trace_records(warehouse="NEW_WH"), run="r2")
+        report = run_watchtower(both, baseline=baseline)
+        assert [f["kind"] for f in report["findings"]] == ["new_warehouse"]
+        assert report["ok"] is True
+
+
+class TestRenders:
+    def test_text_render_carries_verdict(self):
+        store = _store()
+        ok = render_text(run_watchtower(store, baseline=fleet_baseline(store)))
+        assert "verdict: OK" in ok
+        bad = render_text(
+            run_watchtower(
+                _store(savings=0.1), baseline=fleet_baseline(_store(savings=2.0))
+            )
+        )
+        assert "verdict: REGRESSION" in bad
+        assert "[savings_regression]" in bad
+
+    def test_markdown_render_is_deterministic_markdown(self):
+        store = _store()
+        report = run_watchtower(store, baseline=fleet_baseline(store))
+        text = render_watchtower(report)
+        assert text == render_watchtower(report)
+        assert text.startswith("# Fleet watchtower")
+        assert "| WH |" in text
+        assert "**Verdict: OK**" in text
