@@ -46,7 +46,7 @@ REPRO_CONTRACT = LayerContract(
         ("common",),
         ("lint", "obs"),
         ("warehouse", "workloads"),
-        ("costmodel", "faults"),
+        ("costmodel", "durability", "faults"),
         ("learning",),
         ("core",),
         ("parallel",),

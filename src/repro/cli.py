@@ -13,6 +13,7 @@ Usage::
     python -m repro.cli analyze [paths ...] [--format json|sarif] [--graph out.dot]
     python -m repro.cli obs {smoke,summarize,diff,profile,slo,alerts,report} ...
     python -m repro.cli faults {list,describe,run} ...
+    python -m repro.cli durability {checkpoint,restore,verify,smoke} ...
 
 Each experiment command runs the corresponding §7 protocol and prints the
 same rows/series the paper's figure reports (the benchmarks wrap these same
@@ -28,6 +29,7 @@ import argparse
 import sys
 
 import repro.analysis.cli as analysis_cli
+import repro.durability.cli as durability_cli
 import repro.faults.cli as faults_cli
 import repro.lint.cli as lint_cli
 import repro.obs.cli as obs_cli
@@ -168,6 +170,11 @@ def build_parser() -> argparse.ArgumentParser:
         "faults", help="run chaos scenarios under fault injection (docs/ROBUSTNESS.md)"
     )
     faults_cli.configure_parser(faults)
+    durability = subparsers.add_parser(
+        "durability",
+        help="checkpoint/restore/verify control-plane state (docs/ROBUSTNESS.md)",
+    )
+    durability_cli.configure_parser(durability)
     return parser
 
 
@@ -185,6 +192,8 @@ def main(argv: list[str] | None = None) -> int:
         return obs_cli.run(args)
     if args.command == "faults":
         return faults_cli.run(args)
+    if args.command == "durability":
+        return durability_cli.run(args)
     _COMMANDS[args.command](args)
     return 0
 

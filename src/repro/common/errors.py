@@ -58,3 +58,14 @@ class ConstraintViolationError(ReproError):
 
 class TelemetryError(ReproError):
     """Telemetry was requested for an invalid window or missing warehouse."""
+
+
+class RecoveryError(ReproError):
+    """A durable artifact failed validation during checkpoint restore.
+
+    Raised for torn journal tails, checksum/framing mismatches, sequence
+    gaps, empty or stale snapshots, and ``config_hash`` mismatches.  The
+    contract is all-or-nothing: a restore either reconstructs the exact
+    pre-crash control-plane state or raises this error — never a silent
+    partial restore.
+    """

@@ -58,6 +58,43 @@ class RngRegistry:
         digest = hashlib.sha256(f"{self.seed}:seed:{name}".encode()).digest()
         return int.from_bytes(digest[:8], "little")
 
+    def export_states(self, prefixes: tuple[str, ...]) -> dict[str, dict]:
+        """Capture bit-generator states for every cached stream under
+        ``prefixes``.
+
+        Only *instantiated* streams are exported: a stream that was never
+        drawn from will be re-derived identically from ``(seed, name)`` on
+        the other side, so omitting it is lossless.  The returned dict is
+        JSON-serialisable (PCG64 state is a nest of ints/strings).
+        """
+        states: dict[str, dict] = {}
+        for name in sorted(self._streams):
+            if name.startswith(prefixes):
+                states[name] = self._streams[name].bit_generator.state
+        return states
+
+    def restore_states(self, states: dict[str, dict]) -> None:
+        """Overwrite (or create) streams so their bit-generator state matches
+        a prior :meth:`export_states` capture exactly.
+
+        ``stream()`` hands out cached generator *objects*, so restoring in
+        place also rewinds every component that already holds a reference.
+        """
+        for name in sorted(states):
+            # Name comes from the export capture being rewound, not a new
+            # stream identity.
+            self.stream(name).bit_generator.state = states[name]  # repro-lint: disable=R003
+
+    def evict(self, prefixes: tuple[str, ...]) -> None:
+        """Drop cached streams under ``prefixes``.
+
+        Used by the crash harness: a process death discards the in-memory
+        generators, so the next ``stream()`` call re-derives a fresh one
+        (which restore then rewinds from the journal).
+        """
+        for name in [n for n in self._streams if n.startswith(prefixes)]:
+            del self._streams[name]
+
     def __repr__(self) -> str:
         return f"RngRegistry(seed={self.seed}, streams={sorted(self._streams)})"
 

@@ -35,6 +35,7 @@ import numpy as np
 from repro.common.errors import ConfigurationError, WarehouseError
 from repro.common.rng import fallback_rng
 from repro.core.monitoring import Monitor
+from repro.durability.codec import decode_config, encode_config, require_keys
 from repro.obs import trace as obs
 from repro.warehouse.api import CloudWarehouseClient
 from repro.warehouse.config import WarehouseConfig
@@ -65,6 +66,37 @@ class RetryPolicy:
         if self.jitter_fraction > 0:
             raw *= 1.0 + self.jitter_fraction * float(2.0 * rng.random() - 1.0)
         return max(0.0, raw)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "base_delay_seconds": self.base_delay_seconds,
+            "multiplier": self.multiplier,
+            "max_delay_seconds": self.max_delay_seconds,
+            "jitter_fraction": self.jitter_fraction,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "RetryPolicy":
+        require_keys(
+            state,
+            (
+                "max_attempts",
+                "base_delay_seconds",
+                "multiplier",
+                "max_delay_seconds",
+                "jitter_fraction",
+            ),
+            "RetryPolicy",
+        )
+        return cls(
+            max_attempts=int(state["max_attempts"]),
+            base_delay_seconds=float(state["base_delay_seconds"]),
+            multiplier=float(state["multiplier"]),
+            max_delay_seconds=float(state["max_delay_seconds"]),
+            jitter_fraction=float(state["jitter_fraction"]),
+        )
 
 
 class BreakerState(enum.Enum):
@@ -128,6 +160,38 @@ class CircuitBreaker:
                 probe_failed=failed_probe,
             )
 
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "failure_threshold": self.failure_threshold,
+            "cooldown_seconds": self.cooldown_seconds,
+            "state": self.state.value,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_at": self.opened_at,
+            "opens": self.opens,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            (
+                "failure_threshold",
+                "cooldown_seconds",
+                "state",
+                "consecutive_failures",
+                "opened_at",
+                "opens",
+            ),
+            "CircuitBreaker",
+        )
+        self.failure_threshold = int(state["failure_threshold"])
+        self.cooldown_seconds = float(state["cooldown_seconds"])
+        self.state = BreakerState(state["state"])
+        self.consecutive_failures = int(state["consecutive_failures"])
+        opened_at = state["opened_at"]
+        self.opened_at = None if opened_at is None else float(opened_at)
+        self.opens = int(state["opens"])
+
 
 @dataclass(frozen=True)
 class AppliedAction:
@@ -173,6 +237,9 @@ class Actuator:
         self.retries_scheduled = 0
         #: Bumped by every externally-requested apply; stale retries abort.
         self._generation = 0
+        #: In-flight retry events (due time + payload), so a checkpoint can
+        #: journal them and a crash teardown can cancel them.
+        self._pending_retries: list[dict] = []
 
     def apply(self, target: WarehouseConfig, reason: str) -> AppliedAction:
         """Move the warehouse to ``target``; no-ops are logged but free."""
@@ -298,11 +365,57 @@ class Actuator:
             attempt=attempt + 1,
             delay=delay,
         )
-        self.client.account.sim.schedule(
-            now + delay,
-            _RetryActuation(self, target, reason, attempt + 1, generation),
-            label=f"actuator-retry[{self.warehouse}]",
+        self._schedule_retry(now + delay, target, reason, attempt + 1, generation)
+
+    def _schedule_retry(
+        self, due: float, target: WarehouseConfig, reason: str, attempt: int, generation: int
+    ) -> None:
+        entry = {
+            "due": due,
+            "target": target,
+            "reason": reason,
+            "attempt": attempt,
+            "generation": generation,
+        }
+        retry = _RetryActuation(self, target, reason, attempt, generation, entry)
+        entry["handle"] = self.client.account.sim.schedule(
+            due, retry, label=f"actuator-retry[{self.warehouse}]"
         )
+        self._pending_retries.append(entry)
+
+    def cancel_pending_retries(self) -> None:
+        """Cancel every in-flight retry event (crash teardown)."""
+        for entry in self._pending_retries:
+            entry["handle"].cancel()
+        self._pending_retries.clear()
+
+    def pending_retry_state(self) -> list[dict]:
+        """Journal-ready view of the in-flight retries, ordered by due time."""
+        return [
+            {
+                "due": e["due"],
+                "target": encode_config(e["target"]),
+                "reason": e["reason"],
+                "attempt": e["attempt"],
+                "generation": e["generation"],
+            }
+            for e in sorted(self._pending_retries, key=lambda e: e["due"])
+        ]
+
+    def restore_pending_retries(self, entries: list[dict]) -> None:
+        """Re-schedule journaled retries at their original due times.
+
+        No ``actuator.retry_scheduled`` events are re-emitted — the
+        original emission is already in the pre-crash trace.
+        """
+        for e in entries:
+            self._schedule_retry(
+                float(e["due"]),
+                decode_config(e["target"]),
+                e["reason"],
+                int(e["attempt"]),
+                int(e["generation"]),
+            )
 
     @property
     def last_applied(self) -> AppliedAction | None:
@@ -312,11 +425,69 @@ class Actuator:
         """Only the entries that actually changed the warehouse."""
         return [a for a in self.log if a.changed and a.succeeded]
 
+    # ----------------------------------------------------------- durability
+    @staticmethod
+    def encode_log_entry(entry: AppliedAction) -> dict:
+        return {
+            "time": entry.time,
+            "warehouse": entry.warehouse,
+            "from_config": encode_config(entry.from_config),
+            "to_config": encode_config(entry.to_config),
+            "reason": entry.reason,
+            "succeeded": entry.succeeded,
+            "error": entry.error,
+            "attempt": entry.attempt,
+            "read_back_error": entry.read_back_error,
+        }
+
+    @staticmethod
+    def decode_log_entry(state: dict) -> AppliedAction:
+        return AppliedAction(
+            time=float(state["time"]),
+            warehouse=state["warehouse"],
+            from_config=decode_config(state["from_config"]),
+            to_config=decode_config(state["to_config"]),
+            reason=state["reason"],
+            succeeded=bool(state["succeeded"]),
+            error=state["error"],
+            attempt=int(state["attempt"]),
+            read_back_error=state["read_back_error"],
+        )
+
+    def state_dict(self) -> dict:
+        """Log + counters + breaker/policy state (StateCodec).
+
+        Pending retries are exported separately (:meth:`pending_retry_state`)
+        because restoring them schedules simulator events, which the service
+        sequences explicitly after all components exist.
+        """
+        return {
+            "log": [self.encode_log_entry(e) for e in self.log],
+            "errors": self.errors,
+            "retries_scheduled": self.retries_scheduled,
+            "generation": self._generation,
+            "retry_policy": self.retry_policy.state_dict(),
+            "breaker": self.breaker.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            ("log", "errors", "retries_scheduled", "generation", "retry_policy", "breaker"),
+            "Actuator",
+        )
+        self.log = [self.decode_log_entry(e) for e in state["log"]]
+        self.errors = int(state["errors"])
+        self.retries_scheduled = int(state["retries_scheduled"])
+        self._generation = int(state["generation"])
+        self.retry_policy = RetryPolicy.from_state(state["retry_policy"])
+        self.breaker.load_state_dict(state["breaker"])
+
 
 class _RetryActuation:
     """A scheduled retry; aborts silently when a newer apply superseded it."""
 
-    __slots__ = ("actuator", "target", "reason", "attempt", "generation")
+    __slots__ = ("actuator", "target", "reason", "attempt", "generation", "entry")
 
     def __init__(
         self,
@@ -325,14 +496,18 @@ class _RetryActuation:
         reason: str,
         attempt: int,
         generation: int,
+        entry: dict | None = None,
     ):
         self.actuator = actuator
         self.target = target
         self.reason = reason
         self.attempt = attempt
         self.generation = generation
+        self.entry = entry
 
     def __call__(self) -> None:
+        if self.entry is not None and self.entry in self.actuator._pending_retries:
+            self.actuator._pending_retries.remove(self.entry)
         if self.generation != self.actuator._generation:
             return  # superseded by a newer decision
         self.actuator._apply_attempt(

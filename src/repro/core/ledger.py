@@ -19,6 +19,7 @@ from dataclasses import dataclass, field
 from repro.common.errors import ConfigurationError
 from repro.common.simtime import Window
 from repro.costmodel.model import SavingsEstimate
+from repro.durability.codec import decode_window, encode_window, require_keys
 
 
 @dataclass(frozen=True)
@@ -57,6 +58,38 @@ class SavingsLedger:
         )
         self.entries.append(entry)
         return entry
+
+    # ----------------------------------------------------------- durability
+    @staticmethod
+    def encode_entry(entry: LedgerEntry) -> dict:
+        return {
+            "window": encode_window(entry.window),
+            "without_keebo_credits": entry.without_keebo_credits,
+            "with_keebo_credits": entry.with_keebo_credits,
+            "n_actions": entry.n_actions,
+            "n_backoffs": entry.n_backoffs,
+        }
+
+    @staticmethod
+    def decode_entry(state: dict) -> LedgerEntry:
+        return LedgerEntry(
+            window=decode_window(state["window"]),
+            without_keebo_credits=float(state["without_keebo_credits"]),
+            with_keebo_credits=float(state["with_keebo_credits"]),
+            n_actions=int(state["n_actions"]),
+            n_backoffs=int(state["n_backoffs"]),
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "warehouse": self.warehouse,
+            "entries": [self.encode_entry(e) for e in self.entries],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(state, ("warehouse", "entries"), "SavingsLedger")
+        self.warehouse = state["warehouse"]
+        self.entries = [self.decode_entry(e) for e in state["entries"]]
 
     # ------------------------------------------------------------- queries
     def total_savings_credits(self, window: Window | None = None) -> float:

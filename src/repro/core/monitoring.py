@@ -26,6 +26,7 @@ from repro.common.errors import TelemetryError, WarehouseError
 from repro.common.simtime import HOUR, Window
 from repro.common.stats import percentile
 from repro.core.sliders import SliderParams
+from repro.durability.codec import decode_config, encode_config, require_keys
 from repro.obs import trace as obs
 from repro.learning.features import WorkloadBaseline
 from repro.warehouse.api import CloudWarehouseClient
@@ -121,6 +122,42 @@ class Monitor:
     def telemetry_age(self, now: float) -> float:
         """Seconds since telemetry was last read successfully."""
         return max(0.0, now - self._last_good_fetch)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "baseline": self.baseline.state_dict(),
+            "lookback_seconds": self.lookback_seconds,
+            "expected_config": (
+                None
+                if self._expected_config is None
+                else encode_config(self._expected_config)
+            ),
+            "known_templates": sorted(self._known_templates),
+            "last_good_fetch": self._last_good_fetch,
+            "telemetry_failures": self.telemetry_failures,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            (
+                "baseline",
+                "lookback_seconds",
+                "expected_config",
+                "known_templates",
+                "last_good_fetch",
+                "telemetry_failures",
+            ),
+            "Monitor",
+        )
+        self.baseline = WorkloadBaseline.from_state(state["baseline"])
+        self.lookback_seconds = float(state["lookback_seconds"])
+        expected = state["expected_config"]
+        self._expected_config = None if expected is None else decode_config(expected)
+        self._known_templates = set(state["known_templates"])
+        self._last_good_fetch = float(state["last_good_fetch"])
+        self.telemetry_failures = int(state["telemetry_failures"])
 
     # -------------------------------------------------------------- snapshot
     def snapshot(self, now: float) -> RealTimeFeedback:

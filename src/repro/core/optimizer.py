@@ -21,17 +21,27 @@ from __future__ import annotations
 import re
 from collections.abc import Callable
 from dataclasses import dataclass, field
+from pathlib import Path
 
 from repro.common.errors import (
     ConfigurationError,
+    RecoveryError,
     TelemetryError,
     UnknownWarehouseError,
     WarehouseError,
 )
 from repro.common.simtime import DAY, HOUR, Window
 from repro.common.stats import percentile
+from repro.durability import CheckpointLoad, CheckpointStore
+from repro.durability.codec import decode_config, encode_config
+from repro.faults.plan import PROCESS_OPERATION, FaultKind, FaultPlan, FaultSpec
 from repro.obs import trace as obs
-from repro.obs.provenance import DecisionContext, DecisionOutcome, ProvenanceLog
+from repro.obs.provenance import (
+    AttributionLedger,
+    DecisionContext,
+    DecisionOutcome,
+    ProvenanceLog,
+)
 from repro.learning.actions import ActionSpace
 from repro.core.actuator import Actuator
 from repro.core.constraints import ConstraintSet
@@ -88,6 +98,31 @@ class OptimizerConfig:
             raise ConfigurationError("intervals must be positive")
         if self.training_window < self.episode_length:
             raise ConfigurationError("training window shorter than one episode")
+
+
+def encode_decision(decision: Decision) -> dict:
+    """StateCodec shape for one decision-tick outcome."""
+    return {
+        "kind": decision.kind.value,
+        "target": encode_config(decision.target),
+        "reason": decision.reason,
+        "action_index": decision.action_index,
+        "q_value": decision.q_value,
+        "reason_code": decision.reason_code,
+    }
+
+
+def decode_decision(state: dict) -> Decision:
+    action_index = state["action_index"]
+    q_value = state["q_value"]
+    return Decision(
+        kind=DecisionKind(state["kind"]),
+        target=decode_config(state["target"]),
+        reason=state["reason"],
+        action_index=None if action_index is None else int(action_index),
+        q_value=None if q_value is None else float(q_value),
+        reason_code=state["reason_code"],
+    )
 
 
 class WarehouseOptimizer:
@@ -666,6 +701,207 @@ class WarehouseOptimizer:
         if self._controller is not None:
             self._controller.stop()
 
+    # ------------------------------------------------------------ durability
+    @property
+    def model_version(self) -> tuple:
+        """Changes exactly when heavyweight (array) state may have changed.
+
+        Live decision ticks are greedy — no exploration draw, no buffer
+        push — so the agent's arrays and the cost model's estimators only
+        move at (re)training.  ``_last_retrain`` covers baseline refits and
+        the fit generations cover a cost-model fit that succeeded even when
+        the surrounding retrain aborted, so a delta journal entry is only
+        ever written while every array captured by the last snapshot is
+        still current.
+        """
+        return (
+            self.agent.train_steps,
+            self._last_retrain,
+            self.cost_model.latency_model.fit_generation,
+            self.cost_model.gap_model.fit_generation,
+        )
+
+    @property
+    def controller_next_fire(self) -> float | None:
+        """When the decision controller fires next (journaled for restore)."""
+        if self._controller is None or self._controller._handle is None:
+            return None
+        return self._controller._handle.time
+
+    def marks(self) -> dict:
+        """Append-only high-water marks; the next journal delta starts here.
+
+        Everything below a mark is immutable: ledger/attribution/log entries
+        and decisions are append-only frozen values, and provenance records
+        below ``unsealed_from`` are sealed (``seal_until`` and ``note_apply``
+        only touch records at or above the live mark).
+        """
+        return {
+            "ledger": len(self.ledger.entries),
+            "attribution": len(self.provenance.attribution.entries),
+            "log": len(self.actuator.log),
+            "decisions": len(self.decisions),
+            "provenance": self.provenance.unsealed_from,
+        }
+
+    def _scalar_state(self) -> dict:
+        return {
+            "paused": self.paused,
+            "safe_mode": self.safe_mode,
+            "safe_mode_entries": self.safe_mode_entries,
+            "warmup_until": self._warmup_until,
+            "last_retrain": self._last_retrain,
+            "last_report": self._last_report,
+            "decisions_at_last_report": self._decisions_at_last_report,
+        }
+
+    def _load_scalars(self, state: dict) -> None:
+        self.paused = bool(state["paused"])
+        self.safe_mode = bool(state["safe_mode"])
+        self.safe_mode_entries = int(state["safe_mode_entries"])
+        self._warmup_until = float(state["warmup_until"])
+        self._last_retrain = float(state["last_retrain"])
+        self._last_report = float(state["last_report"])
+        self._decisions_at_last_report = int(state["decisions_at_last_report"])
+
+    def _client_fault_state(self) -> dict | None:
+        """Injection counters when the client is fault-injecting, else None.
+
+        Duck-typed so this module needs no FaultingWarehouseClient import.
+        """
+        exporter = getattr(self.client, "fault_state_dict", None)
+        return None if exporter is None else exporter()
+
+    def state_dict(self) -> dict:
+        """Full durable state (snapshot vocabulary).
+
+        ``training_reports`` are deliberately not captured: they are
+        onboarding diagnostics, never read by the decision loop or any
+        export the crash-consistency invariant covers.
+        """
+        return {
+            "warehouse": self.warehouse,
+            "original_config": encode_config(self.action_space.original),
+            "baseline": self.baseline.state_dict(),
+            "cost_model": self.cost_model.state_dict(),
+            "agent": self.agent.state_dict(),
+            "monitor": self.monitor.state_dict(),
+            "smart_model": self.smart_model.state_dict(),
+            "policy_advisor": self.policy_advisor.state_dict(),
+            "actuator": self.actuator.state_dict(),
+            "ledger": self.ledger.state_dict(),
+            "provenance": self.provenance.state_dict(),
+            "decisions": [encode_decision(d) for d in self.decisions],
+            "scalars": self._scalar_state(),
+            "pending_retries": self.actuator.pending_retry_state(),
+            "controller_next_fire": self.controller_next_fire,
+            "client_faults": self._client_fault_state(),
+        }
+
+    def delta_state(self, marks: dict) -> dict:
+        """Journal-entry vocabulary: small full states + append-only tails.
+
+        Arrays (agent networks, replay buffer, cost-model estimators, the
+        baseline) are *not* here — :attr:`model_version` guarantees the
+        service compacts to a full snapshot whenever they may have moved.
+        """
+        actuator = self.actuator.state_dict()
+        log = actuator.pop("log")
+        return {
+            "monitor": self.monitor.state_dict(),
+            "smart_model": self.smart_model.state_dict(),
+            "policy_advisor": self.policy_advisor.state_dict(),
+            "actuator": actuator,
+            "log_from": marks["log"],
+            "log": log[marks["log"]:],
+            "ledger_from": marks["ledger"],
+            "ledger": [
+                SavingsLedger.encode_entry(e)
+                for e in self.ledger.entries[marks["ledger"]:]
+            ],
+            "attribution_from": marks["attribution"],
+            "attribution": [
+                AttributionLedger.encode_entry(e)
+                for e in self.provenance.attribution.entries[marks["attribution"]:]
+            ],
+            "decisions_from": marks["decisions"],
+            "decisions": [
+                encode_decision(d) for d in self.decisions[marks["decisions"]:]
+            ],
+            "provenance": {
+                "from": marks["provenance"],
+                "records": self.provenance.export_records(marks["provenance"]),
+                "unsealed_from": self.provenance.unsealed_from,
+            },
+            "scalars": self._scalar_state(),
+            "pending_retries": self.actuator.pending_retry_state(),
+            "controller_next_fire": self.controller_next_fire,
+            "client_faults": self._client_fault_state(),
+        }
+
+    def load_durable_state(self, state: dict) -> None:
+        """Rebuild every component from a checkpoint, without onboarding.
+
+        The restore path never touches the vendor surface: no telemetry
+        fetch, no training, no billed calls, no fault-plan draws.  Stream
+        construction below draws initial network weights from the agent
+        stream, but the service overwrites every ``keebo.*``/``faults.*``
+        stream state from the journal immediately after all components
+        exist, so those construction draws are discarded.
+        """
+        original = decode_config(state["original_config"])
+        self.action_space = ActionSpace(
+            original, max_size_headroom=self.params.max_upsize_steps
+        )
+        self.baseline = WorkloadBaseline.from_state(state["baseline"])
+        self.cost_model = WarehouseCostModel(self.client, self.warehouse)
+        self.cost_model.load_state_dict(state["cost_model"])
+        self.monitor = Monitor(self.client, self.warehouse, self.baseline)
+        self.monitor.load_state_dict(state["monitor"])
+        self.actuator = Actuator(
+            self.client,
+            self.warehouse,
+            self.monitor,
+            rng=self.account.rngs.stream(f"keebo.actuator.{self.warehouse}"),  # repro-lint: disable=R003
+        )
+        self.actuator.load_state_dict(state["actuator"])
+        self.agent = DQNAgent(
+            FEATURE_DIM,
+            len(self.action_space),
+            self.config.agent,
+            self.account.rngs.stream(f"keebo.agent.{self.warehouse}"),  # repro-lint: disable=R003
+        )
+        self.agent.load_state_dict(state["agent"])
+        features = FeatureExtractor(self.baseline, original)
+        self.smart_model = SmartModel(
+            self.client,
+            self.warehouse,
+            self.agent,
+            self.action_space,
+            features,
+            self.cost_model,
+            self.constraints,
+            self.params,
+            self.config.decision_interval,
+        )
+        self.smart_model.load_state_dict(state["smart_model"])
+        self.policy_advisor.load_state_dict(state["policy_advisor"])
+        self.ledger.load_state_dict(state["ledger"])
+        self.provenance.load_state_dict(state["provenance"])
+        self.decisions = [decode_decision(d) for d in state["decisions"]]
+        self._load_scalars(state["scalars"])
+        faults_state = state["client_faults"]
+        if faults_state is not None:
+            loader = getattr(self.client, "load_fault_state", None)
+            if loader is None:
+                raise RecoveryError(
+                    f"checkpoint for {self.warehouse!r} carries fault-injection "
+                    "counters but the restored client is not fault-injecting "
+                    "(client_factory mismatch)"
+                )
+            loader(faults_state)
+        self.onboarded = True
+
     # ------------------------------------------------------------- reporting
     def set_slider(self, slider: SliderPosition) -> None:
         self.params = slider_params(slider)
@@ -685,6 +921,91 @@ class WarehouseOptimizer:
         return counts
 
 
+def merge_checkpoint_entries(state: dict, entries: list[dict]) -> dict:
+    """Fold journal deltas onto a snapshot state, newest last.
+
+    The journal vocabulary is owned here (the store is schema-agnostic):
+    list-valued fields replay as truncate-to-mark + extend, everything else
+    is a whole-value overwrite.  Mutates and returns ``state``.
+    """
+    for entry in entries:
+        if entry.get("kind") != "delta":
+            raise RecoveryError(f"unknown journal entry kind {entry.get('kind')!r}")
+        deltas = entry["optimizers"]
+        if set(deltas) != set(state["optimizers"]):
+            raise RecoveryError(
+                "journal entry warehouses do not match the snapshot"
+            )
+        for warehouse, delta in deltas.items():
+            base = state["optimizers"][warehouse]
+            for key in (
+                "monitor",
+                "smart_model",
+                "policy_advisor",
+                "scalars",
+                "pending_retries",
+                "controller_next_fire",
+                "client_faults",
+            ):
+                base[key] = delta[key]
+            log = base["actuator"]["log"][: delta["log_from"]] + delta["log"]
+            base["actuator"] = dict(delta["actuator"], log=log)
+            base["ledger"]["entries"] = (
+                base["ledger"]["entries"][: delta["ledger_from"]] + delta["ledger"]
+            )
+            provenance = base["provenance"]
+            provenance["records"] = (
+                provenance["records"][: delta["provenance"]["from"]]
+                + delta["provenance"]["records"]
+            )
+            provenance["unsealed_from"] = delta["provenance"]["unsealed_from"]
+            provenance["attribution"]["entries"] = (
+                provenance["attribution"]["entries"][: delta["attribution_from"]]
+                + delta["attribution"]
+            )
+            base["decisions"] = (
+                base["decisions"][: delta["decisions_from"]] + delta["decisions"]
+            )
+        state["rng_states"] = entry["rng_states"]
+        state["process_fired"] = entry["process_fired"]
+    return state
+
+
+class _DurabilityRuntime:
+    """In-memory checkpoint bookkeeping — dies with the process.
+
+    Everything here is recomputable from the durable artifacts at restore
+    time; nothing may live *only* here that the crash-consistency invariant
+    depends on.
+    """
+
+    def __init__(
+        self,
+        store: CheckpointStore,
+        cadence_seconds: float,
+        plan: FaultPlan | None,
+        config_hash: str,
+        compact_every: int,
+    ):
+        self.store = store
+        self.cadence_seconds = cadence_seconds
+        #: Fault plan whose process-level specs fire at checkpoint ticks.
+        self.plan = plan
+        self.config_hash = config_hash
+        #: Delta entries tolerated before the next forced compaction.
+        self.compact_every = compact_every
+        self.controller = None
+        self.seq = 0
+        self.entries_since_snapshot = 0
+        self.model_versions: dict[str, tuple] = {}
+        self.marks: dict[str, dict] = {}
+        #: Plan indices of process specs that already fired (one shot each).
+        self.process_fired: set[int] = set()
+        #: Fault kind value of a process fault that fired this tick; the
+        #: harness consumes it between sim segments and performs the kill.
+        self.pending_crash: str | None = None
+
+
 class KeeboService:
     """The managed SaaS facade over one customer account."""
 
@@ -702,6 +1023,7 @@ class KeeboService:
         #: it to hand every optimizer a FaultingWarehouseClient.
         self.client_factory = client_factory
         self.optimizers: dict[str, WarehouseOptimizer] = {}
+        self._durability: _DurabilityRuntime | None = None
 
     def onboard_warehouse(
         self,
@@ -748,3 +1070,332 @@ class KeeboService:
     def shutdown(self) -> None:
         for optimizer in self.optimizers.values():
             optimizer.shutdown()
+
+    # ------------------------------------------------------------ durability
+    @property
+    def checkpoints_enabled(self) -> bool:
+        return self._durability is not None
+
+    @property
+    def pending_crash(self) -> str | None:
+        """Fault kind value of an un-consumed process fault, if any."""
+        return None if self._durability is None else self._durability.pending_crash
+
+    def consume_pending_crash(self) -> str | None:
+        """Clear and return the pending process fault (harness handshake).
+
+        The reference (uninterrupted) run of the crash harness calls this
+        too — it executes the *identical* checkpoint-tick code, RNG draws
+        included, and simply declines to kill anything.
+        """
+        if self._durability is None:
+            return None
+        kind, self._durability.pending_crash = self._durability.pending_crash, None
+        return kind
+
+    def enable_checkpoints(
+        self,
+        directory: Path | str,
+        cadence_seconds: float,
+        *,
+        config_hash: str = "",
+        process_plan: FaultPlan | None = None,
+        offset_seconds: float = 1.0,
+        compact_every: int = 16,
+    ) -> None:
+        """Start journaling control-plane state to ``directory``.
+
+        Writes an initial full snapshot synchronously, then checkpoints
+        every ``cadence_seconds``.  The periodic controller is offset by
+        ``offset_seconds`` past the cadence grid so a checkpoint always
+        observes a *quiesced* post-tick state: decision controllers fire on
+        round interval multiples, and two same-timestamp events dispatch in
+        insertion order — a zero-offset checkpoint registered after
+        onboarding would run *before* the optimizer ticks sharing its
+        timestamp, silently excluding that tick from the durable state.
+
+        ``process_plan`` arms process-level fault kinds (``crash_at_tick``
+        and the corruption trio); each armed spec is evaluated at every
+        checkpoint tick with draws from the ``faults.process`` registry
+        stream and disarms permanently once fired.
+        """
+        if self._durability is not None:
+            raise ConfigurationError("checkpoints are already enabled")
+        if cadence_seconds <= 0:
+            raise ConfigurationError("checkpoint cadence must be positive")
+        store = CheckpointStore(directory)
+        store.initialize(
+            account=self.account.name,
+            config_hash=config_hash,
+            cadence_seconds=cadence_seconds,
+        )
+        self._durability = _DurabilityRuntime(
+            store, cadence_seconds, process_plan, config_hash, compact_every
+        )
+        self.checkpoint(force_snapshot=True)
+        self._durability.controller = self.account.sim.add_controller(
+            cadence_seconds,
+            self._checkpoint_tick,
+            start=self.account.sim.now + cadence_seconds + offset_seconds,
+            name=f"durability[{self.account.name}]",
+        )
+
+    def checkpoint(self, force_snapshot: bool = False) -> str:
+        """Write one durable unit; returns ``"snapshot"`` or ``"delta"``.
+
+        Compaction triggers when any optimizer's :attr:`model_version`
+        moved (arrays may have changed — a delta cannot carry them) or the
+        journal reached ``compact_every`` entries.
+        """
+        d = self._durability
+        if d is None:
+            raise ConfigurationError("checkpoints are not enabled")
+        now = self.account.sim.now
+        names = sorted(self.optimizers)
+        versions = {wh: self.optimizers[wh].model_version for wh in names}
+        if force_snapshot or versions != d.model_versions or (
+            d.entries_since_snapshot >= d.compact_every
+        ):
+            d.store.write_snapshot(seq=d.seq, time=now, state=self._capture_state())
+            d.entries_since_snapshot = 0
+            d.model_versions = versions
+            obs.counter("repro.durability.snapshots").inc(time=now)
+            written = "snapshot"
+        else:
+            d.store.append(
+                {
+                    "seq": d.seq,
+                    "kind": "delta",
+                    "time": now,
+                    "optimizers": {
+                        wh: self.optimizers[wh].delta_state(d.marks[wh])
+                        for wh in names
+                    },
+                    "rng_states": self.account.rngs.export_states(
+                        ("keebo.", "faults.")
+                    ),
+                    "process_fired": sorted(d.process_fired),
+                }
+            )
+            d.entries_since_snapshot += 1
+            written = "delta"
+        d.seq += 1
+        d.marks = {wh: self.optimizers[wh].marks() for wh in names}
+        obs.counter("repro.durability.checkpoints").inc(time=now)
+        obs.gauge("repro.durability.journal_entries").set(
+            d.entries_since_snapshot, time=now
+        )
+        return written
+
+    def _capture_state(self) -> dict:
+        d = self._durability
+        return {
+            "account": self.account.name,
+            "compact_every": d.compact_every,
+            "optimizers": {
+                wh: self.optimizers[wh].state_dict()
+                for wh in sorted(self.optimizers)
+            },
+            "rng_states": self.account.rngs.export_states(("keebo.", "faults.")),
+            "process_fired": sorted(d.process_fired),
+        }
+
+    def _next_process_fault(self, now: float) -> FaultSpec | None:
+        """First armed process spec that triggers this tick, if any.
+
+        Mirrors the faulting client's contract: specs evaluate in plan
+        order, evaluation stops at the first trigger, and only
+        probabilistic specs consume randomness (from ``faults.process``).
+        Each spec fires at most once per process lifetime.
+        """
+        d = self._durability
+        if d.plan is None:
+            return None
+        rng = self.account.rngs.stream("faults.process")
+        for index, spec in enumerate(d.plan.specs):
+            if index in d.process_fired:
+                continue
+            if not (spec.targets(PROCESS_OPERATION) and spec.armed(now)):
+                continue
+            if spec.probability < 1.0 and not float(rng.random()) < spec.probability:
+                continue
+            d.process_fired.add(index)
+            obs.emit(
+                "fault.inject",
+                now,
+                operation=PROCESS_OPERATION,
+                kind=spec.kind.value,
+                detail=spec.detail,
+            )
+            obs.counter(f"repro.faults.injected.{spec.kind.value}").inc(time=now)
+            return spec
+        return None
+
+    def _checkpoint_tick(self, now: float) -> None:
+        """One durability controller fire: fault check, then the write.
+
+        Ordering is load-bearing: the fired spec joins ``process_fired``
+        (and its RNG draw lands) *before* the checkpoint is written, so the
+        durable state already knows the fault fired — a restore can never
+        re-fire it.  The corruption hooks run *after* the write: they model
+        damage to this very checkpoint.
+        """
+        d = self._durability
+        spec = self._next_process_fault(now)
+        self.checkpoint()
+        if spec is None:
+            return
+        if spec.kind is FaultKind.TORN_WRITE:
+            d.store.inject_torn_write()
+        elif spec.kind is FaultKind.TRUNCATED_JOURNAL:
+            d.store.inject_truncated_journal()
+        elif spec.kind is FaultKind.STALE_SNAPSHOT:
+            d.store.inject_stale_snapshot()
+        d.pending_crash = spec.kind.value
+
+    def crash(self) -> None:
+        """Simulate control-plane process death.
+
+        The simulated *world* — account, warehouses, telemetry, billing,
+        the event heap's workload arrivals — survives; only KWO-owned
+        things die: controllers and pending retries are cancelled, the
+        optimizer map is cleared, and every ``keebo.*``/``faults.*`` RNG
+        stream is evicted so a later :meth:`restore` re-derives fresh
+        generator objects and rewinds them from the journal.  Emits no
+        observability: a dead process writes nothing.
+        """
+        for warehouse in sorted(self.optimizers):
+            optimizer = self.optimizers[warehouse]
+            if optimizer._controller is not None:
+                optimizer._controller.stop()
+            if optimizer.actuator is not None:
+                optimizer.actuator.cancel_pending_retries()
+        if self._durability is not None and self._durability.controller is not None:
+            self._durability.controller.stop()
+        self._durability = None
+        self.optimizers = {}
+        self.account.rngs.evict(("keebo.", "faults."))
+
+    def restore(
+        self,
+        directory: Path | str,
+        *,
+        slider: SliderPosition = SliderPosition.BALANCED,
+        constraints: ConstraintSet | None = None,
+        optimizer_config: OptimizerConfig | None = None,
+        config_hash: str | None = None,
+        process_plan: FaultPlan | None = None,
+        repair: bool = False,
+    ) -> CheckpointLoad:
+        """Rebuild the service from a checkpoint directory and resume.
+
+        All-or-nothing: any corruption, schema mismatch, or malformed state
+        raises :class:`RecoveryError` and leaves the service empty — never
+        a silently partial restore.  ``repair=True`` additionally truncates
+        a torn journal *tail* (the expected residue of a crash mid-append);
+        corruption anywhere earlier stays fatal either way.
+
+        The deployment inputs (``slider``, ``constraints``,
+        ``optimizer_config``, ``process_plan``) are configuration, not
+        state — the operator restarting the service supplies the same
+        values the crashed process ran with, and ``config_hash`` guards
+        against supplying different ones.  Restore performs no onboarding:
+        no telemetry fetch, no training, no vendor calls, no RNG draws
+        survive (construction draws are overwritten from the journal).
+        Emits exactly one ``service.restore`` trace event and no metrics,
+        so a recovered run's exports differ from an uninterrupted run's by
+        that event alone.
+        """
+        if self.optimizers or self._durability is not None:
+            raise ConfigurationError(
+                "cannot restore into a live service; crash() or use a fresh service"
+            )
+        store = CheckpointStore(directory)
+        load = store.load(expected_config_hash=config_hash, repair=repair)
+        try:
+            state = merge_checkpoint_entries(load.state, load.entries)
+            self._rebuild(
+                store, load, state, slider, constraints, optimizer_config, process_plan
+            )
+        except RecoveryError:
+            self.optimizers = {}
+            self._durability = None
+            raise
+        except (KeyError, TypeError, ValueError) as exc:
+            self.optimizers = {}
+            self._durability = None
+            raise RecoveryError(f"malformed checkpoint state: {exc!r}") from exc
+        return load
+
+    def _rebuild(
+        self,
+        store: CheckpointStore,
+        load: CheckpointLoad,
+        state: dict,
+        slider: SliderPosition,
+        constraints: ConstraintSet | None,
+        optimizer_config: OptimizerConfig | None,
+        process_plan: FaultPlan | None,
+    ) -> None:
+        now = self.account.sim.now
+        names = sorted(state["optimizers"])
+        for warehouse in names:
+            client = self.client_factory(self.account) if self.client_factory else None
+            optimizer = WarehouseOptimizer(
+                self.account,
+                warehouse,
+                slider,
+                constraints,
+                optimizer_config,
+                registry=self.registry,
+                client=client,
+            )
+            optimizer.load_durable_state(state["optimizers"][warehouse])
+            self.optimizers[warehouse] = optimizer
+        # After every component exists: construction draws (agent weight
+        # init) are discarded by rewinding the streams to their journaled
+        # states.  Order matters — restoring first would lose the rewind.
+        self.account.rngs.restore_states(state["rng_states"])
+        for warehouse in names:
+            optimizer = self.optimizers[warehouse]
+            optimizer._controller = self.account.sim.add_controller(
+                optimizer.config.decision_interval,
+                optimizer._tick,
+                start=float(state["optimizers"][warehouse]["controller_next_fire"]),
+                name=f"optimizer[{warehouse}]",
+            )
+        d = _DurabilityRuntime(
+            store,
+            float(load.manifest["cadence_seconds"]),
+            process_plan,
+            load.manifest["config_hash"],
+            int(state["compact_every"]),
+        )
+        d.seq = int(load.snapshot["seq"]) + len(load.entries) + 1
+        d.entries_since_snapshot = len(load.entries)
+        d.model_versions = {wh: self.optimizers[wh].model_version for wh in names}
+        d.marks = {wh: self.optimizers[wh].marks() for wh in names}
+        d.process_fired = set(state["process_fired"])
+        last_time = (
+            float(load.entries[-1]["time"]) if load.entries
+            else float(load.snapshot["time"])
+        )
+        d.controller = self.account.sim.add_controller(
+            d.cadence_seconds,
+            self._checkpoint_tick,
+            start=last_time + d.cadence_seconds,
+            name=f"durability[{self.account.name}]",
+        )
+        self._durability = d
+        for warehouse in names:
+            self.optimizers[warehouse].actuator.restore_pending_retries(
+                state["optimizers"][warehouse]["pending_retries"]
+            )
+        obs.emit(
+            "service.restore",
+            now,
+            account=self.account.name,
+            snapshot_seq=load.snapshot["seq"],
+            journal_entries=len(load.entries),
+            repairs=len(load.repairs),
+        )

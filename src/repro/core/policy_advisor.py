@@ -25,6 +25,7 @@ from dataclasses import dataclass, field
 
 from repro.core.monitoring import RealTimeFeedback
 from repro.core.sliders import SliderParams, SliderPosition
+from repro.durability.codec import require_keys
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.types import ScalingPolicy
 
@@ -48,6 +49,15 @@ class ScalingPolicyAdvisor:
     def set_slider(self, params: SliderParams) -> None:
         self.params = params
         self._quiet_streak = 0
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {"quiet_streak": self._quiet_streak, "last_flip": self._last_flip}
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(state, ("quiet_streak", "last_flip"), "ScalingPolicyAdvisor")
+        self._quiet_streak = int(state["quiet_streak"])
+        self._last_flip = float(state["last_flip"])
 
     def recommend(
         self, now: float, config: WarehouseConfig, feedback: RealTimeFeedback

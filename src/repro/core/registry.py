@@ -11,18 +11,27 @@ service can restart without retraining from scratch:
   dimensions, slider at save time) that is validated on load — restoring a
   checkpoint into an incompatible agent is an error, not a silent corruption;
 * the isolation rule is structural: a registry lookup requires the exact
-  account *and* warehouse key, and listing is scoped per account.
+  account *and* warehouse key, and listing is scoped per account;
+* saves are crash-consistent: both files are written atomically, the
+  weights archive is published *first*, and the metadata — written last —
+  carries a content hash of the weights bytes.  A crash between the two
+  writes leaves either the old consistent pair or new weights with old
+  metadata; :meth:`ModelRegistry.load_into` detects the mismatched pair by
+  hash and raises :class:`~repro.common.errors.RecoveryError` instead of
+  restoring weights the metadata does not describe.
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import pathlib
 from dataclasses import dataclass
 
 import numpy as np
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, RecoveryError
+from repro.durability.io import atomic_savez, atomic_write_text
 from repro.learning.agent import DQNAgent
 
 
@@ -40,6 +49,10 @@ class CheckpointInfo:
     #: epoch), supplied by the caller.  Wall-clock stamps would make two
     #: replays of the same scenario produce different checkpoint metadata.
     saved_at: float
+    #: SHA-256 of the weights archive bytes this metadata describes.
+    #: ``None`` only in metadata written before the hash existed; such
+    #: legacy pairs load without the pairing check.
+    weights_sha256: str | None = None
 
     def to_json(self) -> str:
         return json.dumps(self.__dict__, sort_keys=True)
@@ -86,7 +99,11 @@ class ModelRegistry:
         weights_path, meta_path = self._paths(account, warehouse)
         weights_path.parent.mkdir(parents=True, exist_ok=True)
         params = agent.snapshot()
-        np.savez(weights_path, *params)
+        # Weights first, metadata last: a crash between the two leaves new
+        # weights with old metadata, which load_into rejects by hash — the
+        # reverse order would leave metadata describing weights that do
+        # not exist yet.
+        atomic_savez(weights_path, *params)
         info = CheckpointInfo(
             account=account,
             warehouse=warehouse,
@@ -95,8 +112,9 @@ class ModelRegistry:
             train_steps=agent.train_steps,
             slider_position=slider_position,
             saved_at=saved_at,
+            weights_sha256=hashlib.sha256(weights_path.read_bytes()).hexdigest(),
         )
-        meta_path.write_text(info.to_json())
+        atomic_write_text(meta_path, info.to_json())
         return info
 
     # ------------------------------------------------------------------ load
@@ -119,6 +137,15 @@ class ModelRegistry:
                 f"checkpoint shape ({info.state_dim}, {info.n_actions}) does not match "
                 f"agent ({agent.online.input_dim}, {agent.n_actions})"
             )
+        if info.weights_sha256 is not None:
+            actual = hashlib.sha256(weights_path.read_bytes()).hexdigest()
+            if actual != info.weights_sha256:
+                raise RecoveryError(
+                    f"checkpoint pair mismatch for warehouse {warehouse!r} of "
+                    f"account {account!r}: weights hash {actual[:12]}… does not "
+                    f"match metadata {info.weights_sha256[:12]}… (torn save or "
+                    "corrupted archive)"
+                )
         with np.load(weights_path) as archive:
             params = [archive[key] for key in sorted(archive.files, key=_array_index)]
         agent.restore(params)

@@ -32,6 +32,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.simtime import HOUR, Window
+from repro.durability.codec import require_keys
 from repro.obs.provenance import CandidateEvaluation, DecisionContext
 from repro.learning.actions import ActionSpace
 from repro.core.constraints import ConstraintSet
@@ -130,6 +131,35 @@ class SmartModel:
         #: call — candidate what-ifs and the chosen target's predicted
         #: cost rate.  Read by the optimizer's provenance log.
         self.last_context = DecisionContext()
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "cooldown_until": self._cooldown_until,
+            "last_structural_change": self._last_structural_change,
+            "confidence_anchor": self._confidence_anchor,
+            "confidence_tau": self._confidence_tau,
+            "guardrail_vetoes": self.guardrail_vetoes,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            (
+                "cooldown_until",
+                "last_structural_change",
+                "confidence_anchor",
+                "confidence_tau",
+                "guardrail_vetoes",
+            ),
+            "SmartModel",
+        )
+        self._cooldown_until = float(state["cooldown_until"])
+        self._last_structural_change = float(state["last_structural_change"])
+        anchor = state["confidence_anchor"]
+        self._confidence_anchor = None if anchor is None else float(anchor)
+        self._confidence_tau = float(state["confidence_tau"])
+        self.guardrail_vetoes = int(state["guardrail_vetoes"])
 
     # ----------------------------------------------------------- slider swap
     def set_slider(self, params: SliderParams) -> None:

@@ -22,6 +22,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.costmodel.kernels import IntervalArrays, as_interval_arrays, bucketed_overlap
+from repro.durability.codec import require_keys
 from repro.warehouse.config import WarehouseConfig
 from repro.warehouse.queries import QueryRecord
 
@@ -118,6 +119,20 @@ class ClusterCountPredictor:
             self.calibration = 1.0
         self.fitted = True
         return self
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "calibrate": self.calibrate,
+            "calibration": self.calibration,
+            "fitted": self.fitted,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(state, ("calibrate", "calibration", "fitted"), "ClusterCountPredictor")
+        self.calibrate = bool(state["calibrate"])
+        self.calibration = float(state["calibration"])
+        self.fitted = bool(state["fitted"])
 
     @staticmethod
     def _analytic_clusters(concurrency: np.ndarray, config: WarehouseConfig) -> np.ndarray:

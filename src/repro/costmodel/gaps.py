@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.durability.codec import require_keys
 from repro.warehouse.queries import QueryRecord
 
 #: An arrival within this many seconds of the previous completion is a
@@ -160,3 +161,33 @@ class GapModel:
     @property
     def n_dependent_pairs(self) -> int:
         return sum(1 for s in self._pair_support.values() if s >= MIN_PAIR_SUPPORT)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        # Tuple keys flatten to [prev, next, value] triples for JSON.
+        return {
+            "use_flags": self.use_flags,
+            "fitted": self.fitted,
+            "fit_generation": self.fit_generation,
+            "pair_support": [
+                [prev, nxt, count]
+                for (prev, nxt), count in sorted(self._pair_support.items())
+            ],
+            "pair_lags": [
+                [prev, nxt, lag] for (prev, nxt), lag in sorted(self._pair_lags.items())
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            ("use_flags", "fitted", "fit_generation", "pair_support", "pair_lags"),
+            "GapModel",
+        )
+        self.use_flags = bool(state["use_flags"])
+        self.fitted = bool(state["fitted"])
+        self.fit_generation = int(state["fit_generation"])
+        self._pair_support = {
+            (prev, nxt): int(count) for prev, nxt, count in state["pair_support"]
+        }
+        self._pair_lags = {(prev, nxt): float(lag) for prev, nxt, lag in state["pair_lags"]}

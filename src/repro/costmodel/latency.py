@@ -22,6 +22,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.durability.codec import require_keys
 from repro.warehouse.queries import QueryRecord
 from repro.warehouse.types import WarehouseSize
 
@@ -195,3 +196,41 @@ class LatencyScalingModel:
     @property
     def n_templates(self) -> int:
         return len(self._templates)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "default_gamma": self.default_gamma,
+            "warehouse_gamma": self._warehouse_gamma,
+            "fitted": self.fitted,
+            "fit_generation": self.fit_generation,
+            "templates": {
+                tpl: {
+                    "gamma": s.gamma,
+                    "log2_latency_at_xs": s.log2_latency_at_xs,
+                    "n_observations": s.n_observations,
+                    "n_sizes": s.n_sizes,
+                }
+                for tpl, s in sorted(self._templates.items())
+            },
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            ("default_gamma", "warehouse_gamma", "fitted", "fit_generation", "templates"),
+            "LatencyScalingModel",
+        )
+        self.default_gamma = float(state["default_gamma"])
+        self._warehouse_gamma = float(state["warehouse_gamma"])
+        self.fitted = bool(state["fitted"])
+        self.fit_generation = int(state["fit_generation"])
+        self._templates = {
+            tpl: TemplateScaling(
+                gamma=float(s["gamma"]),
+                log2_latency_at_xs=float(s["log2_latency_at_xs"]),
+                n_observations=int(s["n_observations"]),
+                n_sizes=int(s["n_sizes"]),
+            )
+            for tpl, s in state["templates"].items()
+        }

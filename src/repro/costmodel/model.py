@@ -25,6 +25,7 @@ from repro.costmodel.clusters import ClusterCountPredictor
 from repro.costmodel.gaps import GapModel
 from repro.costmodel.latency import LatencyScalingModel
 from repro.costmodel.replay import QueryReplay, ReplayResult
+from repro.durability.codec import decode_window, encode_window, require_keys
 from repro.warehouse.api import CloudWarehouseClient
 from repro.warehouse.config import WarehouseConfig
 
@@ -96,6 +97,37 @@ class WarehouseCostModel:
         self.training_window = window
         self.fitted = True
         return self
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        """Fitted estimator state (StateCodec).
+
+        The replay memo is a pure cache keyed on fit generations and is
+        deliberately not captured: it rebuilds on demand and never affects
+        outputs.
+        """
+        return {
+            "latency_model": self.latency_model.state_dict(),
+            "gap_model": self.gap_model.state_dict(),
+            "cluster_predictor": self.cluster_predictor.state_dict(),
+            "fitted": self.fitted,
+            "training_window": (
+                None if self.training_window is None else encode_window(self.training_window)
+            ),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state,
+            ("latency_model", "gap_model", "cluster_predictor", "fitted", "training_window"),
+            "WarehouseCostModel",
+        )
+        self.latency_model.load_state_dict(state["latency_model"])
+        self.gap_model.load_state_dict(state["gap_model"])
+        self.cluster_predictor.load_state_dict(state["cluster_predictor"])
+        self.fitted = bool(state["fitted"])
+        window = state["training_window"]
+        self.training_window = None if window is None else decode_window(window)
 
     def _require_fit(self) -> None:
         if not self.fitted:

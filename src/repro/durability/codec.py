@@ -1,0 +1,114 @@
+"""State serialisation primitives shared by every durable component.
+
+The :class:`StateCodec` protocol is the shape a component must implement
+to participate in checkpoint/restore: ``state_dict()`` returns a
+JSON-serialisable dict that fully determines its mutable state, and
+``load_state_dict(state)`` overwrites the live state from such a dict.
+Class-level constructors (``Foo.from_state``) exist where a component is
+rebuilt from scratch rather than mutated in place.
+
+Encoding conventions (all byte-stable):
+
+- numpy arrays → ``{"dtype", "shape", "b64"}`` with base64 of the raw
+  C-order bytes.  No npz: zip containers embed member timestamps and are
+  therefore not byte-stable across runs.
+- ``WarehouseConfig`` → a sorted-key dict of its six knobs with enum
+  members flattened to their names/values.
+- floats ride as JSON numbers — ``repr``-based round-tripping in the
+  stdlib encoder is exact for finite doubles.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+from typing import Any, Protocol, runtime_checkable
+
+import numpy as np
+
+from repro.common.errors import RecoveryError
+from repro.common.simtime import Window
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.types import ScalingPolicy, WarehouseSize
+
+__all__ = [
+    "StateCodec",
+    "encode_array",
+    "decode_array",
+    "encode_config",
+    "decode_config",
+    "encode_window",
+    "decode_window",
+    "state_checksum",
+    "require_keys",
+]
+
+
+@runtime_checkable
+class StateCodec(Protocol):
+    """A component whose mutable state round-trips through a JSON dict."""
+
+    def state_dict(self) -> dict[str, Any]: ...
+
+    def load_state_dict(self, state: dict[str, Any]) -> None: ...
+
+
+def encode_array(arr: np.ndarray) -> dict[str, Any]:
+    """Encode an ndarray as dtype/shape/base64-of-bytes (byte-stable)."""
+    contiguous = np.ascontiguousarray(arr)
+    return {
+        "dtype": str(contiguous.dtype),
+        "shape": list(contiguous.shape),
+        "b64": base64.b64encode(contiguous.tobytes()).decode("ascii"),
+    }
+
+
+def decode_array(state: dict[str, Any]) -> np.ndarray:
+    """Inverse of :func:`encode_array`."""
+    raw = base64.b64decode(state["b64"])
+    arr = np.frombuffer(raw, dtype=np.dtype(state["dtype"]))
+    return arr.reshape(tuple(state["shape"])).copy()
+
+
+def encode_config(config: WarehouseConfig) -> dict[str, Any]:
+    return {
+        "size": config.size.name,
+        "auto_suspend_seconds": config.auto_suspend_seconds,
+        "min_clusters": config.min_clusters,
+        "max_clusters": config.max_clusters,
+        "scaling_policy": config.scaling_policy.value,
+        "max_concurrency": config.max_concurrency,
+    }
+
+
+def decode_config(state: dict[str, Any]) -> WarehouseConfig:
+    return WarehouseConfig(
+        size=WarehouseSize[state["size"]],
+        auto_suspend_seconds=float(state["auto_suspend_seconds"]),
+        min_clusters=int(state["min_clusters"]),
+        max_clusters=int(state["max_clusters"]),
+        scaling_policy=ScalingPolicy(state["scaling_policy"]),
+        max_concurrency=int(state["max_concurrency"]),
+    )
+
+
+def encode_window(window: Window) -> dict[str, float]:
+    return {"start": window.start, "end": window.end}
+
+
+def decode_window(state: dict[str, Any]) -> Window:
+    return Window(start=float(state["start"]), end=float(state["end"]))
+
+
+def state_checksum(state: dict[str, Any]) -> str:
+    """SHA-256 over the canonical (compact, sorted-key) JSON of ``state``."""
+    canonical = json.dumps(state, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def require_keys(state: dict[str, Any], keys: tuple[str, ...], owner: str) -> None:
+    """Validate a state dict carries every expected key (typed error)."""
+    missing = [key for key in keys if key not in state]
+    if missing:
+        raise RecoveryError(f"{owner} state missing keys: {', '.join(missing)}")

@@ -1,0 +1,176 @@
+"""Atomic file primitives and the framed recovery journal.
+
+Every durable control-plane artifact in the repo goes through this module
+(lint rule R019 enforces it): writes are tmp-file + ``os.replace`` so a
+crash mid-write leaves either the old bytes or the new bytes, never a
+torn file.  The journal is the one deliberate exception — it is
+append-only, so a crash can tear its *tail*; the framing below exists so
+a torn tail is detected (and, in repair mode, truncated) instead of
+silently replayed.
+
+Journal framing
+---------------
+One entry per line::
+
+    <payload-length> <crc32-hex> <compact-json-payload>\n
+
+``payload-length`` is the byte length of the UTF-8 payload, ``crc32-hex``
+is ``zlib.crc32`` of those bytes.  Payloads are compact sorted-key JSON so
+the same entry always frames to the same bytes.  Entries additionally
+carry a ``seq`` field checked to be contiguous by the reader.
+"""
+
+from __future__ import annotations
+
+import io as _stdlib_io
+import json
+import os
+import zlib
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.common.errors import RecoveryError
+
+__all__ = [
+    "atomic_write_text",
+    "atomic_write_bytes",
+    "atomic_savez",
+    "frame_entry",
+    "append_journal_entry",
+    "read_journal",
+    "JournalScan",
+]
+
+
+def atomic_write_text(path: Path, text: str) -> None:
+    """Write ``text`` to ``path`` atomically (tmp file + rename)."""
+    atomic_write_bytes(path, text.encode("utf-8"))
+
+
+def atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` atomically (tmp file + rename).
+
+    The tmp file lives in the destination directory so ``os.replace`` is a
+    same-filesystem rename; it is fsync'd before the rename so the rename
+    never publishes an empty inode.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as handle:
+        handle.write(payload)
+        handle.flush()
+        os.fsync(handle.fileno())
+    os.replace(tmp, path)
+
+
+def atomic_savez(path: Path, *arrays: np.ndarray) -> None:
+    """``np.savez`` into an in-memory buffer, then publish atomically.
+
+    Note the resulting *zip container* is not byte-stable across runs (zip
+    members carry timestamps); the arrays inside are.  Byte-stable state
+    uses the base64 array codec in :mod:`repro.durability.codec` instead.
+    """
+    buffer = _stdlib_io.BytesIO()
+    np.savez(buffer, *arrays)
+    atomic_write_bytes(Path(path), buffer.getvalue())
+
+
+def frame_entry(payload: dict[str, Any]) -> bytes:
+    """Serialise one journal entry to its framed line."""
+    body = json.dumps(payload, sort_keys=True, separators=(",", ":")).encode("utf-8")
+    return b"%d %08x " % (len(body), zlib.crc32(body)) + body + b"\n"
+
+
+def append_journal_entry(path: Path, payload: dict[str, Any]) -> None:
+    """Append one framed entry to the journal (create the file if absent)."""
+    line = frame_entry(payload)
+    with open(path, "ab") as handle:
+        handle.write(line)
+        handle.flush()
+        os.fsync(handle.fileno())
+
+
+class JournalScan:
+    """Result of reading a journal: parsed entries plus tail diagnostics."""
+
+    def __init__(self, entries: list[dict[str, Any]], good_bytes: int, torn_tail: str | None):
+        self.entries = entries
+        self.good_bytes = good_bytes
+        self.torn_tail = torn_tail  # description of the tail defect, if any
+
+
+def _parse_line(raw: bytes, lineno: int) -> tuple[dict[str, Any] | None, str | None]:
+    """Parse one framed line; return (payload, error-description)."""
+    if not raw.endswith(b"\n"):
+        return None, f"line {lineno}: missing trailing newline (torn write)"
+    line = raw[:-1]
+    head, sep, body = line.partition(b" ")
+    if not sep:
+        return None, f"line {lineno}: no framing header"
+    crc_hex, sep, body = body.partition(b" ")
+    if not sep:
+        return None, f"line {lineno}: no checksum field"
+    try:
+        length = int(head)
+    except ValueError:
+        return None, f"line {lineno}: non-integer length field"
+    if length != len(body):
+        return None, f"line {lineno}: length {len(body)} != declared {length}"
+    if b"%08x" % zlib.crc32(body) != crc_hex:
+        return None, f"line {lineno}: crc mismatch"
+    try:
+        payload = json.loads(body)
+    except ValueError:
+        return None, f"line {lineno}: framed payload is not valid JSON"
+    if not isinstance(payload, dict) or "seq" not in payload:
+        return None, f"line {lineno}: payload missing 'seq'"
+    return payload, None
+
+
+def read_journal(path: Path, *, start_seq: int | None, repair: bool = False) -> JournalScan:
+    """Read and validate a framed journal.
+
+    ``start_seq`` is the expected sequence number of the first entry;
+    ``None`` accepts whatever the first (checksummed) entry declares and
+    enforces contiguity from there — the caller then validates the basis
+    against the snapshot.  Corruption anywhere but the final line is
+    unconditionally a :class:`RecoveryError` — entries after it cannot be
+    trusted.  A corrupt *final* line is the torn-tail case a crash can
+    legitimately produce: with ``repair=True`` the file is truncated back
+    to the last good entry and the scan succeeds; otherwise it raises.
+    """
+    path = Path(path)
+    if not path.exists():
+        return JournalScan([], 0, None)
+    data = path.read_bytes()
+    entries: list[dict[str, Any]] = []
+    good_bytes = 0
+    offset = 0
+    lineno = 0
+    expected = start_seq
+    while offset < len(data):
+        lineno += 1
+        newline = data.find(b"\n", offset)
+        raw = data[offset:] if newline < 0 else data[offset : newline + 1]
+        payload, error = _parse_line(raw, lineno)
+        if payload is not None and expected is None:
+            expected = payload["seq"]
+        if payload is not None and payload["seq"] != expected:
+            payload, error = None, (
+                f"line {lineno}: seq {payload['seq']} != expected {expected} (gap or replay)"
+            )
+        if payload is None:
+            at_tail = newline < 0 or newline + 1 == len(data)
+            if at_tail and repair:
+                with open(path, "ab") as handle:
+                    handle.truncate(good_bytes)
+                return JournalScan(entries, good_bytes, error)
+            kind = "torn journal tail" if at_tail else "mid-journal corruption"
+            raise RecoveryError(f"{kind} in {path.name}: {error}")
+        entries.append(payload)
+        expected += 1
+        offset = newline + 1
+        good_bytes = offset
+    return JournalScan(entries, good_bytes, None)

@@ -455,6 +455,28 @@ def run_chaos(scenario: Scenario) -> tuple[ChaosResult, WarehouseOptimizer]:
     return chaos, optimizer
 
 
+@register_protocol("chaos.kill_worker")
+def _chaos_kill_worker(scenario: Scenario, marker: str = "", exit_code: int = 137):
+    """Kill the hosting worker process once (crash-resilience chaos).
+
+    With a ``marker`` path: the first attempt creates the marker and dies
+    via ``os._exit`` (no exception, no cleanup — exactly what an OOM kill
+    looks like to the parent pool); the retry finds the marker and
+    completes normally, returning the scenario name.  Without a marker
+    the job dies on *every* attempt — deterministic poison, which the
+    pool must quarantine rather than retry forever.
+    """
+    import os as _os
+    import pathlib as _pathlib
+
+    if marker:
+        path = _pathlib.Path(marker)
+        if path.exists():
+            return scenario.name
+        path.write_text("died once", encoding="utf-8")
+    _os._exit(exit_code)
+
+
 @register_protocol("before_after.row")
 def _before_after_row(scenario: Scenario) -> BeforeAfterResult:
     """The §7.1 protocol, result row only (optimizers stay in-process)."""

@@ -49,6 +49,22 @@ def configure_parser(parser: argparse.ArgumentParser) -> None:
             "<trace>.series.json and <trace>.alerts.json (same layout as obs smoke)"
         ),
     )
+    run_p.add_argument(
+        "--crash-at",
+        type=int,
+        default=None,
+        dest="crash_at",
+        help=(
+            "also kill the control plane at this 1-based checkpoint boundary "
+            "and restore it (crash-recovery chaos; see `durability smoke`)"
+        ),
+    )
+    run_p.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        dest="checkpoint_dir",
+        help="with --crash-at: keep the crash run's checkpoint artifacts here",
+    )
 
 
 def _build(name: str, seed: int | None):
@@ -90,12 +106,49 @@ def describe(name: str, seed: int | None, out: IO[str]) -> int:
     return 0
 
 
-def run_scenario(name: str, seed: int | None, trace: str | None, out: IO[str]) -> int:
+def run_crash_scenario(
+    name: str, seed: int | None, crash_at: int, checkpoint_dir: str | None, out: IO[str]
+) -> int:
+    """Chaos run plus a control-plane crash: client faults and a process
+    death in the same run, with the byte-identity check of the crash
+    harness as the pass criterion."""
+    from repro.experiments.crash import run_with_recovery
+    from repro.experiments.scenarios import CHAOS_SCENARIOS
+    from repro.faults.plan import FaultKind
+
+    builder = CHAOS_SCENARIOS.get(name)
+    if builder is None:
+        print(f"error: unknown chaos scenario {name!r}", file=sys.stderr)
+        return 2
+    build = builder if seed is None else (lambda: builder(seed=seed))
+    result = run_with_recovery(
+        build,
+        kind=FaultKind.CRASH_AT_TICK,
+        crash_boundary=crash_at,
+        crash_dir=checkpoint_dir,
+    )
+    for line in result.summary_lines():
+        print(line, file=out)
+    if checkpoint_dir is not None:
+        print(f"checkpoint artifacts: {checkpoint_dir}", file=out)
+    return 0 if result.ok else 1
+
+
+def run_scenario(
+    name: str,
+    seed: int | None,
+    trace: str | None,
+    out: IO[str],
+    crash_at: int | None = None,
+    checkpoint_dir: str | None = None,
+) -> int:
     # Imported here: `faults list/describe` stay usable without pulling in
     # the full experiments stack.
     from repro import obs
     from repro.experiments.runner import run_chaos
 
+    if crash_at is not None:
+        return run_crash_scenario(name, seed, crash_at, checkpoint_dir, out)
     scenario = _build(name, seed)
     if scenario is None:
         print(f"error: unknown chaos scenario {name!r}", file=sys.stderr)
@@ -134,4 +187,11 @@ def run(args: argparse.Namespace, out: IO[str] | None = None) -> int:
         return list_scenarios(out)
     if args.faults_command == "describe":
         return describe(args.scenario, args.seed, out)
-    return run_scenario(args.scenario, args.seed, args.trace, out)
+    return run_scenario(
+        args.scenario,
+        args.seed,
+        args.trace,
+        out,
+        crash_at=getattr(args, "crash_at", None),
+        checkpoint_dir=getattr(args, "checkpoint_dir", None),
+    )

@@ -74,6 +74,28 @@ class FaultingWarehouseClient(CloudWarehouseClient):
     def total_injected(self) -> int:
         return sum(self.injected.values())
 
+    # ----------------------------------------------------------- durability
+    def fault_state_dict(self) -> dict:
+        """Injection counters (StateCodec shape; tuple keys flattened).
+
+        The fault RNG stream itself is registry-owned and captured with
+        every other stream by the service.
+        """
+        return {
+            "injected": dict(sorted(self.injected.items())),
+            "injected_by_operation": [
+                [operation, kind, count]
+                for (operation, kind), count in sorted(self.injected_by_operation.items())
+            ],
+        }
+
+    def load_fault_state(self, state: dict) -> None:
+        self.injected = {k: int(v) for k, v in state["injected"].items()}
+        self.injected_by_operation = {
+            (operation, kind): int(count)
+            for operation, kind, count in state["injected_by_operation"]
+        }
+
     def _record(self, spec: FaultSpec, operation: str, now: float) -> None:
         kind = spec.kind.value
         self.injected[kind] = self.injected.get(kind, 0) + 1

@@ -33,7 +33,18 @@ kind                      behaviour at the client surface
 ``telemetry_duplicate``   telemetry reads repeat their last row (at-least-
                           once delivery)
 ``billing_stale``         metering reads are as-of ``now - magnitude``
+``crash_at_tick``         the control plane dies at a checkpoint tick and
+                          must restore from its durable artifacts
+``torn_write``            a half-framed line is appended to the recovery
+                          journal (crash mid-append)
+``truncated_journal``     trailing bytes vanish from the recovery journal
+``stale_snapshot``        the journal advances past a snapshot that was
+                          never written (compaction ordering bug)
 ========================  ====================================================
+
+The last four are **process-level** kinds: they target the synthetic
+``"process"`` operation and fire at durability checkpoint ticks, not at
+the vendor-client surface (see :mod:`repro.durability`).
 """
 
 from __future__ import annotations
@@ -64,6 +75,30 @@ class FaultKind(enum.Enum):
     TELEMETRY_DELAY = "telemetry_delay"
     TELEMETRY_DUPLICATE = "telemetry_duplicate"
     BILLING_STALE = "billing_stale"
+    # Process-level kinds (docs/ROBUSTNESS.md §v2): these never fire at the
+    # vendor-client surface.  They target the synthetic "process" operation,
+    # evaluated by the durability controller at checkpoint ticks, and kill
+    # or corrupt the *service's own* durable state instead of the API.
+    CRASH_AT_TICK = "crash_at_tick"
+    TORN_WRITE = "torn_write"
+    TRUNCATED_JOURNAL = "truncated_journal"
+    STALE_SNAPSHOT = "stale_snapshot"
+
+
+#: The synthetic operation name process-level kinds target.  It is not a
+#: member of any :mod:`repro.warehouse.api` operation group, so process
+#: specs can never match a vendor-client call.
+PROCESS_OPERATION = "process"
+
+#: Kinds evaluated at checkpoint ticks rather than client calls.
+PROCESS_KINDS = frozenset(
+    {
+        FaultKind.CRASH_AT_TICK,
+        FaultKind.TORN_WRITE,
+        FaultKind.TRUNCATED_JOURNAL,
+        FaultKind.STALE_SNAPSHOT,
+    }
+)
 
 
 #: The operations each kind may legally target ("*" expands to this set).
@@ -78,6 +113,10 @@ _KIND_OPERATIONS: dict[FaultKind, tuple[str, ...]] = {
     FaultKind.TELEMETRY_DELAY: TELEMETRY_OPERATIONS,
     FaultKind.TELEMETRY_DUPLICATE: TELEMETRY_OPERATIONS,
     FaultKind.BILLING_STALE: BILLING_OPERATIONS,
+    FaultKind.CRASH_AT_TICK: (PROCESS_OPERATION,),
+    FaultKind.TORN_WRITE: (PROCESS_OPERATION,),
+    FaultKind.TRUNCATED_JOURNAL: (PROCESS_OPERATION,),
+    FaultKind.STALE_SNAPSHOT: (PROCESS_OPERATION,),
 }
 
 #: Kinds whose ``magnitude`` (seconds) is meaningful and must be positive.

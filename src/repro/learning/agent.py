@@ -14,6 +14,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import fallback_rng
+from repro.durability.codec import require_keys
 from repro.learning.buffer import ReplayBuffer, Transition
 from repro.learning.network import MLP
 
@@ -135,3 +136,30 @@ class DQNAgent:
     def restore(self, params: list[np.ndarray]) -> None:
         self.online.set_parameters(params)
         self.target.set_parameters(params)
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        """Everything mutable: both networks (with optimizer moments), the
+        replay buffer, and the step counters (StateCodec).
+
+        The exploration RNG is *not* captured here — it is a registry
+        stream (``keebo.agent.<wh>``) restored by the service alongside
+        every other stream.
+        """
+        return {
+            "online": self.online.state_dict(),
+            "target": self.target.state_dict(),
+            "buffer": self.buffer.state_dict(),
+            "train_steps": self.train_steps,
+            "env_steps": self.env_steps,
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(
+            state, ("online", "target", "buffer", "train_steps", "env_steps"), "DQNAgent"
+        )
+        self.online.load_state_dict(state["online"])
+        self.target.load_state_dict(state["target"])
+        self.buffer.load_state_dict(state["buffer"])
+        self.train_steps = int(state["train_steps"])
+        self.env_steps = int(state["env_steps"])

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.common.errors import ConfigurationError
+from repro.durability.codec import decode_array, encode_array, require_keys
 
 
 @dataclass(frozen=True)
@@ -51,6 +52,40 @@ class ReplayBuffer:
             raise ConfigurationError("cannot sample from an empty buffer")
         idx = rng.integers(0, len(self._storage), size=min(batch_size, len(self._storage)))
         return [self._storage[i] for i in idx]
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "cursor": self._cursor,
+            "transitions": [
+                {
+                    "state": encode_array(t.state),
+                    "action": t.action,
+                    "reward": t.reward,
+                    "next_state": encode_array(t.next_state),
+                    "done": t.done,
+                    "next_mask": encode_array(t.next_mask),
+                }
+                for t in self._storage
+            ],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(state, ("capacity", "cursor", "transitions"), "ReplayBuffer")
+        self.capacity = int(state["capacity"])
+        self._cursor = int(state["cursor"])
+        self._storage = [
+            Transition(
+                state=decode_array(t["state"]),
+                action=int(t["action"]),
+                reward=float(t["reward"]),
+                next_state=decode_array(t["next_state"]),
+                done=bool(t["done"]),
+                next_mask=decode_array(t["next_mask"]),
+            )
+            for t in state["transitions"]
+        ]
 
     def as_batches(
         self, transitions: list[Transition]

@@ -15,6 +15,7 @@ import numpy as np
 
 from repro.common.simtime import DAY, HOUR, Window, day_of_week, hour_of_day
 from repro.common.stats import percentile
+from repro.durability.codec import decode_array, encode_array, require_keys
 from repro.warehouse.api import WarehouseInfo
 from repro.warehouse.config import MAX_CLUSTER_COUNT, WarehouseConfig
 from repro.warehouse.queries import QueryRecord
@@ -87,6 +88,34 @@ class WorkloadBaseline:
         if self.arrivals_per_hour_by_hour is None:
             return 0.0
         return float(self.arrivals_per_hour_by_hour[int(hour_of_day(t))])
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        return {
+            "p99_latency": self.p99_latency,
+            "avg_latency": self.avg_latency,
+            "arrivals_per_hour_by_hour": (
+                None
+                if self.arrivals_per_hour_by_hour is None
+                else encode_array(self.arrivals_per_hour_by_hour)
+            ),
+            "window_p99_ratio_q99": self.window_p99_ratio_q99,
+        }
+
+    @classmethod
+    def from_state(cls, state: dict) -> "WorkloadBaseline":
+        require_keys(
+            state,
+            ("p99_latency", "avg_latency", "arrivals_per_hour_by_hour", "window_p99_ratio_q99"),
+            "WorkloadBaseline",
+        )
+        by_hour = state["arrivals_per_hour_by_hour"]
+        return cls(
+            p99_latency=float(state["p99_latency"]),
+            avg_latency=float(state["avg_latency"]),
+            arrivals_per_hour_by_hour=None if by_hour is None else decode_array(by_hour),
+            window_p99_ratio_q99=float(state["window_p99_ratio_q99"]),
+        )
 
 
 class FeatureExtractor:

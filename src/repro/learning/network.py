@@ -12,6 +12,7 @@ import numpy as np
 
 from repro.common.errors import ConfigurationError
 from repro.common.rng import fallback_rng
+from repro.durability.codec import decode_array, encode_array, require_keys
 
 
 class MLP:
@@ -126,3 +127,24 @@ class MLP:
     def clone_weights_from(self, other: "MLP") -> None:
         """Hard target-network sync."""
         self.set_parameters(other.get_parameters())
+
+    # ----------------------------------------------------------- durability
+    def state_dict(self) -> dict:
+        """Full mutable state, including the Adam moments (StateCodec)."""
+        return {
+            "weights": [encode_array(w) for w in self.weights],
+            "biases": [encode_array(b) for b in self.biases],
+            "adam_t": self._t,
+            "adam_m": [encode_array(m) for m in self._m],
+            "adam_v": [encode_array(v) for v in self._v],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        require_keys(state, ("weights", "biases", "adam_t", "adam_m", "adam_v"), "MLP")
+        self.set_parameters(
+            [decode_array(s) for s in state["weights"]]
+            + [decode_array(s) for s in state["biases"]]
+        )
+        self._t = int(state["adam_t"])
+        self._m = [decode_array(s) for s in state["adam_m"]]
+        self._v = [decode_array(s) for s in state["adam_v"]]

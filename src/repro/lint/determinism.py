@@ -413,3 +413,95 @@ class ResourceQuarantineRule(Rule):
                     "(repro/obs/stream.py) so it stays in the "
                     ".resources.json sidecar",
                 )
+
+
+@register
+class DurableWriteDisciplineRule(Rule):
+    """R019: durable control-plane artifacts go through the atomic helpers.
+
+    The crash-consistency contract (docs/ROBUSTNESS.md §v2) holds because
+    every durable write is tmp-file + ``os.replace`` or framed-append —
+    both provided by ``repro/durability/io.py`` and nothing else.  A bare
+    ``open(path, "w")``/``write_text``/``np.savez`` in the durability or
+    core layers is a torn-file window: a crash mid-write leaves bytes no
+    restore can trust, and the corruption corpus tests cannot anticipate
+    an unframed writer.  The rule scopes to ``repro/durability/`` and
+    ``repro/core/`` — the layers that own durable state; everything else
+    (obs sidecars, portal reports, CLI output files) is export surface,
+    rewritten from scratch every run, where atomicity buys nothing.
+    """
+
+    rule_id = "R019"
+    name = "durable-write-discipline"
+    severity = "error"
+    summary = (
+        "durable artifacts in repro/durability/ and repro/core/ must be "
+        "written via the atomic helpers in repro/durability/io.py "
+        "(atomic_write_text/bytes, atomic_savez, append_journal_entry), "
+        "never bare open(..., 'w'), write_text/write_bytes, or np.savez"
+    )
+
+    SCOPED_SEGMENTS = ("repro/durability/", "repro/core/")
+    EXEMPT_SUFFIXES = ("repro/durability/io.py",)
+    WRITE_ATTRS = frozenset({"write_text", "write_bytes"})
+    SAVEZ_CALLS = frozenset({"numpy.savez", "numpy.savez_compressed"})
+
+    def _applies(self, path: str) -> bool:
+        normalized = path.replace("\\", "/")
+        if normalized.endswith(self.EXEMPT_SUFFIXES):
+            return False
+        return any(segment in normalized for segment in self.SCOPED_SEGMENTS)
+
+    @staticmethod
+    def _open_write_mode(node: ast.Call) -> str | None:
+        """The mode literal when this is ``open(...)`` with a write mode."""
+        mode: ast.AST | None = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for keyword in node.keywords:
+            if keyword.arg == "mode":
+                mode = keyword.value
+        if mode is None:
+            return None  # default "r": a read, not a write
+        if not isinstance(mode, ast.Constant) or not isinstance(mode.value, str):
+            return "<dynamic>"  # can't prove it's a read; flag it
+        return mode.value if set(mode.value) & set("wax+") else None
+
+    def check(self, ctx: FileContext) -> Iterable[Finding]:
+        if not self._applies(ctx.path):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            qualified = ctx.qualified(node.func)
+            if qualified == "open" or qualified == "io.open":
+                mode = self._open_write_mode(node)
+                if mode is not None:
+                    yield ctx.finding(
+                        self,
+                        node,
+                        f"open(..., {mode!r}) writes a durable artifact "
+                        "directly; a crash mid-write tears the file — use "
+                        "the atomic helpers in repro.durability.io",
+                    )
+                continue
+            if qualified in self.SAVEZ_CALLS:
+                yield ctx.finding(
+                    self,
+                    node,
+                    f"{qualified}() writes an archive non-atomically; use "
+                    "atomic_savez from repro.durability.io",
+                )
+                continue
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in self.WRITE_ATTRS
+            ):
+                yield ctx.finding(
+                    self,
+                    node,
+                    f".{node.func.attr}() writes a durable artifact "
+                    "directly; a crash mid-write tears the file — use "
+                    "atomic_write_text/atomic_write_bytes from "
+                    "repro.durability.io",
+                )

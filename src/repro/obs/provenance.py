@@ -197,6 +197,71 @@ class DecisionRecord:
         }
 
 
+# ----------------------------------------------------------------- durability
+# Plain dict codecs (obs sits below repro.durability in the layer contract,
+# so the StateCodec protocol itself is not imported here — the shapes match).
+
+
+def encode_record(record: DecisionRecord) -> dict:
+    """Full round-trip encoding of one record — unlike :meth:`to_dict`,
+    includes the apply result and the sealed outcome fields."""
+    state = record.to_dict()
+    state.update(
+        {
+            "applied": record.applied,
+            "apply_error": record.apply_error,
+            "sealed": record.sealed,
+            "sealed_until": record.sealed_until,
+            "realized_credits": record.realized_credits,
+            "realized_p99": record.realized_p99,
+            "realized_queries": record.realized_queries,
+        }
+    )
+    return state
+
+
+def decode_record(state: dict) -> DecisionRecord:
+    return DecisionRecord(
+        seq=int(state["seq"]),
+        warehouse=state["warehouse"],
+        time=float(state["time"]),
+        kind=state["kind"],
+        reason=state["reason"],
+        reason_code=state["reason_code"],
+        target=state["target"],
+        feedback_hash=state["feedback_hash"],
+        feedback=dict(state["feedback"]),
+        admissible_actions=int(state["admissible_actions"]),
+        candidates=tuple(
+            CandidateEvaluation(
+                action_index=int(c["action_index"]),
+                action=c["action"],
+                q_value=float(c["q_value"]),
+                verdict=c["verdict"],
+                predicted_credits_per_hour=c["predicted_credits_per_hour"],
+                predicted_avg_latency=c["predicted_avg_latency"],
+            )
+            for c in state["candidates"]
+        ),
+        action_index=state["action_index"],
+        q_value=state["q_value"],
+        predicted_credits_per_hour=state["predicted_credits_per_hour"],
+        predicted_avg_latency=state["predicted_avg_latency"],
+        safe_mode=bool(state["safe_mode"]),
+        breaker_state=state["breaker_state"],
+        breaker_consecutive_failures=int(state["breaker_consecutive_failures"]),
+        retries_scheduled=int(state["retries_scheduled"]),
+        interval=float(state["interval"]),
+        applied=state["applied"],
+        apply_error=state["apply_error"],
+        sealed=bool(state["sealed"]),
+        sealed_until=state["sealed_until"],
+        realized_credits=state["realized_credits"],
+        realized_p99=state["realized_p99"],
+        realized_queries=int(state["realized_queries"]),
+    )
+
+
 def split_exact(total: float, weights: list[float]) -> list[float]:
     """Split ``total`` into shares proportional to ``weights`` such that the
     left-to-right float sum of the shares is **exactly** ``total``.
@@ -338,6 +403,39 @@ class AttributionLedger:
             total += entry.attributed_total()
         return total
 
+    # ----------------------------------------------------------- durability
+    @staticmethod
+    def encode_entry(entry: AttributionEntry) -> dict:
+        return entry.to_dict()
+
+    @staticmethod
+    def decode_entry(state: dict) -> AttributionEntry:
+        return AttributionEntry(
+            window_start=float(state["window_start"]),
+            window_end=float(state["window_end"]),
+            savings_credits=float(state["savings_credits"]),
+            shares=tuple(
+                AttributionShare(
+                    decision_seq=int(s["decision_seq"]),
+                    overlap_seconds=float(s["overlap_seconds"]),
+                    credits=float(s["credits"]),
+                )
+                for s in state["shares"]
+            ),
+        )
+
+    def state_dict(self) -> dict:
+        return {
+            "warehouse": self.warehouse,
+            "entries": [self.encode_entry(e) for e in self.entries],
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        """Rebuild entries directly — no :meth:`attribute` calls, so a
+        restore never re-emits ``provenance.attribution`` trace events."""
+        self.warehouse = state["warehouse"]
+        self.entries = [self.decode_entry(e) for e in state["entries"]]
+
     def per_decision_credits(self) -> dict[int, float]:
         """Total credits attributed to each decision seq (and to
         :data:`UNATTRIBUTED`), across all entries."""
@@ -462,6 +560,40 @@ class ProvenanceLog:
                 apply_error=record.apply_error,
             )
         return sealed
+
+    # ----------------------------------------------------------- durability
+    @property
+    def unsealed_from(self) -> int:
+        """Index below which every record is sealed and immutable."""
+        return self._unsealed_from
+
+    def state_dict(self) -> dict:
+        return {
+            "records": [encode_record(r) for r in self.records],
+            "unsealed_from": self._unsealed_from,
+            "attribution": self.attribution.state_dict(),
+        }
+
+    def load_state_dict(self, state: dict) -> None:
+        self.records = [decode_record(r) for r in state["records"]]
+        self._unsealed_from = int(state["unsealed_from"])
+        self.attribution.load_state_dict(state["attribution"])
+
+    def export_records(self, start: int) -> list[dict]:
+        """Records from ``start`` on, re-serialized — the journal delta.
+
+        Records below the ``unsealed_from`` mark captured at the previous
+        checkpoint are sealed and immutable (sealing and ``note_apply``
+        only ever touch records at or above the live mark), so a delta
+        from that mark covers every mutation since.
+        """
+        return [encode_record(r) for r in self.records[start:]]
+
+    def replace_records_from(self, start: int, states: list[dict], unsealed_from: int) -> None:
+        """Apply a journal delta: truncate to ``start``, extend, re-mark."""
+        del self.records[start:]
+        self.records.extend(decode_record(s) for s in states)
+        self._unsealed_from = int(unsealed_from)
 
     # ------------------------------------------------------------ reporting
     @property

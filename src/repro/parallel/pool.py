@@ -19,6 +19,14 @@ Either way the parent merges the per-job payloads in submission order, so
 the two paths produce byte-identical traces, metrics and series exports
 (tests/experiments/test_parallel.py states this as an equality).
 
+Worker deaths are survivable: a :class:`BrokenProcessPool` (OOM kill,
+segfault, ``os._exit``) rebuilds the pool and re-submits the jobs that
+were lost, with a bounded per-job budget — a job that keeps killing
+workers is quarantined behind a typed :class:`ParallelExecutionError`
+carrying heartbeat evidence instead of burning processes forever.
+Deterministic in-job exceptions never retry, and ``KeyboardInterrupt``
+re-raises untouched (see :func:`_run_with_worker_recovery`).
+
 ``spawn`` (not ``fork``) is deliberate: workers start from a clean
 interpreter, so they cannot inherit the parent's active recorder, warmed
 caches, or any other ambient state that could make a worker run diverge
@@ -33,6 +41,7 @@ import os
 import pathlib
 import sys
 from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
 from contextlib import contextmanager
 from dataclasses import dataclass, field, replace
 from typing import TYPE_CHECKING, Callable, Iterator, Sequence
@@ -44,6 +53,12 @@ from repro.obs.series import DEFAULT_BUCKET_SECONDS
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (runner imports us)
     from repro.experiments.scenarios import Scenario, ScenarioSpec
+
+#: Times a single job may be implicated in a worker death before it is
+#: quarantined instead of retried (one retry: crashes are either transient
+#: environmental kills, gone on the second attempt, or deterministic
+#: poison, where more attempts only burn more workers).
+WORKER_DEATH_RETRY_LIMIT = 2
 
 
 class ParallelExecutionError(ReproError):
@@ -350,32 +365,141 @@ def _run_serial(jobs: list[WorkerJob]) -> list:
     return [result for result, _ in outcomes]
 
 
+#: Placeholder for a job whose outcome has not arrived yet (results and
+#: payloads may legitimately be None, so identity-checked sentinel).
+_UNSET = object()
+
+
+def _heartbeat_evidence(progress_dir) -> str:
+    """Which jobs started but never reported done, per their heartbeats.
+
+    The streamed paths append per-job heartbeats under ``progress/``; when
+    a worker dies, the jobs whose files end without a ``done`` record are
+    the ones that were on the dead worker — the closest thing to a crash
+    log a vanished process leaves behind.
+    """
+    if progress_dir is None or not pathlib.Path(progress_dir).exists():
+        return ""
+    beats = obs_stream.read_heartbeats(progress_dir)
+    lost = []
+    for index in sorted(beats):
+        statuses = {beat.get("status") for beat in beats[index]}
+        if "start" in statuses and "done" not in statuses:
+            last = beats[index][-1]
+            scenario = next(
+                (b.get("scenario") for b in beats[index] if b.get("scenario")), "?"
+            )
+            lost.append(
+                f"job {index} ({scenario}) last heartbeat "
+                f"status={last.get('status')!r}"
+            )
+    return "; ".join(lost)
+
+
+def _run_with_worker_recovery(
+    n_jobs: int,
+    submit_one: Callable,
+    describe_job: Callable[[int], str],
+    workers: int,
+    on_result: Callable[[int, object], None],
+    progress_dir=None,
+) -> None:
+    """Run one task per job index on spawn pools, surviving worker deaths.
+
+    The exception contract ``run_jobs`` promises:
+
+    * ``KeyboardInterrupt``/``SystemExit`` re-raise untouched — an
+      interrupt is the *user's* signal, never a job failure to wrap;
+    * an exception raised *inside* a job (the worker survives, the future
+      carries the error) is a deterministic job failure — typed
+      :class:`ParallelExecutionError` naming the job, no retry;
+    * :class:`BrokenProcessPool` means a worker *process died* (OOM kill,
+      segfault, ``os._exit``).  The job it broke on is re-submitted to a
+      rebuilt pool with a budget of :data:`WORKER_DEATH_RETRY_LIMIT`
+      implications; a job that keeps killing workers is quarantined with a
+      typed error carrying the heartbeat evidence, because retrying
+      deterministic poison forever just burns processes.
+
+    Completed outcomes are emitted through ``on_result`` in strict
+    submission order (later results wait for earlier holes), so callers
+    can merge observability incrementally and still get byte-identical
+    exports regardless of worker deaths or retries.
+    """
+    context = multiprocessing.get_context("spawn")
+    outcomes: list = [_UNSET] * n_jobs
+    strikes: dict[int, int] = {}
+    emitted = 0
+
+    def flush() -> None:
+        nonlocal emitted
+        while emitted < n_jobs and outcomes[emitted] is not _UNSET:
+            on_result(emitted, outcomes[emitted])
+            outcomes[emitted] = None  # emitted; drop the reference
+            emitted += 1
+
+    pending = list(range(n_jobs))
+    while pending:
+        broken: tuple[int, BaseException] | None = None
+        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
+            futures = {index: submit_one(pool, index) for index in pending}
+            for index in pending:
+                if broken is not None:
+                    # The pool is already broken; harvest whatever finished
+                    # before the death so survivors are not re-run.
+                    future = futures[index]
+                    if future.done() and future.exception() is None:
+                        outcomes[index] = future.result()
+                    continue
+                try:
+                    outcomes[index] = futures[index].result()
+                except (KeyboardInterrupt, SystemExit):
+                    raise
+                except BrokenProcessPool as exc:
+                    broken = (index, exc)
+                except ParallelExecutionError:
+                    raise
+                except Exception as exc:
+                    raise ParallelExecutionError(
+                        f"job failed for scenario {describe_job(index)}: {exc!r}"
+                    ) from exc
+        flush()
+        if broken is None:
+            return
+        suspect, cause = broken
+        strikes[suspect] = strikes.get(suspect, 0) + 1
+        if strikes[suspect] >= WORKER_DEATH_RETRY_LIMIT:
+            evidence = _heartbeat_evidence(progress_dir)
+            suffix = f"; heartbeat evidence: {evidence}" if evidence else ""
+            raise ParallelExecutionError(
+                f"worker process died {strikes[suspect]} times running scenario "
+                f"{describe_job(suspect)}; quarantining the job as poison "
+                f"instead of retrying (cause: {cause!r}){suffix}"
+            ) from cause
+        pending = [index for index in pending if outcomes[index] is _UNSET]
+
+
 def _run_parallel(jobs: list[WorkerJob], workers: int) -> list:
     parent = obs_trace.recorder()
     observe = parent is not None
     bucket_seconds = parent.series.bucket_seconds if observe else DEFAULT_BUCKET_SECONDS
     shipped = [job.shippable() for job in jobs]
-    context = multiprocessing.get_context("spawn")
-    outcomes = []
-    with _child_import_path():
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [
-                pool.submit(_execute, job, observe, bucket_seconds) for job in shipped
-            ]
-            for job, future in zip(shipped, futures):
-                try:
-                    outcomes.append(future.result())
-                except ParallelExecutionError:
-                    raise
-                except BaseException as exc:
-                    raise ParallelExecutionError(
-                        f"worker failed for scenario {job.spec.describe()} "
-                        f"(protocol {job.protocol!r}): {exc!r}"
-                    ) from exc
-    if observe:
-        for _, payload in outcomes:
+    results: list = []
+
+    def on_result(index: int, outcome) -> None:
+        result, payload = outcome
+        if observe:
             parent.merge_payload(payload)
-    return [result for result, _ in outcomes]
+        results.append(result)
+
+    with _child_import_path():
+        _run_with_worker_recovery(
+            len(shipped),
+            lambda pool, i: pool.submit(_execute, shipped[i], observe, bucket_seconds),
+            lambda i: f"{shipped[i].spec.describe()} (protocol {shipped[i].protocol!r})",
+            workers,
+            on_result,
+        )
+    return results
 
 
 def _merge_chunk_spool(parent, spool_path: str, probe) -> None:
@@ -449,33 +573,31 @@ def _run_parallel_streamed(
     )
     probe = _stream_probe(cfg)
     shipped = [job.shippable() for job in jobs]
-    context = multiprocessing.get_context("spawn")
-    results = []
+    results: list = []
+
+    # Merge each stream the moment its job (in submission order)
+    # completes — later workers keep running while earlier chunks fold
+    # in, and the parent never buffers whole payloads.  A retried job
+    # rewrites its spool from scratch, so a half-written spool from a
+    # dead worker is replaced, never merged.
+    def on_result(index: int, outcome) -> None:
+        result, spool_path, stats = outcome
+        probe.add_worker(stats)
+        if observe and spool_path is not None:
+            _merge_chunk_spool(parent, spool_path, probe)
+        results.append(result)
+
     with _child_import_path():
-        with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-            futures = [
-                pool.submit(
-                    _execute_streamed, job, index, observe, bucket_seconds,
-                    str(cfg.base()), cfg.max_chunk_events, cfg.spill_records,
-                )
-                for index, job in enumerate(shipped)
-            ]
-            # Merge each stream the moment its job (in submission order)
-            # completes — later workers keep running while earlier chunks
-            # fold in, and the parent never buffers whole payloads.
-            for job, future in zip(shipped, futures):
-                try:
-                    result, spool_path, stats = future.result()
-                except ParallelExecutionError:
-                    raise
-                except BaseException as exc:
-                    raise ParallelExecutionError(
-                        f"worker failed for scenario {job.spec.describe()} "
-                        f"(protocol {job.protocol!r}): {exc!r}"
-                    ) from exc
-                probe.add_worker(stats)
-                if observe and spool_path is not None:
-                    _merge_chunk_spool(parent, spool_path, probe)
-                results.append(result)
+        _run_with_worker_recovery(
+            len(shipped),
+            lambda pool, i: pool.submit(
+                _execute_streamed, shipped[i], i, observe, bucket_seconds,
+                str(cfg.base()), cfg.max_chunk_events, cfg.spill_records,
+            ),
+            lambda i: f"{shipped[i].spec.describe()} (protocol {shipped[i].protocol!r})",
+            workers,
+            on_result,
+            progress_dir=cfg.base() / "progress",
+        )
     probe.sample_rss("parent")
     return results

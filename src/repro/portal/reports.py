@@ -343,3 +343,41 @@ def render_watchtower(report: dict) -> str:
         lines.append("No findings: the fleet is where the baseline says it should be.")
     lines.append("")
     return "\n".join(lines)
+
+
+def render_recovery(report: dict) -> str:
+    """Markdown rendering of a crash-recovery report (durability smoke).
+
+    A pure function of the report dict
+    (:meth:`repro.experiments.crash.RecoveryRunResult.report`), so
+    same-run reports render to identical bytes — CI archives this next
+    to the JSON report.
+    """
+    verdict = "OK" if report["ok"] else "FAILED"
+    lines = [
+        "# Crash recovery",
+        "",
+        f"**Verdict: {verdict}** — scenario `{report['scenario']}` "
+        f"(seed {report['seed']}), fault `{report['kind']}` at checkpoint "
+        f"boundary {report['crash_boundary']} "
+        f"(cadence {report['cadence_seconds']:g} s).",
+        "",
+        f"- crashes: {report['crashes']}",
+        f"- recovered: {report['recovered']}",
+        f"- journal repairs: {report['repairs']}",
+        f"- `service.restore` events: {report['restore_events']}",
+    ]
+    if report["recovery_error"]:
+        lines.append(f"- refusal: `{report['recovery_error']}`")
+    lines += ["", "## Exports vs the uninterrupted run", ""]
+    if report["recovered"]:
+        lines += ["| export | byte-identical |", "|---|---|"]
+        for name, same in report["identical"].items():
+            lines.append(f"| {name} | {'yes' if same else 'DIVERGED'} |")
+    else:
+        lines.append(
+            "_No exports were produced by the crashed twin: restore refused "
+            "the damaged artifacts (the expected outcome for detection "
+            "fault kinds)._"
+        )
+    return "\n".join(lines) + "\n"

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.common.errors import ConfigurationError
+from repro.common.errors import ConfigurationError, RecoveryError
 from repro.core.registry import CheckpointInfo, ModelRegistry
 from repro.learning.agent import DQNAgent, DQNConfig
 from repro.learning.buffer import Transition
@@ -123,3 +123,44 @@ class TestModelRegistry:
     def test_checkpoint_info_json_roundtrip(self):
         info = CheckpointInfo("a", "w", 6, 4, 100, 3, 123.0)
         assert CheckpointInfo.from_json(info.to_json()) == info
+
+    def test_metadata_carries_weights_hash(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        info = registry.save("acme", "WH", make_agent())
+        assert info.weights_sha256 is not None
+        assert len(info.weights_sha256) == 64
+
+    def test_torn_pair_rejected(self, tmp_path):
+        """New weights + old metadata (the crash window) must not load."""
+        registry = ModelRegistry(tmp_path)
+        agent = make_agent()
+        registry.save("acme", "WH", agent)
+        stale_meta = (tmp_path / "acme" / "WH.json").read_bytes()
+        train_a_little(agent)
+        registry.save("acme", "WH", agent)
+        (tmp_path / "acme" / "WH.json").write_bytes(stale_meta)
+        with pytest.raises(RecoveryError, match="pair mismatch"):
+            registry.load_into("acme", "WH", make_agent(seed=99))
+
+    def test_corrupted_archive_rejected(self, tmp_path):
+        registry = ModelRegistry(tmp_path)
+        registry.save("acme", "WH", make_agent())
+        weights = tmp_path / "acme" / "WH.npz"
+        raw = bytearray(weights.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        weights.write_bytes(bytes(raw))
+        with pytest.raises(RecoveryError, match="pair mismatch"):
+            registry.load_into("acme", "WH", make_agent(seed=99))
+
+    def test_legacy_metadata_without_hash_loads(self, tmp_path):
+        """Pairs written before the hash existed skip the pairing check."""
+        registry = ModelRegistry(tmp_path)
+        agent = make_agent()
+        train_a_little(agent)
+        info = registry.save("acme", "WH", agent)
+        legacy = CheckpointInfo(**{**info.__dict__, "weights_sha256": None})
+        (tmp_path / "acme" / "WH.json").write_text(legacy.to_json())
+        fresh = make_agent(seed=99)
+        registry.load_into("acme", "WH", fresh)
+        x = np.linspace(-1, 1, 6)
+        assert np.allclose(agent.q_values(x), fresh.q_values(x))

@@ -1,0 +1,114 @@
+"""Service-level restore semantics: all-or-nothing, config-guarded, exact.
+
+The byte-identity of a full recovered *run* is property-tested in
+``tests/props/test_durability_props.py``; these tests pin the restore
+contract itself on a live service mid-scenario.
+"""
+
+import pytest
+
+from repro.common.errors import ConfigurationError, RecoveryError
+from repro.core.optimizer import KeeboService
+from repro.durability.checkpoint import CheckpointStore
+from repro.experiments.scenarios import smoke_scenario
+
+CADENCE = 3600.0
+
+
+def checkpointed_service(directory):
+    """Run the smoke scenario a few checkpoint boundaries past onboarding."""
+    scenario = smoke_scenario()
+    manifest = scenario.manifest()
+    scenario.schedule()
+    account = scenario.account
+    account.run_until(scenario.keebo_start)
+    service = KeeboService(account)
+    service.onboard_warehouse(
+        scenario.warehouse,
+        slider=scenario.slider,
+        constraints=scenario.constraints,
+        config=scenario.optimizer_config,
+    )
+    service.enable_checkpoints(directory, CADENCE, config_hash=manifest.config_hash)
+    account.run_until(scenario.keebo_start + 4 * CADENCE + 300.0)
+    return scenario, manifest, service
+
+
+class TestRestoreRoundtrip:
+    def test_state_identical_after_crash_restore(self, tmp_path):
+        scenario, manifest, service = checkpointed_service(tmp_path / "ckpt")
+        service.checkpoint()  # capture the exact moment we crash at
+        before = service._capture_state()
+        service.crash()
+        assert service.optimizers == {}
+        service.restore(
+            tmp_path / "ckpt",
+            slider=scenario.slider,
+            constraints=scenario.constraints,
+            optimizer_config=scenario.optimizer_config,
+            config_hash=manifest.config_hash,
+        )
+        assert service._capture_state() == before
+
+    def test_restore_refuses_live_service(self, tmp_path):
+        _, _, service = checkpointed_service(tmp_path / "ckpt")
+        with pytest.raises(ConfigurationError, match="live service"):
+            service.restore(tmp_path / "ckpt")
+
+    def test_config_hash_mismatch_refused(self, tmp_path):
+        scenario, _, service = checkpointed_service(tmp_path / "ckpt")
+        service.crash()
+        with pytest.raises(RecoveryError, match="config_hash"):
+            service.restore(
+                tmp_path / "ckpt",
+                slider=scenario.slider,
+                optimizer_config=scenario.optimizer_config,
+                config_hash="a-different-deployment",
+            )
+
+
+class TestAllOrNothing:
+    def test_corrupt_journal_leaves_service_empty(self, tmp_path):
+        scenario, manifest, service = checkpointed_service(tmp_path / "ckpt")
+        service.crash()
+        store = CheckpointStore(tmp_path / "ckpt")
+        store.inject_truncated_journal()
+        with pytest.raises(RecoveryError):
+            service.restore(
+                tmp_path / "ckpt",
+                slider=scenario.slider,
+                optimizer_config=scenario.optimizer_config,
+                config_hash=manifest.config_hash,
+            )
+        assert service.optimizers == {}
+        assert not service.checkpoints_enabled
+
+    def test_torn_tail_needs_explicit_repair(self, tmp_path):
+        scenario, manifest, service = checkpointed_service(tmp_path / "ckpt")
+        service.crash()
+        CheckpointStore(tmp_path / "ckpt").inject_torn_write()
+        kwargs = dict(
+            slider=scenario.slider,
+            optimizer_config=scenario.optimizer_config,
+            config_hash=manifest.config_hash,
+        )
+        with pytest.raises(RecoveryError, match="torn journal tail"):
+            service.restore(tmp_path / "ckpt", **kwargs)
+        assert service.optimizers == {}
+        load = service.restore(tmp_path / "ckpt", repair=True, **kwargs)
+        assert len(load.repairs) == 1
+        assert scenario.warehouse in service.optimizers
+
+    def test_stale_snapshot_always_refused(self, tmp_path):
+        scenario, manifest, service = checkpointed_service(tmp_path / "ckpt")
+        service.crash()
+        CheckpointStore(tmp_path / "ckpt").inject_stale_snapshot()
+        with pytest.raises(RecoveryError, match="stale snapshot"):
+            service.restore(
+                tmp_path / "ckpt",
+                slider=scenario.slider,
+                optimizer_config=scenario.optimizer_config,
+                config_hash=manifest.config_hash,
+                repair=True,
+            )
+        assert service.optimizers == {}

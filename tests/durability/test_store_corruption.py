@@ -1,0 +1,188 @@
+"""The corrupted-artifact corpus: every damage pattern is a typed refusal.
+
+Each test builds a healthy checkpoint directory, applies one corruption,
+and asserts the store raises :class:`RecoveryError` (or repairs, in the
+one case — a torn tail under ``repair=True`` — the contract allows).
+There is no damage pattern that loads silently.
+"""
+
+import json
+
+import pytest
+
+from repro.common.errors import RecoveryError
+from repro.durability.checkpoint import SCHEMA, CheckpointStore
+
+
+def healthy_store(tmp_path, deltas: int = 3) -> CheckpointStore:
+    store = CheckpointStore(tmp_path / "ckpt")
+    store.initialize(account="acme", config_hash="cfg-1", cadence_seconds=3600.0)
+    store.write_snapshot(seq=0, time=0.0, state={"optimizers": {"WH": {"x": 1}}})
+    for i in range(1, deltas + 1):
+        store.append({"seq": i, "kind": "delta", "time": float(i)})
+    return store
+
+
+class TestHealthyLoad:
+    def test_load_returns_snapshot_and_entries(self, tmp_path):
+        store = healthy_store(tmp_path)
+        load = store.load(expected_config_hash="cfg-1")
+        assert load.snapshot["seq"] == 0
+        assert [e["seq"] for e in load.entries] == [1, 2, 3]
+        assert load.repairs == []
+        assert load.state == {"optimizers": {"WH": {"x": 1}}}
+
+    def test_verify_ok(self, tmp_path):
+        report = healthy_store(tmp_path).verify()
+        assert report["ok"] is True
+        assert report["snapshot_seq"] == 0
+        assert report["journal_entries"] == 3
+        assert report["errors"] == []
+
+    def test_compaction_lagging_basis_is_benign(self, tmp_path):
+        """Snapshot published, crash before the journal reset: entries the
+        new snapshot already covers are discarded on load."""
+        store = healthy_store(tmp_path)
+        old_journal = store.journal_path.read_bytes()
+        # Compaction writes the snapshot first...
+        store.write_snapshot(seq=3, time=3.0, state={"optimizers": {"WH": {"x": 9}}})
+        # ...and crashes before resetting the journal: put the old
+        # basis(0) + deltas 1..3 back.
+        store.journal_path.write_bytes(old_journal)
+        load = store.load(expected_config_hash="cfg-1")
+        assert load.snapshot["seq"] == 3
+        assert load.entries == []  # deltas 1..3 overlapped; discarded
+
+
+class TestManifestCorruption:
+    def test_missing_manifest(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.manifest_path.unlink()
+        with pytest.raises(RecoveryError, match="missing MANIFEST.json"):
+            store.load()
+
+    def test_manifest_not_json(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.manifest_path.write_text("{not json")
+        with pytest.raises(RecoveryError, match="not valid JSON"):
+            store.load()
+
+    def test_manifest_wrong_schema(self, tmp_path):
+        store = healthy_store(tmp_path)
+        manifest = json.loads(store.manifest_path.read_text())
+        manifest["schema"] = "something/else"
+        store.manifest_path.write_text(json.dumps(manifest))
+        with pytest.raises(RecoveryError, match="schema"):
+            store.load()
+
+    def test_config_hash_mismatch(self, tmp_path):
+        store = healthy_store(tmp_path)
+        with pytest.raises(RecoveryError, match="config_hash"):
+            store.load(expected_config_hash="other-deployment")
+
+
+class TestSnapshotCorruption:
+    def test_missing_snapshot(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.snapshot_path.unlink()
+        with pytest.raises(RecoveryError, match="missing snapshot.json"):
+            store.load()
+
+    def test_empty_snapshot(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.snapshot_path.write_text("")
+        with pytest.raises(RecoveryError, match="empty"):
+            store.load()
+
+    def test_snapshot_not_json(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.snapshot_path.write_text('{"schema": ')
+        with pytest.raises(RecoveryError, match="not valid JSON"):
+            store.load()
+
+    def test_snapshot_state_bit_flip(self, tmp_path):
+        """Edited state no longer matches the wrapper checksum."""
+        store = healthy_store(tmp_path)
+        wrapper = json.loads(store.snapshot_path.read_text())
+        wrapper["state"]["optimizers"]["WH"]["x"] = 2
+        store.snapshot_path.write_text(json.dumps(wrapper))
+        with pytest.raises(RecoveryError, match="checksum mismatch"):
+            store.load()
+
+    def test_snapshot_missing_key(self, tmp_path):
+        store = healthy_store(tmp_path)
+        wrapper = json.loads(store.snapshot_path.read_text())
+        del wrapper["checksum"]
+        store.snapshot_path.write_text(json.dumps(wrapper))
+        with pytest.raises(RecoveryError, match="missing 'checksum'"):
+            store.load()
+
+
+class TestJournalCorruption:
+    def test_empty_journal(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.journal_path.write_bytes(b"")
+        with pytest.raises(RecoveryError, match="no basis entry"):
+            store.load()
+
+    def test_first_entry_not_basis(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.journal_path.unlink()
+        store.append({"seq": 0, "kind": "delta"})
+        with pytest.raises(RecoveryError, match="basis"):
+            store.load()
+
+    def test_torn_tail_strict_refuses(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.inject_torn_write()
+        with pytest.raises(RecoveryError, match="torn journal tail"):
+            store.load(repair=False)
+
+    def test_torn_tail_repair_recovers_and_records(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.inject_torn_write()
+        load = store.load(repair=True)
+        assert [e["seq"] for e in load.entries] == [1, 2, 3]
+        assert len(load.repairs) == 1
+        assert "torn journal tail" in load.repairs[0]
+
+    def test_truncated_journal_refuses_even_with_repair_if_mid(self, tmp_path):
+        """Dropping tail bytes tears the last line; strict mode refuses."""
+        store = healthy_store(tmp_path)
+        store.inject_truncated_journal()
+        with pytest.raises(RecoveryError, match="torn journal tail"):
+            store.load(repair=False)
+
+    def test_stale_snapshot_always_fatal(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.inject_stale_snapshot()
+        with pytest.raises(RecoveryError, match="stale snapshot"):
+            store.load(repair=True)
+
+    def test_basis_checksum_mismatch(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.journal_path.unlink()
+        store.append({"seq": 0, "kind": "basis", "checksum": "deadbeef"})
+        with pytest.raises(RecoveryError, match="basis checksum"):
+            store.load()
+
+    def test_seq_gap_after_snapshot(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.append({"seq": 5, "kind": "delta"})  # gap: expected 4
+        with pytest.raises(RecoveryError):
+            store.load()
+
+    def test_verify_reports_corruption_without_raising(self, tmp_path):
+        store = healthy_store(tmp_path)
+        store.inject_truncated_journal()
+        report = store.verify()
+        assert report["ok"] is False
+        assert report["errors"]
+        assert "torn journal tail" in report["errors"][0]
+
+
+class TestSchemaConstant:
+    def test_artifacts_carry_schema(self, tmp_path):
+        store = healthy_store(tmp_path)
+        assert json.loads(store.manifest_path.read_text())["schema"] == SCHEMA
+        assert json.loads(store.snapshot_path.read_text())["schema"] == SCHEMA

@@ -1,0 +1,85 @@
+"""Worker-crash resilience: the pool survives process deaths (v2 contract).
+
+``chaos.kill_worker`` is the registered protocol that kills its hosting
+worker via ``os._exit`` — no exception, no cleanup, exactly what an OOM
+kill looks like to the parent pool.  The contract under test
+(docs/ROBUSTNESS.md §Worker-crash-resilient fleets):
+
+* a job whose worker dies once is retried on a rebuilt pool and succeeds;
+* a job that kills its worker ``WORKER_DEATH_RETRY_LIMIT`` times is
+  quarantined as poison with a typed :class:`ParallelExecutionError`;
+* results still merge in submission order, so serial/parallel
+  byte-equality holds even across a worker death.
+"""
+
+import pytest
+
+from repro import obs
+from repro.experiments.scenarios import ScenarioSpec
+from repro.parallel import ParallelExecutionError, WorkerJob, run_jobs
+from repro.parallel.pool import WORKER_DEATH_RETRY_LIMIT
+
+SMOKE_SPEC = ScenarioSpec(factory="smoke", kwargs=(("seed", 123),))
+
+
+def kill_job(marker) -> WorkerJob:
+    """A job that dies once (marker given) or every time (marker='')."""
+    kwargs = (("marker", str(marker)),) if marker else ()
+    return WorkerJob(protocol="chaos.kill_worker", spec=SMOKE_SPEC, kwargs=kwargs)
+
+
+def smoke_job(seed: int) -> WorkerJob:
+    return WorkerJob(
+        protocol="before_after.row",
+        spec=ScenarioSpec(factory="smoke", kwargs=(("seed", seed),)),
+    )
+
+
+class TestDieOnceRecovery:
+    def test_job_lost_to_worker_death_is_retried(self, tmp_path):
+        marker = tmp_path / "died-once"
+        results = run_jobs([kill_job(marker)], workers=1)
+        assert results == ["smoke"]
+        assert marker.exists()  # first attempt really did run and die
+
+    def test_sibling_jobs_survive_the_death(self, tmp_path):
+        marker = tmp_path / "died-once"
+        jobs = [smoke_job(123), kill_job(marker), smoke_job(321)]
+        results = run_jobs(jobs, workers=2)
+        assert results[1] == "smoke"
+        assert [r.manifest.seed for r in (results[0], results[2])] == [123, 321]
+
+    def test_exports_identical_to_serial_despite_death(self, tmp_path):
+        """The headline merge invariant holds across a pool rebuild."""
+        marker = tmp_path / "died-once"
+        serial_marker = tmp_path / "pre-existing"
+        serial_marker.write_text("already died", encoding="utf-8")
+
+        def fleet(marker_path):
+            return [smoke_job(123), kill_job(marker_path), smoke_job(321)]
+
+        with obs.observed() as rec:
+            serial = run_jobs(fleet(serial_marker), workers=0)
+            serial_exports = (rec.sink.to_jsonl(), rec.metrics.to_json())
+        with obs.observed() as rec:
+            parallel = run_jobs(fleet(marker), workers=2)
+            parallel_exports = (rec.sink.to_jsonl(), rec.metrics.to_json())
+        assert parallel == serial
+        assert parallel_exports == serial_exports
+
+
+class TestPoisonQuarantine:
+    def test_poison_job_raises_typed_error(self):
+        with pytest.raises(ParallelExecutionError, match="quarantining"):
+            run_jobs([kill_job(None)], workers=1)
+
+    def test_poison_error_names_the_scenario(self):
+        with pytest.raises(ParallelExecutionError, match=r"smoke\(seed=123\)"):
+            run_jobs([kill_job(None)], workers=1)
+
+    def test_poison_error_counts_the_deaths(self):
+        with pytest.raises(
+            ParallelExecutionError,
+            match=rf"died {WORKER_DEATH_RETRY_LIMIT} times",
+        ):
+            run_jobs([kill_job(None)], workers=1)

@@ -730,3 +730,89 @@ class TestR018ResourceQuarantine:
             path="src/repro/portal/reports.py",
         )
         assert [f.line for f in found] == [4]
+
+
+class TestR019DurableWriteDiscipline:
+    def test_open_write_mode_flagged(self):
+        found = findings_for(
+            """\
+            def publish(path):
+                with open(path, "w") as handle:
+                    handle.write("state")
+            """,
+            "R019",
+            path="src/repro/core/registry.py",
+        )
+        assert [f.line for f in found] == [2]
+        assert "atomic helpers" in found[0].message
+
+    def test_open_mode_keyword_flagged(self):
+        found = findings_for(
+            'handle = open("journal.jsonl", mode="ab")\n',
+            "R019",
+            path="src/repro/durability/checkpoint.py",
+        )
+        assert [f.line for f in found] == [1]
+
+    def test_open_dynamic_mode_flagged(self):
+        # A mode the linter can't prove is a read is flagged, not trusted.
+        found = findings_for(
+            """\
+            def touch(path, mode):
+                return open(path, mode)
+            """,
+            "R019",
+            path="src/repro/durability/checkpoint.py",
+        )
+        assert [f.line for f in found] == [2]
+
+    def test_write_text_and_savez_flagged(self):
+        found = findings_for(
+            """\
+            import numpy as np
+
+            def save(path, meta_path, arrays, text):
+                np.savez(path, *arrays)
+                meta_path.write_text(text)
+            """,
+            "R019",
+            path="src/repro/core/registry.py",
+        )
+        assert [f.line for f in found] == [4, 5]
+        assert "atomic_savez" in found[0].message
+
+    def test_open_read_clean(self):
+        found = findings_for(
+            """\
+            def load(path):
+                with open(path) as handle:
+                    return handle.read()
+
+            def load_binary(path):
+                with open(path, "rb") as handle:
+                    return handle.read()
+            """,
+            "R019",
+            path="src/repro/durability/checkpoint.py",
+        )
+        assert found == []
+
+    def test_io_module_exempt(self):
+        found = findings_for(
+            """\
+            def atomic_write_text(path, text):
+                with open(path, "w") as handle:
+                    handle.write(text)
+            """,
+            "R019",
+            path="src/repro/durability/io.py",
+        )
+        assert found == []
+
+    def test_export_surface_out_of_scope(self):
+        found = findings_for(
+            'open("report.html", "w").write("<html/>")\n',
+            "R019",
+            path="src/repro/portal/reports.py",
+        )
+        assert found == []

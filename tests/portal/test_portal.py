@@ -194,3 +194,51 @@ class TestActionsRendering:
 
         text = render_actions(ActionsDashboard(warehouse="WH", actions=[]))
         assert "no configuration changes" in text
+
+
+class TestRecoveryReportRendering:
+    RECOVERED = {
+        "scenario": "smoke",
+        "seed": 123,
+        "kind": "crash_at_tick",
+        "cadence_seconds": 7200.0,
+        "crash_boundary": 3,
+        "crashes": 1,
+        "recovered": True,
+        "recovery_error": "",
+        "repairs": 0,
+        "restore_events": 1,
+        "ok": True,
+        "byte_identical": True,
+        "identical": {"ledger": True, "trace": True},
+    }
+
+    def test_recovered_run_renders_export_table(self):
+        from repro.portal.reports import render_recovery
+
+        text = render_recovery(self.RECOVERED)
+        assert "Verdict: OK" in text
+        assert "| ledger | yes |" in text
+        assert "refusal" not in text
+
+    def test_refused_run_renders_refusal_not_table(self):
+        from repro.portal.reports import render_recovery
+
+        refused = {
+            **self.RECOVERED,
+            "kind": "stale_snapshot",
+            "recovered": False,
+            "restore_events": 0,
+            "recovery_error": "stale snapshot: basis ahead",
+            "byte_identical": False,
+            "identical": {},
+        }
+        text = render_recovery(refused)
+        assert "Verdict: OK" in text  # refusing IS the pass for detection kinds
+        assert "stale snapshot: basis ahead" in text
+        assert "| ledger |" not in text
+
+    def test_rendering_is_pure(self):
+        from repro.portal.reports import render_recovery
+
+        assert render_recovery(self.RECOVERED) == render_recovery(dict(self.RECOVERED))

@@ -1,0 +1,69 @@
+"""The headline durability invariant: crash anywhere, restore, byte-identity.
+
+For any seeded scenario and any crash boundary, crash → restore →
+continue produces byte-identical ledger/provenance/attribution/store/
+trace/metrics/series/alert exports versus the uninterrupted run — the
+trace may differ only by the explicit ``service.restore`` event (the
+harness strips it before comparing and counts it separately).  The two
+detection kinds invert the claim: restore must *refuse* with a typed
+:class:`RecoveryError`, never continue from damaged artifacts.
+"""
+
+import pytest
+
+from repro.experiments.crash import EXPORT_NAMES, run_with_recovery
+from repro.experiments.scenarios import chaos_smoke_scenario, smoke_scenario
+from repro.faults.plan import FaultKind
+
+
+def assert_byte_identical(result):
+    assert result.crashes == 1
+    assert result.recovered, result.recovery_error
+    assert result.restore_events == 1
+    failed = [name for name in EXPORT_NAMES if not result.identical[name]]
+    assert not failed, f"exports diverged after restore: {failed}"
+    assert result.ok
+
+
+class TestCrashAnywhere:
+    @pytest.mark.parametrize("boundary", [1, 2, 4])
+    def test_smoke_byte_identical_at_any_boundary(self, boundary):
+        result = run_with_recovery(smoke_scenario, crash_boundary=boundary)
+        assert_byte_identical(result)
+
+    def test_crash_under_client_faults(self):
+        """A process death *during* injected vendor chaos still recovers
+        exactly: the faults.client RNG stream and the injection counters
+        are part of the journaled state."""
+        result = run_with_recovery(chaos_smoke_scenario, crash_boundary=2)
+        assert_byte_identical(result)
+
+
+class TestTornWriteRepair:
+    def test_torn_tail_repaired_then_byte_identical(self):
+        result = run_with_recovery(
+            smoke_scenario, kind=FaultKind.TORN_WRITE, crash_boundary=2
+        )
+        assert result.repairs == 1
+        assert_byte_identical(result)
+
+
+class TestDetectionKinds:
+    @pytest.mark.parametrize(
+        "kind", [FaultKind.TRUNCATED_JOURNAL, FaultKind.STALE_SNAPSHOT]
+    )
+    def test_corruption_is_refused_not_replayed(self, kind):
+        result = run_with_recovery(smoke_scenario, kind=kind, crash_boundary=2)
+        assert result.crashes == 1
+        assert not result.recovered
+        assert result.recovery_error  # the typed refusal, stringified
+        assert result.ok  # for detection kinds, refusing IS the pass
+
+    def test_report_shape(self):
+        result = run_with_recovery(
+            smoke_scenario, kind=FaultKind.TRUNCATED_JOURNAL, crash_boundary=2
+        )
+        report = result.report()
+        assert report["ok"] is True
+        assert report["recovered"] is False
+        assert "journal" in report["recovery_error"]
