@@ -8,7 +8,7 @@ break a cycle, and the graph artifact renders them dashed so they stay
 reviewable.  Import cycles between modules are always a violation,
 whatever the layers say.
 
-The shipped contract for ``repro`` mirrors docs/DESIGN.md: ``common`` at
+The shipped contract for ``repro`` mirrors DESIGN.md: ``common`` at
 the bottom; ``warehouse``/``workloads`` below ``costmodel``; ``core``
 below ``experiments``/``portal``; ``obs``, ``faults`` and ``parallel``
 confined per R009/R011.

@@ -14,6 +14,7 @@ Usage::
     python -m repro.cli obs {smoke,summarize,diff,profile,slo,alerts,report} ...
     python -m repro.cli faults {list,describe,run} ...
     python -m repro.cli durability {checkpoint,restore,verify,smoke} ...
+    python -m repro.cli costmodel stream [--rows 400]
 
 Each experiment command runs the corresponding §7 protocol and prints the
 same rows/series the paper's figure reports (the benchmarks wrap these same
@@ -29,6 +30,7 @@ import argparse
 import sys
 
 import repro.analysis.cli as analysis_cli
+import repro.costmodel.cli as costmodel_cli
 import repro.durability.cli as durability_cli
 import repro.faults.cli as faults_cli
 import repro.lint.cli as lint_cli
@@ -175,6 +177,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="checkpoint/restore/verify control-plane state (docs/ROBUSTNESS.md)",
     )
     durability_cli.configure_parser(durability)
+    costmodel = subparsers.add_parser(
+        "costmodel",
+        help="smoke-drive the incremental what-if ledger (docs/PERFORMANCE.md)",
+    )
+    costmodel_cli.configure_parser(costmodel)
     return parser
 
 
@@ -194,6 +201,8 @@ def main(argv: list[str] | None = None) -> int:
         return faults_cli.run(args)
     if args.command == "durability":
         return durability_cli.run(args)
+    if args.command == "costmodel":
+        return costmodel_cli.run(args)
     _COMMANDS[args.command](args)
     return 0
 

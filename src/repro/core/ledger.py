@@ -10,16 +10,34 @@ Keeping the ledger inside the loop (rather than recomputing savings ad hoc)
 matters for value-based pricing: the invoice amount is exactly the sum of
 what was reported to the customer, period by period, not a retroactive
 recomputation under a later (possibly refitted) cost model.
+
+:class:`LiveLedger` is the streaming half: it keeps an
+:class:`~repro.costmodel.incremental.IncrementalReplay` warm over the
+*open* report period so the projected without-Keebo cost is available on
+every decision tick at O(delta) cost, instead of only once per
+``report_interval`` after a full-window recompute.  At each period close
+the streamed projection is reconciled against the authoritative full
+estimate — in exact mode the two are bit-identical whenever the period
+boundaries line up, which turns the reconciliation into a free runtime
+self-check of the incremental ledger.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable
 
 from repro.common.errors import ConfigurationError
 from repro.common.simtime import Window
+from repro.costmodel.clusters import ClusterCountPredictor
+from repro.costmodel.gaps import GapModel
+from repro.costmodel.incremental import IncrementalReplay, SketchResult
+from repro.costmodel.latency import LatencyScalingModel
 from repro.costmodel.model import SavingsEstimate
+from repro.costmodel.replay import ReplayResult
 from repro.durability.codec import decode_window, encode_window, require_keys
+from repro.warehouse.config import WarehouseConfig
+from repro.warehouse.queries import QueryRecord
 
 
 @dataclass(frozen=True)
@@ -114,3 +132,281 @@ class SavingsLedger:
     @property
     def periods_reported(self) -> int:
         return len(self.entries)
+
+
+@dataclass(frozen=True)
+class LiveReconciliation:
+    """One closed period's streamed projection vs the authoritative estimate.
+
+    ``aligned`` is True when the streamed period's boundaries matched the
+    report period exactly; only then is ``divergence`` meaningful.  In
+    exact mode an aligned divergence must be ``0.0`` to the bit — both
+    sides replay the same rows under the same models — so any non-zero
+    value is an incremental-ledger defect surfacing at runtime, not noise.
+    In sketch mode ``divergence`` is the distance of the estimate from the
+    ``[projected_lo, projected_hi]`` interval (0.0 when enclosed).
+    """
+
+    window: Window
+    aligned: bool
+    projected_credits: float
+    estimated_credits: float
+    divergence: float
+    rows_streamed: int
+    #: Sketch-mode hull; in exact mode both equal ``projected_credits``.
+    projected_lo: float = 0.0
+    projected_hi: float = 0.0
+
+
+class LiveLedger:
+    """Streaming realized-vs-projected savings for one warehouse.
+
+    Feed completed QUERY_HISTORY rows with :meth:`ingest` (idempotent per
+    query id — the open period is re-scanned every tick because rows only
+    become visible at completion), read the running projection with
+    :meth:`projection`/:meth:`sketch_projection`, close a period with
+    :meth:`reconcile` and start the next with :meth:`roll`.
+    """
+
+    def __init__(
+        self,
+        warehouse: str,
+        latency_model: LatencyScalingModel,
+        gap_model: GapModel,
+        cluster_predictor: ClusterCountPredictor,
+        period: Window,
+        mode: str = "exact",
+        resolution: float = 60.0,
+    ):
+        self.warehouse = warehouse
+        self.latency_model = latency_model
+        self.gap_model = gap_model
+        self.cluster_predictor = cluster_predictor
+        self.mode = mode
+        self.resolution = resolution
+        self.cursor = period.start
+        self.reconciliations: list[LiveReconciliation] = []
+        self.unaligned_periods = 0
+        self._seen: set = set()
+        self.replay = self._fresh_replay(period)
+
+    def _fresh_replay(self, period: Window) -> IncrementalReplay:
+        return IncrementalReplay(
+            self.latency_model,
+            self.gap_model,
+            self.cluster_predictor,
+            period,
+            mode=self.mode,
+            resolution=self.resolution,
+        )
+
+    @property
+    def period(self) -> Window:
+        return self.replay.window
+
+    @property
+    def rows_streamed(self) -> int:
+        return self.replay.n_records
+
+    # -------------------------------------------------------------- streaming
+    def ingest(self, records: list[QueryRecord], now: float) -> int:
+        """Stream the period's completed rows; returns how many were new."""
+        period = self.period
+        fresh = 0
+        for record in records:
+            if record.query_id in self._seen:
+                continue
+            if not (period.start <= record.arrival_time < period.end):
+                continue
+            self.replay.observe(record)
+            self._seen.add(record.query_id)
+            fresh += 1
+        self.cursor = max(self.cursor, now)
+        return fresh
+
+    def projection(self, config: WarehouseConfig) -> ReplayResult:
+        """The running what-if for the open period (exact mode)."""
+        return self.replay.result(config)
+
+    def sketch_projection(self, config: WarehouseConfig) -> SketchResult:
+        return self.replay.sketch(config)
+
+    # ------------------------------------------------------------- period end
+    def reconcile(
+        self, estimate: SavingsEstimate, original: WarehouseConfig
+    ) -> LiveReconciliation:
+        """Close the books on one period against the authoritative estimate.
+
+        ``original`` is the without-Keebo baseline configuration the full
+        estimate replayed under (resolved at the period end, so a customer
+        config change mid-period reaches both sides identically).
+        """
+        period = self.period
+        aligned = (
+            estimate.window.start == period.start
+            and estimate.window.end == period.end
+        )
+        if self.mode == "sketch":
+            sketch = self.sketch_projection(original)
+            lo, hi = sketch.credits_lo, sketch.credits_hi
+            projected = sketch.credits
+            target = estimate.without_keebo_credits
+            divergence = max(lo - target, target - hi, 0.0) if aligned else 0.0
+        else:
+            projected = self.projection(original).credits
+            lo = hi = projected
+            divergence = (
+                projected - estimate.without_keebo_credits if aligned else 0.0
+            )
+        if not aligned:
+            self.unaligned_periods += 1
+        entry = LiveReconciliation(
+            window=estimate.window,
+            aligned=aligned,
+            projected_credits=projected,
+            estimated_credits=estimate.without_keebo_credits,
+            divergence=divergence,
+            rows_streamed=self.rows_streamed,
+            projected_lo=lo,
+            projected_hi=hi,
+        )
+        self.reconciliations.append(entry)
+        return entry
+
+    def roll(self, period: Window) -> None:
+        """Open the next period with a fresh streaming replay."""
+        self.replay = self._fresh_replay(period)
+        self._seen = set()
+        self.cursor = period.start
+
+    # ------------------------------------------------------------- durability
+    @staticmethod
+    def encode_reconciliation(entry: LiveReconciliation) -> dict:
+        return {
+            "window": encode_window(entry.window),
+            "aligned": entry.aligned,
+            "projected_credits": entry.projected_credits,
+            "estimated_credits": entry.estimated_credits,
+            "divergence": entry.divergence,
+            "rows_streamed": entry.rows_streamed,
+            "projected_lo": entry.projected_lo,
+            "projected_hi": entry.projected_hi,
+        }
+
+    @staticmethod
+    def decode_reconciliation(state: dict) -> LiveReconciliation:
+        return LiveReconciliation(
+            window=decode_window(state["window"]),
+            aligned=bool(state["aligned"]),
+            projected_credits=float(state["projected_credits"]),
+            estimated_credits=float(state["estimated_credits"]),
+            divergence=float(state["divergence"]),
+            rows_streamed=int(state["rows_streamed"]),
+            projected_lo=float(state["projected_lo"]),
+            projected_hi=float(state["projected_hi"]),
+        )
+
+    def state_dict(self) -> dict:
+        """Canonical durable state (StateCodec vocabulary).
+
+        The replay's row *contents* are deliberately not captured — restore
+        re-feeds them from telemetry (which survives a control-plane crash)
+        and :meth:`IncrementalReplay.verify_restored` checks count and
+        checksum, mirroring how the rest of the control plane never
+        duplicates telemetry into checkpoints.
+        """
+        return {
+            "warehouse": self.warehouse,
+            "mode": self.mode,
+            "resolution": self.resolution,
+            "cursor": self.cursor,
+            "unaligned_periods": self.unaligned_periods,
+            "replay": self.replay.state_dict(),
+            "reconciliations": [
+                self.encode_reconciliation(e) for e in self.reconciliations
+            ],
+        }
+
+    def load_state_dict(self, state: dict, records: list[QueryRecord]) -> None:
+        """Restore from a checkpoint plus the telemetry rows to re-feed.
+
+        ``records`` is the period's QUERY_HISTORY; only rows that were
+        visible at the checkpoint (completed by ``cursor``) are replayed,
+        and the restored ledger must match the captured row count and
+        id-checksum byte for byte or a ``RecoveryError`` surfaces.
+        """
+        require_keys(
+            state,
+            (
+                "warehouse",
+                "mode",
+                "resolution",
+                "cursor",
+                "unaligned_periods",
+                "replay",
+                "reconciliations",
+            ),
+            "LiveLedger",
+        )
+        self.warehouse = state["warehouse"]
+        self.mode = state["mode"]
+        self.resolution = float(state["resolution"])
+        self.cursor = float(state["cursor"])
+        self.unaligned_periods = int(state["unaligned_periods"])
+        self.reconciliations = [
+            self.decode_reconciliation(e) for e in state["reconciliations"]
+        ]
+        period = decode_window(state["replay"]["window"])
+        self.replay = self._fresh_replay(period)
+        self.replay.load_state_dict(state["replay"])
+        self._seen = set()
+        for record in records:
+            if record.query_id in self._seen:
+                continue
+            if not (period.start <= record.arrival_time < period.end):
+                continue
+            if record.end_time > self.cursor:
+                continue  # not yet visible when the checkpoint was taken
+            self.replay.observe(record)
+            self._seen.add(record.query_id)
+        self.replay.verify_restored()
+
+
+def fleet_projection(
+    ledgers: list[LiveLedger],
+    config_for: Callable[[LiveLedger], WarehouseConfig],
+) -> dict:
+    """Roll open-period projections up across a fleet of live ledgers.
+
+    Sketch-mode ledgers contribute their bounded-error interval; exact
+    ledgers contribute a degenerate one.  ``config_for`` maps a ledger to
+    the baseline configuration to project under (typically the customer's
+    original).  The rollup is what the fleet store/watchtower ingest:
+    guaranteed lo/hi bounds on the fleet's projected without-Keebo spend.
+    """
+    lo = hi = 0.0
+    rows = 0
+    per_warehouse = {}
+    for ledger in ledgers:
+        config = config_for(ledger)
+        if ledger.mode == "sketch":
+            sketch = ledger.sketch_projection(config)
+            wh_lo, wh_hi = sketch.credits_lo, sketch.credits_hi
+        else:
+            credits = ledger.projection(config).credits
+            wh_lo = wh_hi = credits
+        lo += wh_lo
+        hi += wh_hi
+        rows += ledger.rows_streamed
+        per_warehouse[ledger.warehouse] = {
+            "credits_lo": wh_lo,
+            "credits_hi": wh_hi,
+            "rows": ledger.rows_streamed,
+        }
+    return {
+        "credits_lo": lo,
+        "credits_hi": hi,
+        "rows": rows,
+        "n_warehouses": len(ledgers),
+        "warehouses": per_warehouse,
+    }

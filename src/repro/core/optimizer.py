@@ -33,7 +33,7 @@ from repro.common.errors import (
 from repro.common.simtime import DAY, HOUR, Window
 from repro.common.stats import percentile
 from repro.durability import CheckpointLoad, CheckpointStore
-from repro.durability.codec import decode_config, encode_config
+from repro.durability.codec import decode_config, decode_window, encode_config
 from repro.faults.plan import PROCESS_OPERATION, FaultKind, FaultPlan, FaultSpec
 from repro.obs import trace as obs
 from repro.obs.provenance import (
@@ -45,7 +45,7 @@ from repro.obs.provenance import (
 from repro.learning.actions import ActionSpace
 from repro.core.actuator import Actuator
 from repro.core.constraints import ConstraintSet
-from repro.core.ledger import SavingsLedger
+from repro.core.ledger import LiveLedger, SavingsLedger
 from repro.core.monitoring import Monitor
 from repro.core.policy_advisor import ScalingPolicyAdvisor
 from repro.core.pricing import Invoice, ValueBasedPricing
@@ -91,6 +91,15 @@ class OptimizerConfig:
     #: (docs/ROBUSTNESS.md).  Also entered while the actuation circuit
     #: breaker is open.
     telemetry_staleness_threshold: float = 1800.0
+    #: Stream the open report period through a :class:`LiveLedger` so the
+    #: projected without-Keebo cost updates on every decision tick at
+    #: O(delta) cost, and every period close reconciles the streamed
+    #: projection against the full estimate (docs/OBSERVABILITY.md).  Off by
+    #: default: the extra obs series would perturb golden traces.
+    live_ledger: bool = False
+    #: "exact" (aligned reconciliations are bit-identical) or "sketch"
+    #: (bounded-error interval, the fleet-rollup mode).
+    live_ledger_mode: str = "exact"
     agent: DQNConfig = field(default_factory=DQNConfig)
 
     def __post_init__(self):
@@ -158,6 +167,8 @@ class WarehouseOptimizer:
         self.decisions: list[Decision] = []
         self.training_reports: list[TrainingReport] = []
         self.ledger = SavingsLedger(warehouse)
+        #: Streaming projection over the open report period (opt-in).
+        self.live_ledger: LiveLedger | None = None
         #: Decision audit trail + savings attribution (docs/OBSERVABILITY.md).
         self.provenance = ProvenanceLog(warehouse, self.config.decision_interval)
         self._last_retrain = -1e18
@@ -249,10 +260,22 @@ class WarehouseOptimizer:
         )
         self.onboarded = True
         self._last_report = now
+        if self.config.live_ledger:
+            self._open_live_ledger(now)
         self.account.telemetry.record_event(
             WarehouseEvent(now, self.warehouse, "keebo_onboarded", "keebo", {})
         )
         return report
+
+    def _open_live_ledger(self, start: float) -> None:
+        self.live_ledger = LiveLedger(
+            self.warehouse,
+            self.cost_model.latency_model,
+            self.cost_model.gap_model,
+            self.cost_model.cluster_predictor,
+            Window(start, start + self.config.report_interval),
+            mode=self.config.live_ledger_mode,
+        )
 
     def _try_restore_checkpoint(self) -> bool:
         """Load a previously saved smart model, if one is compatible."""
@@ -322,6 +345,9 @@ class WarehouseOptimizer:
             # Seal every earlier decision's provenance record with the
             # realized outcome of the interval it governed.
             self._seal_provenance(now)
+            # Stream the period's freshly completed rows into the live
+            # ledger before anything else reads its projection this tick.
+            self._stream_live_ledger(now)
             if not self.safe_mode:
                 if now - self._last_retrain >= self.config.retrain_interval:
                     self._retrain(now)
@@ -647,6 +673,71 @@ class WarehouseOptimizer:
         obs.gauge(f"repro.optimizer.savings_fraction.{self.warehouse.lower()}").set(
             estimate.savings_fraction, time=now
         )
+        if self.live_ledger is not None:
+            self._reconcile_live_ledger(now, estimate)
+
+    # ----------------------------------------------------------- live ledger
+    def _stream_live_ledger(self, now: float) -> None:
+        """Feed freshly completed rows; O(delta) per tick, no vendor calls.
+
+        Reads the account's telemetry directly (like provenance sealing):
+        client reads would be metered as KWO overhead and consume
+        fault-plan randomness, changing the run being observed.
+        """
+        ledger = self.live_ledger
+        if ledger is None:
+            return
+        period = ledger.period
+        horizon = Window(period.start, min(now, period.end))
+        if horizon.duration <= 0:
+            return
+        rows = self.account.telemetry.query_history(self.warehouse, horizon)
+        fresh = ledger.ingest(rows, now)
+        original = self.action_space.original
+        if ledger.mode == "sketch":
+            projected = ledger.sketch_projection(original).credits
+        else:
+            projected = ledger.projection(original).credits
+        wh = self.warehouse.lower()
+        obs.gauge(f"repro.ledger.live_projected_credits.{wh}").set(projected, time=now)
+        if fresh:
+            obs.counter(f"repro.ledger.live_rows.{wh}").inc(fresh, time=now)
+
+    def _reconcile_live_ledger(self, now: float, estimate: SavingsEstimate) -> None:
+        """Close the streamed period against the authoritative estimate.
+
+        In exact mode an aligned reconciliation must diverge by exactly
+        0.0 — the incremental ledger is bit-identical to the full replay —
+        so a non-zero divergence is alerted as an invariant break, not
+        logged as noise.
+        """
+        ledger = self.live_ledger
+        self._stream_live_ledger(now)  # final sync before closing the books
+        original = self.account.telemetry.original_config(
+            self.warehouse, before=estimate.window.end
+        )
+        entry = ledger.reconcile(estimate, original)
+        wh = self.warehouse.lower()
+        obs.emit(
+            "ledger.live_reconcile",
+            now,
+            warehouse=self.warehouse,
+            aligned=entry.aligned,
+            projected_credits=entry.projected_credits,
+            estimated_credits=entry.estimated_credits,
+            divergence=entry.divergence,
+            rows_streamed=entry.rows_streamed,
+        )
+        obs.gauge(f"repro.ledger.live_divergence.{wh}").set(entry.divergence, time=now)
+        if entry.aligned and ledger.mode == "exact" and entry.divergence != 0.0:
+            obs.alerts().fire(
+                f"ledger.live_divergence.{wh}",
+                now,
+                severity="critical",
+                warehouse=self.warehouse,
+                divergence=entry.divergence,
+            )
+        ledger.roll(Window(now, now + self.config.report_interval))
 
     def _handle_external_conflict(self, now: float) -> None:
         """§4.4: revert our own pending changes and pause until told."""
@@ -790,6 +881,9 @@ class WarehouseOptimizer:
             "policy_advisor": self.policy_advisor.state_dict(),
             "actuator": self.actuator.state_dict(),
             "ledger": self.ledger.state_dict(),
+            "live_ledger": (
+                None if self.live_ledger is None else self.live_ledger.state_dict()
+            ),
             "provenance": self.provenance.state_dict(),
             "decisions": [encode_decision(d) for d in self.decisions],
             "scalars": self._scalar_state(),
@@ -833,6 +927,11 @@ class WarehouseOptimizer:
                 "records": self.provenance.export_records(marks["provenance"]),
                 "unsealed_from": self.provenance.unsealed_from,
             },
+            # Small by construction (counts + checksums, never row data), so
+            # it travels whole in every delta like the other compact states.
+            "live_ledger": (
+                None if self.live_ledger is None else self.live_ledger.state_dict()
+            ),
             "scalars": self._scalar_state(),
             "pending_retries": self.actuator.pending_retry_state(),
             "controller_next_fire": self.controller_next_fire,
@@ -887,6 +986,24 @@ class WarehouseOptimizer:
         self.smart_model.load_state_dict(state["smart_model"])
         self.policy_advisor.load_state_dict(state["policy_advisor"])
         self.ledger.load_state_dict(state["ledger"])
+        live_state = state["live_ledger"]
+        if live_state is not None:
+            period = decode_window(live_state["replay"]["window"])
+            self.live_ledger = LiveLedger(
+                self.warehouse,
+                self.cost_model.latency_model,
+                self.cost_model.gap_model,
+                self.cost_model.cluster_predictor,
+                period,
+                mode=live_state["mode"],
+            )
+            # Re-feed from the account's telemetry (it survives a
+            # control-plane crash); verify_restored inside checks the row
+            # count and id-checksum against the captured state.
+            self.live_ledger.load_state_dict(
+                live_state,
+                self.account.telemetry.query_history(self.warehouse, period),
+            )
         self.provenance.load_state_dict(state["provenance"])
         self.decisions = [decode_decision(d) for d in state["decisions"]]
         self._load_scalars(state["scalars"])
@@ -942,6 +1059,7 @@ def merge_checkpoint_entries(state: dict, entries: list[dict]) -> dict:
                 "monitor",
                 "smart_model",
                 "policy_advisor",
+                "live_ledger",
                 "scalars",
                 "pending_retries",
                 "controller_next_fire",

@@ -164,6 +164,20 @@ class ClusterCountPredictor:
         concurrency = concurrency_profile(
             intervals, start, end, MINI_WINDOW_SECONDS, vectorized=vectorized
         )
+        return self.predict_from_concurrency(concurrency, config)
+
+    def predict_from_concurrency(
+        self, concurrency: np.ndarray, config: WarehouseConfig
+    ) -> np.ndarray:
+        """Cluster counts from a precomputed concurrency profile.
+
+        The tail of :meth:`predict`, exposed so callers that maintain the
+        concurrency profile themselves (``repro.costmodel.incremental``) run
+        the identical float program.  Every operation here is monotone
+        non-decreasing in ``concurrency`` (ceil, clip, positive scaling,
+        masked clip/max), which is what lets the sketch mode bracket the
+        exact prediction between inner/outer concurrency hulls.
+        """
         analytic = self._analytic_clusters(concurrency, config)
         k = self.calibration if self.calibrate else 1.0
         predicted = analytic * k

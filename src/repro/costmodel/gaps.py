@@ -108,6 +108,34 @@ class GapModel:
             out.append(GapObservation(record, chained, lag))
         return out
 
+    def classify_step(
+        self,
+        prev_end: float,
+        arrival: float,
+        prev_template: str,
+        template: str,
+        chained_flag: bool,
+    ) -> tuple[bool, float]:
+        """Classify one adjacent (predecessor, record) pair.
+
+        Scalar twin of a single :meth:`classify_arrays` element — the same
+        float comparisons and dictionary lookups, so streaming callers
+        (``repro.costmodel.incremental``) that classify rows one at a time
+        get bit-identical ``(chained, lag)`` values.  Index 0 of a window
+        has no predecessor and is never chained; that case is the caller's.
+        """
+        observed = arrival - prev_end
+        in_window = 0.0 <= observed <= CHAIN_WINDOW_SECONDS
+        flag_says = self.use_flags and chained_flag
+        detector_says = in_window and (
+            self._pair_support.get((prev_template, template), 0) >= MIN_PAIR_SUPPORT
+        )
+        if not (flag_says or detector_says):
+            return False, 0.0
+        if in_window:
+            return True, float(observed)
+        return True, self._pair_lags.get((prev_template, template), 5.0)
+
     def classify_arrays(
         self,
         arrivals: np.ndarray,

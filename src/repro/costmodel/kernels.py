@@ -73,8 +73,29 @@ def bucketed_overlap(
     the concurrency profile wants.
     """
     out = np.zeros(n_buckets, dtype=np.float64)
+    overlap_into(out, starts, ends, origin, width, n_buckets)
+    return out
+
+
+def overlap_into(
+    out: np.ndarray,
+    starts: np.ndarray,
+    ends: np.ndarray,
+    origin: float,
+    width: float,
+    n_buckets: int,
+) -> None:
+    """Accumulate span/bucket overlaps into an existing coverage array.
+
+    The in-place form of :func:`bucketed_overlap`: because ``np.add.at``
+    applies its updates sequentially in pair order, accumulating a *suffix*
+    of spans into an ``out`` that already holds the sums of the prefix (in
+    span order) reproduces, bit for bit, one :func:`bucketed_overlap` call
+    over the concatenated span set.  ``repro.costmodel.incremental`` builds
+    its frozen-prefix/live-suffix coverage folds on exactly this property.
+    """
     if starts.size == 0 or n_buckets <= 0:
-        return out
+        return
     first = np.floor_divide(starts - origin, width).astype(np.int64)
     last = np.floor_divide(ends - origin, width).astype(np.int64)
     np.maximum(first, 0, out=first)
@@ -82,7 +103,7 @@ def bucketed_overlap(
     counts = last - first + 1
     touching = counts > 0
     if not touching.any():
-        return out
+        return
     first = first[touching]
     counts = counts[touching]
     span_starts = starts[touching]
@@ -101,7 +122,6 @@ def bucketed_overlap(
     )
     np.maximum(overlap, 0.0, out=overlap)
     np.add.at(out, buckets, overlap)
-    return out
 
 
 def merge_intervals(starts: np.ndarray, ends: np.ndarray) -> IntervalArrays:

@@ -84,11 +84,27 @@ class ReplayResult:
 
 
 def _merge_intervals(intervals: list[tuple[float, float]]) -> list[tuple[float, float]]:
-    """Union of (sorted) possibly-overlapping busy intervals."""
+    """Union of (sorted) possibly-overlapping busy intervals.
+
+    Degenerate inputs are part of the contract — the incremental ledger
+    (:mod:`repro.costmodel.incremental`) splits and re-merges spans at
+    window and fold boundaries, so this must agree with the vectorized
+    kernel (:func:`repro.costmodel.kernels.merge_intervals`) on:
+
+    * the empty set (``[]`` in, ``[]`` out);
+    * zero-length ``(t, t)`` spans — they seed a group, and a later span
+      starting exactly at ``t`` joins it (the group test is ``start <=
+      prev_end``, matching the kernel's strict ``>`` group-break);
+    * exactly-touching endpoints — ``(a, b), (b, c)`` merges to ``(a, c)``;
+    * contained spans — a span ending before the running group end must
+      not shrink it.
+    """
     merged: list[tuple[float, float]] = []
     for start, end in intervals:
         if merged and start <= merged[-1][1]:
-            merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            prev_start, prev_end = merged[-1]
+            if end > prev_end:
+                merged[-1] = (prev_start, end)
         else:
             merged.append((start, end))
     return merged

@@ -149,6 +149,7 @@ def render_run_report(
     lines.append("")
 
     lines += _provenance_section(records)
+    lines += _live_ledger_section(records)
 
     if slo_report is not None:
         lines += ["## SLOs", ""]
@@ -248,6 +249,56 @@ def _provenance_section(records: list[dict]) -> list[str]:
             f"mean |error| {mean_abs:.4f} credits, mean signed error "
             f"{mean:+.4f} credits (positive = realized cost more than "
             f"predicted).",
+        ]
+    lines.append("")
+    return lines
+
+
+def _live_ledger_section(records: list[dict]) -> list[str]:
+    """Streamed-vs-full reconciliations (``ledger.live_reconcile`` events).
+
+    Only rendered when the run enabled the live ledger: an aligned
+    exact-mode reconciliation with non-zero divergence is flagged loudly —
+    it means the O(delta) streaming ledger stopped being bit-identical to
+    the full replay, an invariant break rather than estimation noise.
+    """
+    rows = [
+        r
+        for r in records
+        if r.get("type") == "event" and r.get("name") == "ledger.live_reconcile"
+    ]
+    if not rows:
+        return []
+    lines = [
+        "## Live ledger reconciliations",
+        "",
+        "| sim time | warehouse | rows | projected | estimated | divergence |",
+        "| --- | --- | --- | --- | --- | --- |",
+    ]
+    broken = 0
+    for row in rows:
+        attrs = row.get("attrs", {})
+        divergence = float(attrs.get("divergence", 0.0))
+        aligned = bool(attrs.get("aligned", False))
+        if aligned and divergence != 0.0:
+            broken += 1
+        note = f"{divergence:g}" if aligned else "(unaligned period)"
+        lines.append(
+            f"| {row['time']:.0f}s | {attrs.get('warehouse', '?')} "
+            f"| {attrs.get('rows_streamed', 0)} "
+            f"| {attrs.get('projected_credits', 0.0):.4f} "
+            f"| {attrs.get('estimated_credits', 0.0):.4f} | {note} |"
+        )
+    if broken:
+        lines += [
+            "",
+            f"**{broken} aligned reconciliation(s) diverged from the full "
+            "replay — the incremental ledger invariant is broken.**",
+        ]
+    else:
+        lines += [
+            "",
+            "Every aligned reconciliation matched the full replay bit for bit.",
         ]
     lines.append("")
     return lines

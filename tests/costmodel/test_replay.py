@@ -164,3 +164,51 @@ class TestObsFastPath:
         assert observed == disabled
         assert [s["name"] for s in spans] == ["costmodel.replay"]
         assert spans[0]["attrs"]["n_queries"] == 2
+
+
+class TestMergeIntervals:
+    """Edge cases of the busy-interval union (and kernel agreement).
+
+    ``_merge_intervals`` is the scalar reference for
+    ``kernels.merge_intervals``; every case checks both so the pair cannot
+    drift apart on the boundaries.
+    """
+
+    @staticmethod
+    def _both(intervals):
+        from repro.costmodel import kernels
+        from repro.costmodel.replay import _merge_intervals
+
+        scalar = _merge_intervals(intervals)
+        starts, ends = kernels.merge_intervals(*kernels.as_interval_arrays(intervals))
+        vectorized = list(zip(starts.tolist(), ends.tolist()))
+        assert scalar == vectorized
+        return scalar
+
+    def test_empty(self):
+        assert self._both([]) == []
+
+    def test_single(self):
+        assert self._both([(1.0, 2.0)]) == [(1.0, 2.0)]
+
+    def test_zero_length_span_kept(self):
+        """A (t, t) span seeds a group rather than vanishing."""
+        assert self._both([(5.0, 5.0)]) == [(5.0, 5.0)]
+
+    def test_span_starting_at_zero_length_predecessor_joins_it(self):
+        assert self._both([(5.0, 5.0), (5.0, 9.0)]) == [(5.0, 9.0)]
+
+    def test_exactly_touching_endpoints_merge(self):
+        """start == previous end joins the group (gap of zero is no gap)."""
+        assert self._both([(0.0, 10.0), (10.0, 20.0)]) == [(0.0, 20.0)]
+
+    def test_contained_span_does_not_shrink_group(self):
+        assert self._both([(0.0, 100.0), (10.0, 20.0), (30.0, 40.0)]) == [(0.0, 100.0)]
+
+    def test_disjoint_spans_stay_separate(self):
+        assert self._both([(0.0, 1.0), (2.0, 3.0)]) == [(0.0, 1.0), (2.0, 3.0)]
+
+    def test_mixed_zero_length_and_overlaps(self):
+        assert self._both(
+            [(0.0, 0.0), (0.0, 5.0), (5.0, 5.0), (6.0, 7.0), (6.5, 6.5)]
+        ) == [(0.0, 5.0), (6.0, 7.0)]

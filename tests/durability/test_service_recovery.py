@@ -15,9 +15,11 @@ from repro.experiments.scenarios import smoke_scenario
 CADENCE = 3600.0
 
 
-def checkpointed_service(directory):
+def checkpointed_service(directory, live_ledger=False):
     """Run the smoke scenario a few checkpoint boundaries past onboarding."""
     scenario = smoke_scenario()
+    if live_ledger:
+        scenario.optimizer_config.live_ledger = True
     manifest = scenario.manifest()
     scenario.schedule()
     account = scenario.account
@@ -49,6 +51,32 @@ class TestRestoreRoundtrip:
             config_hash=manifest.config_hash,
         )
         assert service._capture_state() == before
+
+    def test_live_ledger_survives_crash_restore_byte_identically(self, tmp_path):
+        """The streaming ledger's state re-feeds from telemetry on restore
+        and must round-trip byte-identically (checksum-verified), with the
+        open period's projection answering exactly as before the crash."""
+        scenario, manifest, service = checkpointed_service(
+            tmp_path / "ckpt", live_ledger=True
+        )
+        optimizer = service.optimizer(scenario.warehouse)
+        assert optimizer.live_ledger is not None
+        original = optimizer.action_space.original
+        projected_before = optimizer.live_ledger.projection(original).credits
+        service.checkpoint()
+        before = service._capture_state()
+        assert before["optimizers"][scenario.warehouse]["live_ledger"] is not None
+        service.crash()
+        service.restore(
+            tmp_path / "ckpt",
+            slider=scenario.slider,
+            constraints=scenario.constraints,
+            optimizer_config=scenario.optimizer_config,
+            config_hash=manifest.config_hash,
+        )
+        assert service._capture_state() == before
+        restored = service.optimizer(scenario.warehouse).live_ledger
+        assert restored.projection(original).credits == projected_before
 
     def test_restore_refuses_live_service(self, tmp_path):
         _, _, service = checkpointed_service(tmp_path / "ckpt")
